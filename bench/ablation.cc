@@ -1,0 +1,238 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//  A. Availability predictor: the paper's hybrid (periodic machines use the
+//     up-event hour distribution, others the conditional down-duration
+//     distribution) vs duration-only vs a naive fixed-delay predictor.
+//  B. Metadata replication factor k: probability that a down endsystem's
+//     metadata survives on >=1 live holder, vs maintenance cost.
+//  C. Histogram bucket budget vs row-count estimation error (the h trade-off).
+//  D. In-network aggregation vs shipping every endsystem's result directly
+//     to the origin (bytes at the origin's access link).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+
+#include "anemone/anemone.h"
+#include "bench/bench_util.h"
+#include "db/sql_parser.h"
+#include "seaweed/simple_sim.h"
+#include "trace/farsite_model.h"
+
+using namespace seaweed;
+using seaweed::bench::Header;
+using seaweed::bench::Note;
+
+namespace {
+
+// --- A: availability predictor variants ---
+
+double PredictorError(const AvailabilityTrace& trace, int mode) {
+  // Mean absolute error (hours) of predicted next-up time for machines that
+  // are down at the probe instants. mode: 0=hybrid (paper), 1=duration-only,
+  // 2=fixed "+4h".
+  double total_err = 0;
+  int samples = 0;
+  for (SimTime probe = 2 * kWeek; probe < 3 * kWeek; probe += 7 * kHour) {
+    for (int e = 0; e < trace.num_endsystems(); ++e) {
+      const auto& avail = trace.endsystem(e);
+      if (avail.IsUp(probe)) continue;
+      SimTime actual = avail.NextUpAt(probe);
+      if (actual == kSimTimeMax) continue;
+      SimTime down_since = avail.DownSince(probe);
+      if (down_since < 0) continue;
+
+      AvailabilityModel model = LearnAvailabilityModel(avail, probe);
+      SimTime predicted;
+      if (mode == 0) {
+        predicted = model.PredictUpTime(probe, down_since);
+      } else if (mode == 1) {
+        // Force the duration-only path by ignoring periodicity: rebuild a
+        // model whose up-hours are uniform (scrambles IsPeriodic).
+        AvailabilityModel scrambled;
+        const auto& ivs = avail.intervals();
+        int fake_hour = 0;
+        for (size_t i = 1; i < ivs.size(); ++i) {
+          if (ivs[i].start >= probe) break;
+          SimDuration d = ivs[i].start - ivs[i - 1].end;
+          // Same duration, synthetic up time at rotating hours.
+          scrambled.RecordDownPeriod(fake_hour * kHour,
+                                     fake_hour * kHour + d);
+          fake_hour = (fake_hour + 7) % 24;
+        }
+        predicted = scrambled.PredictUpTime(probe, down_since);
+      } else {
+        predicted = probe + 4 * kHour;
+      }
+      total_err += std::abs(ToHours(predicted - actual));
+      ++samples;
+    }
+  }
+  return samples ? total_err / samples : 0;
+}
+
+// --- B: replication factor ---
+
+void ReplicationAblation(const AvailabilityTrace& trace) {
+  std::printf("\n[B] metadata replication factor k (Farsite-like trace):\n");
+  std::printf("%4s %26s %24s\n", "k",
+              "P(metadata survives | down)", "maintenance cost (B/s)");
+  // A down endsystem's metadata survives if >=1 of the k endsystems that
+  // were its closest *when it went down* is up now. Approximate replica
+  // sets by id-adjacent endsystems (ids are random, so adjacent indices are
+  // an equivalent random set).
+  for (int k : {1, 2, 4, 8, 16}) {
+    int64_t survived = 0, total = 0;
+    for (SimTime probe = 2 * kWeek; probe < 3 * kWeek; probe += 13 * kHour) {
+      for (int e = 0; e < trace.num_endsystems(); ++e) {
+        if (trace.endsystem(e).IsUp(probe)) continue;
+        ++total;
+        bool alive = false;
+        for (int j = 1; j <= k && !alive; ++j) {
+          int holder = (e + (j % 2 == 1 ? (j + 1) / 2 : -(j / 2)) +
+                        trace.num_endsystems()) %
+                       trace.num_endsystems();
+          if (trace.endsystem(holder).IsUp(probe)) alive = true;
+        }
+        if (alive) ++survived;
+      }
+    }
+    // Cost: k pushes of (h+a) every 17.5 min per online endsystem.
+    double cost = k * (6473.0 + 48.0) / (17.5 * 60.0);
+    std::printf("%4d %25.2f%% %24.1f\n", k,
+                total ? 100.0 * survived / total : 0.0, cost);
+  }
+}
+
+// --- C: histogram budget ---
+
+void HistogramAblation() {
+  std::printf("\n[C] histogram bucket budget vs estimation error "
+              "(Anemone Flow data):\n");
+  anemone::AnemoneConfig cfg;
+  cfg.days = 21;
+  cfg.workstation_flows_per_day = 300;
+
+  const char* kQueries[] = {
+      anemone::kQueryHttpBytes, anemone::kQueryBigFlows,
+      anemone::kQuerySmbAvg, anemone::kQueryPrivPorts};
+
+  std::printf("%10s %14s %18s\n", "buckets", "summary bytes",
+              "mean |rel error|");
+  for (int buckets : {8, 16, 32, 64, 128, 200}) {
+    double err_sum = 0;
+    int err_n = 0;
+    size_t bytes_sum = 0;
+    for (int e = 0; e < 12; ++e) {
+      db::Database database;
+      anemone::GenerateEndsystemData(cfg, e, &database);
+      auto summary = database.BuildSummary(buckets, /*max_mcvs=*/16);
+      bytes_sum += summary.SerializedBytes();
+      for (const char* sql : kQueries) {
+        auto q = db::ParseSelect(sql);
+        auto truth = database.CountMatching(*q);
+        if (!truth.ok() || *truth == 0) continue;
+        double est = summary.EstimateRows(*q);
+        err_sum += std::abs(est - static_cast<double>(*truth)) /
+                   static_cast<double>(*truth);
+        ++err_n;
+      }
+    }
+    std::printf("%10d %14zu %17.2f%%\n", buckets, bytes_sum / 12,
+                err_n ? 100 * err_sum / err_n : 0.0);
+  }
+}
+
+// --- E: delta-encoded summary pushes (the §3.2.2 optimization) ---
+
+void DeltaEncodingAblation() {
+  std::printf("\n[E] delta-encoded summary pushes (paper §3.2.2 proposal):\n");
+  // Compare the cost of a full push vs a delta push as a function of how
+  // much new data arrived since the previous push. A 17.5-minute push
+  // period over ~300 flows/day means ~4 new rows per period; a full day is
+  // ~300. Equi-depth boundaries shift wholesale once enough data arrives,
+  // at which point deltas stop paying — which is exactly why the paper
+  // couples this idea with change-rate-adaptive push scheduling.
+  anemone::AnemoneConfig cfg;
+  cfg.days = 21;
+  cfg.workstation_flows_per_day = 300;
+  db::Database database;
+  anemone::GenerateEndsystemData(cfg, 3, &database);
+  db::Table* flow = database.FindTable("Flow");
+  auto prev = database.BuildSummary();
+  size_t full0 = prev.SerializedBytes();
+  std::printf("%22s %16s %16s %12s\n", "new rows since push",
+              "full push (B)", "delta push (B)", "savings");
+  seaweed::Rng rng(99);
+  int appended = 0;
+  for (int target : {1, 4, 16, 64, 256, 1024}) {
+    while (appended < target) {
+      flow->column(0).AppendInt64(21 * 86400 + appended);
+      flow->column(1).AppendInt64(300);
+      flow->column(2).AppendInt64(0x0A000001);
+      flow->column(3).AppendInt64(0x0A000002);
+      flow->column(4).AppendInt64(static_cast<int64_t>(rng.NextBelow(65536)));
+      flow->column(5).AppendInt64(80);
+      flow->column(6).AppendInt64(80);
+      flow->column(7).AppendString("TCP");
+      flow->column(8).AppendString("HTTP");
+      flow->column(9).AppendInt64(static_cast<int64_t>(rng.NextBelow(100000)));
+      flow->column(10).AppendInt64(5);
+      flow->CommitRow();
+      ++appended;
+    }
+    auto cur = database.BuildSummary();
+    size_t full = cur.SerializedBytes();
+    size_t delta = db::SummaryDeltaBytes(prev, cur);
+    std::printf("%22d %16zu %16zu %11.1f%%\n", target, full, delta,
+                100.0 * (1.0 - static_cast<double>(delta) /
+                                   static_cast<double>(full)));
+  }
+  (void)full0;
+  Note("deltas pay off for the frequent small-change pushes of the 17.5-min "
+       "period; once boundaries shift wholesale (a day of data) a full push "
+       "is as cheap — motivating the paper's adaptive push-rate idea");
+}
+
+// --- D: in-network aggregation ---
+
+void AggregationAblation() {
+  std::printf("\n[D] in-network aggregation vs direct-to-origin results:\n");
+  // Result record ~100 bytes; with in-network aggregation the origin
+  // receives O(1) updates; without it, O(N) messages converge on one
+  // endsystem's access link.
+  const double result_bytes = 120;
+  std::printf("%10s %24s %24s\n", "N", "direct to origin (bytes)",
+              "aggregated (bytes at origin)");
+  for (double n : {1e3, 1e4, 1e5, 1e6}) {
+    std::printf("%10.0e %24.3e %24.3e\n", n, n * result_bytes,
+                10 * result_bytes);  // ~10 incremental updates
+  }
+  Note("in-network aggregation keeps the root's load O(1) per update; "
+       "direct shipping makes the origin a hotspot linear in N");
+}
+
+}  // namespace
+
+int main() {
+  Header("Ablations", "design-choice studies (see DESIGN.md section 5)");
+
+  int n = seaweed::bench::ScaledN(2500);
+  FarsiteModelConfig fcfg;
+  auto trace = GenerateFarsiteTrace(fcfg, n, 3 * kWeek);
+
+  std::printf("\n[A] availability predictor (mean |next-up error| in hours, "
+              "N=%d):\n", n);
+  std::printf("%28s %12s\n", "predictor", "MAE (h)");
+  std::printf("%28s %12.2f\n", "hybrid (paper)", PredictorError(trace, 0));
+  std::printf("%28s %12.2f\n", "duration-only", PredictorError(trace, 1));
+  std::printf("%28s %12.2f\n", "fixed +4h", PredictorError(trace, 2));
+  Note("the up-event hour distribution is what captures diurnal machines; "
+       "removing it degrades prediction markedly");
+
+  ReplicationAblation(trace);
+  HistogramAblation();
+  DeltaEncodingAblation();
+  AggregationAblation();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/time_types.h"
+
+namespace seaweed::bench {
+
+// Benches scale their default problem sizes by SEAWEED_BENCH_SCALE (a
+// positive double; 1.0 = laptop defaults, larger = closer to paper scale).
+inline double Scale() {
+  if (const char* env = std::getenv("SEAWEED_BENCH_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int ScaledN(int base) {
+  double n = base * Scale();
+  return n < 2 ? 2 : static_cast<int>(n);
+}
+
+inline void Header(const char* id, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("# %s\n", text.c_str());
+}
+
+// Pretty-prints bytes/second with engineering units.
+inline std::string Rate(double bytes_per_sec) {
+  char buf[64];
+  if (bytes_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_sec / 1e9);
+  } else if (bytes_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_sec / 1e6);
+  } else if (bytes_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB/s", bytes_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f B/s", bytes_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace seaweed::bench

@@ -1,0 +1,103 @@
+// Reproduces Figure 10: Seaweed overhead under high (Gnutella-like) churn.
+// Paper setup: 7,602 endsystems over a 60-hour trace with departure rate
+// 9.46e-5 per online endsystem-second (23x the Farsite rate).
+// Paper claims: mean tx 472 B/s per online endsystem, 99th pct 1,515 B/s,
+// i.e. the mean grows only ~7x while churn grows 23x.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "seaweed/cluster.h"
+#include "trace/farsite_model.h"
+#include "trace/gnutella_model.h"
+
+using namespace seaweed;
+using seaweed::bench::Header;
+using seaweed::bench::Note;
+
+namespace {
+
+struct ChurnRun {
+  double mean = 0;
+  double p99 = 0;
+  std::vector<std::array<double, 2>> hourly;  // hour, B/s per online
+};
+
+ChurnRun Run(SeaweedCluster& cluster, const AvailabilityTrace& trace,
+             SimDuration duration) {
+  cluster.DriveFromTrace(trace, duration);
+  cluster.sim().RunUntil(duration);
+  ChurnRun out;
+  int64_t h0 = 1, h1 = duration / kHour - 1;
+  out.mean = cluster.MeanTxPerOnline(h0, h1);
+  out.p99 = Percentile(cluster.meter().HourlyTxRates(h0, h1), 99);
+  for (int64_t h = h0; h <= h1; ++h) {
+    double online = cluster.OnlineSecondsInHour(h);
+    if (online <= 0) continue;
+    double bytes = 0;
+    for (int c = 0; c < kNumTrafficCategories; ++c) {
+      const auto& tl =
+          cluster.meter().CategoryTimeline(static_cast<TrafficCategory>(c));
+      if (static_cast<size_t>(h) < tl.size()) {
+        bytes += static_cast<double>(tl[static_cast<size_t>(h)]);
+      }
+    }
+    out.hourly.push_back({static_cast<double>(h), bytes / online});
+  }
+  return out;
+}
+
+ClusterConfig MakeConfig(int n) {
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.keep_tables = false;
+  cfg.anemone.days = 7;
+  cfg.anemone.workstation_flows_per_day = 20;
+  cfg.summary_wire_bytes = 6473;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 10", "Seaweed overhead in a high-churn (Gnutella) network");
+
+  const int n = seaweed::bench::ScaledN(800);
+  const SimDuration duration = 24 * kHour;  // paper: 7,602 nodes, 60 h
+
+  GnutellaModelConfig gcfg;
+  auto gtrace = GenerateGnutellaTrace(gcfg, n, duration + kHour);
+  std::printf("\nGnutella-like trace: departure rate %.2e /online-endsys/s "
+              "(paper: 9.46e-5)\n",
+              gtrace.DepartureRatePerOnline(0, duration));
+  SeaweedCluster gnutella_cluster(MakeConfig(n));
+  ChurnRun gnutella = Run(gnutella_cluster, gtrace, duration);
+
+  std::printf("\n(a) total overhead per online endsystem over time:\n");
+  std::printf("%6s %14s\n", "hour", "tx B/s/online");
+  for (const auto& [h, v] : gnutella.hourly) {
+    std::printf("%6.0f %14.2f\n", h, v);
+  }
+
+  std::printf("\n(b) per-endsystem-hour tx distribution: mean %.1f B/s, "
+              "99th pct %.1f B/s\n", gnutella.mean, gnutella.p99);
+  std::printf("    (paper: mean 472 B/s, 99th pct 1,515 B/s)\n");
+
+  // Comparison run under enterprise churn at identical scale, for the
+  // headline "mean grew only ~7x while churn grew 23x" ratio.
+  FarsiteModelConfig fcfg;
+  auto ftrace = GenerateFarsiteTrace(fcfg, n, duration + kHour);
+  SeaweedCluster farsite_cluster(MakeConfig(n));
+  ChurnRun farsite = Run(farsite_cluster, ftrace, duration);
+
+  double churn_ratio = gtrace.DepartureRatePerOnline(0, duration) /
+                       ftrace.DepartureRatePerOnline(0, duration);
+  std::printf("\ncomparison at N=%d: Farsite-churn mean %.1f B/s, "
+              "Gnutella-churn mean %.1f B/s\n", n, farsite.mean,
+              gnutella.mean);
+  std::printf("overhead ratio %.1fx for a churn ratio of %.1fx "
+              "(paper: 7x for 23x)\n",
+              gnutella.mean / std::max(1e-9, farsite.mean), churn_ratio);
+  Note("shape check: overhead grows sublinearly in churn because the "
+       "periodic summary pushes dominate and are churn-independent");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 5: predicted vs actual completeness for
+//   SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80
+// See prediction_common.h for the harness and the paper claims checked.
+#include "bench/prediction_common.h"
+
+int main() {
+  seaweed::bench::RunPredictionFigure(
+      "Figure 5", "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80");
+  return 0;
+}

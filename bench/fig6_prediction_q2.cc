@@ -1,0 +1,10 @@
+// Reproduces Figure 6: predicted vs actual completeness for
+//   SELECT COUNT(*) FROM Flow WHERE Bytes > 20000
+// See prediction_common.h for the harness and the paper claims checked.
+#include "bench/prediction_common.h"
+
+int main() {
+  seaweed::bench::RunPredictionFigure(
+      "Figure 6", "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 7: predicted vs actual completeness for
+//   SELECT AVG(Bytes) FROM Flow WHERE App='SMB'
+// See prediction_common.h for the harness and the paper claims checked.
+#include "bench/prediction_common.h"
+
+int main() {
+  seaweed::bench::RunPredictionFigure(
+      "Figure 7", "SELECT AVG(Bytes) FROM Flow WHERE App='SMB'");
+  return 0;
+}

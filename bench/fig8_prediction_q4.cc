@@ -1,0 +1,10 @@
+// Reproduces Figure 8: predicted vs actual completeness for
+//   SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024
+// See prediction_common.h for the harness and the paper claims checked.
+#include "bench/prediction_common.h"
+
+int main() {
+  seaweed::bench::RunPredictionFigure(
+      "Figure 8", "SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024");
+  return 0;
+}

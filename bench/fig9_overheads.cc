@@ -1,0 +1,249 @@
+// Reproduces Figure 9: bandwidth overheads of the full Seaweed system on the
+// packet-level simulator, driven by the Farsite-like availability trace,
+// with the paper's query (SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80)
+// running throughout.
+//
+//  (a) overhead timeline per online endsystem, split into MSPastry /
+//      Seaweed maintenance / query components — paper: mean ~69 B/s,
+//      maintenance (histogram replication) dominant;
+//  (b) distribution of per-endsystem per-hour tx and rx bandwidth —
+//      paper: 99th percentile 178 B/s tx / 195 B/s rx, evenly spread;
+//  (c) sensitivity to endsystemId assignment (5 random seeds) —
+//      paper: curves visually indistinguishable;
+//  (d) per-endsystem overhead vs network size N — paper: maintenance O(1),
+//      query and MSPastry O(log N) and 1-3 orders of magnitude smaller;
+//      predictor latency 3.1 s @2,000 -> 12.0 s @51,663; dissemination
+//      ~1,043 B and predictor aggregation ~776 B per query per endsystem.
+//
+// Defaults are laptop-scaled (N=1,000 timeline, N sweep to 2,000); set
+// SEAWEED_BENCH_SCALE to push toward paper scale.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "seaweed/cluster.h"
+#include "trace/farsite_model.h"
+
+using namespace seaweed;
+using seaweed::bench::Header;
+using seaweed::bench::Note;
+
+namespace {
+
+ClusterConfig MakeConfig(int n, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.seed = seed;
+  cfg.keep_tables = false;  // regenerate per execution; cache summaries only
+  cfg.anemone.days = 7;
+  cfg.anemone.workstation_flows_per_day = 20;
+  cfg.summary_wire_bytes = 6473;  // Table 1 h
+  return cfg;
+}
+
+struct RunResult {
+  double mean_tx_per_online = 0;       // B/s, whole run
+  double pastry_per_online = 0;        // B/s
+  double maintenance_per_online = 0;   // B/s
+  double query_per_online = 0;         // B/s
+  double tx_p99 = 0;                   // per-endsystem-hour 99th pct, B/s
+  double rx_p99 = 0;
+  std::vector<double> tx_rates;        // per (endsystem, hour) samples
+  double predictor_latency_s = -1;
+  double predictor_coverage = 0;  // endsystems in predictor / N
+  double dissemination_bytes_per_endsystem = 0;
+  double predictor_bytes_per_endsystem = 0;
+  std::vector<std::array<double, 4>> hourly;  // t, pastry, maint, query
+};
+
+RunResult RunSeaweed(int n, SimDuration duration, uint64_t seed,
+                     bool print_progress = false) {
+  ClusterConfig cfg = MakeConfig(n, seed);
+  SeaweedCluster cluster(cfg);
+  FarsiteModelConfig fcfg;
+  fcfg.seed = seed * 131 + 7;
+  auto trace = GenerateFarsiteTrace(fcfg, n, duration + kHour);
+  cluster.DriveFromTrace(trace, duration);
+
+  // Inject the paper's query a quarter of the way in, running to the end.
+  SimTime inject_at = duration / 4;
+  struct {
+    SimTime injected = -1;
+    SimTime predictor_at = -1;
+    int64_t predictor_endsystems = 0;
+  } obs_state;
+  cluster.sim().At(inject_at, [&cluster, &obs_state, inject_at, duration] {
+    // Find a live endsystem to inject from.
+    for (int e = 0; e < cluster.config().num_endsystems; ++e) {
+      if (cluster.pastry_node(e)->joined()) {
+        QueryObserver obs;
+        obs.on_predictor = [&cluster, &obs_state](
+                               const NodeId&, const CompletenessPredictor& p) {
+          if (obs_state.predictor_at < 0) {
+            obs_state.predictor_at = cluster.sim().Now();
+            obs_state.predictor_endsystems = p.endsystems();
+          }
+        };
+        auto st = cluster.InjectQuery(
+            e,
+            "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80 AND ts <= NOW() "
+            "AND ts >= NOW() - 86400",
+            std::move(obs), duration - inject_at);
+        if (st.ok()) obs_state.injected = cluster.sim().Now();
+        return;
+      }
+    }
+  });
+
+  cluster.sim().RunUntil(duration);
+  if (print_progress) {
+    std::printf("  [N=%d: %llu events, %llu msgs]\n", n,
+                static_cast<unsigned long long>(cluster.sim().events_executed()),
+                static_cast<unsigned long long>(
+                    cluster.network().messages_sent()));
+  }
+
+  RunResult out;
+  int64_t h0 = 1, h1 = duration / kHour - 1;
+  out.mean_tx_per_online = cluster.MeanTxPerOnline(h0, h1);
+  out.pastry_per_online = cluster.MeanTxPerOnline(
+      h0, h1, static_cast<int>(TrafficCategory::kPastry));
+  out.maintenance_per_online = cluster.MeanTxPerOnline(
+      h0, h1, static_cast<int>(TrafficCategory::kMetadata));
+  out.query_per_online =
+      cluster.MeanTxPerOnline(h0, h1,
+                              static_cast<int>(TrafficCategory::kDissemination)) +
+      cluster.MeanTxPerOnline(h0, h1,
+                              static_cast<int>(TrafficCategory::kPredictor)) +
+      cluster.MeanTxPerOnline(h0, h1,
+                              static_cast<int>(TrafficCategory::kResult));
+  out.tx_rates = cluster.meter().HourlyTxRates(h0, h1);
+  out.tx_p99 = Percentile(out.tx_rates, 99);
+  out.rx_p99 = Percentile(cluster.meter().HourlyRxRates(h0, h1), 99);
+  if (obs_state.predictor_at >= 0) {
+    out.predictor_latency_s =
+        ToSeconds(obs_state.predictor_at - obs_state.injected);
+    // The paper's consistency guarantee covers H_U(-inf, T_e): endsystems
+    // ever seen by the system. Machines that have never been online have no
+    // metadata anywhere and are correctly absent.
+    int ever_seen = 0;
+    for (int e = 0; e < n; ++e) {
+      if (trace.endsystem(e).NextUpAt(0) <= obs_state.injected) ++ever_seen;
+    }
+    out.predictor_coverage =
+        ever_seen > 0
+            ? static_cast<double>(obs_state.predictor_endsystems) / ever_seen
+            : 0;
+  }
+  out.dissemination_bytes_per_endsystem =
+      static_cast<double>(cluster.meter().CategoryTxBytes(
+          TrafficCategory::kDissemination)) / n;
+  out.predictor_bytes_per_endsystem =
+      static_cast<double>(
+          cluster.meter().CategoryTxBytes(TrafficCategory::kPredictor)) / n;
+
+  for (int64_t h = h0; h <= h1; ++h) {
+    double online = cluster.OnlineSecondsInHour(h);
+    if (online <= 0) continue;
+    auto cat = [&](TrafficCategory c) {
+      const auto& tl = cluster.meter().CategoryTimeline(c);
+      return static_cast<size_t>(h) < tl.size()
+                 ? static_cast<double>(tl[static_cast<size_t>(h)]) / online
+                 : 0.0;
+    };
+    out.hourly.push_back(
+        {static_cast<double>(h), cat(TrafficCategory::kPastry),
+         cat(TrafficCategory::kMetadata),
+         cat(TrafficCategory::kDissemination) +
+             cat(TrafficCategory::kPredictor) +
+             cat(TrafficCategory::kResult)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 9", "Seaweed bandwidth overheads (packet-level simulation)");
+
+  // ---- (a) + (b): timeline and load distribution ----
+  int n_main = seaweed::bench::ScaledN(1000);
+  SimDuration dur_main = 2 * kDay;
+  std::printf("\nrunning main configuration: N=%d over %s "
+              "(paper: N=20,000 over 4 weeks)...\n",
+              n_main, FormatDuration(dur_main).c_str());
+  RunResult main_run = RunSeaweed(n_main, dur_main, /*seed=*/1, true);
+
+  std::printf("\n(a) overhead per online endsystem by component "
+              "(bytes/s, hourly):\n");
+  std::printf("%6s %10s %12s %10s %10s\n", "hour", "pastry", "maintenance",
+              "query", "total");
+  for (const auto& row : main_run.hourly) {
+    std::printf("%6.0f %10.2f %12.2f %10.3f %10.2f\n", row[0], row[1],
+                row[2], row[3], row[1] + row[2] + row[3]);
+  }
+  std::printf("\nmean total: %.1f B/s per online endsystem (paper: 69 B/s)\n",
+              main_run.mean_tx_per_online);
+  std::printf("  pastry %.1f | maintenance %.1f | query %.3f  B/s "
+              "(paper: maintenance dominant, query ~3 orders below)\n",
+              main_run.pastry_per_online, main_run.maintenance_per_online,
+              main_run.query_per_online);
+
+  std::printf("\n(b) per-endsystem per-hour tx bandwidth distribution:\n");
+  std::printf("%12s %14s\n", "percentile", "tx B/s");
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    std::printf("%11.1f%% %14.2f\n", p, Percentile(main_run.tx_rates, p));
+  }
+  std::printf("  99th pct: tx %.1f B/s, rx %.1f B/s "
+              "(paper: 178 / 195 B/s at its h push rate)\n",
+              main_run.tx_p99, main_run.rx_p99);
+  double zero_frac = 0;
+  for (double r : main_run.tx_rates) {
+    if (r == 0) zero_frac += 1;
+  }
+  zero_frac /= static_cast<double>(main_run.tx_rates.size());
+  std::printf("  zero-bandwidth (offline) endsystem-hours: %.1f%% "
+              "(paper: y-intercept = mean unavailability ~19%%)\n",
+              100 * zero_frac);
+
+  // ---- (c) id-assignment sensitivity ----
+  std::printf("\n(c) sensitivity to endsystemId assignment "
+              "(5 seeds, N=%d, 12 h):\n", seaweed::bench::ScaledN(500));
+  std::printf("%6s %10s %10s %10s %10s\n", "seed", "mean", "p50", "p90",
+              "p99");
+  double min_mean = 1e18, max_mean = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RunResult r = RunSeaweed(seaweed::bench::ScaledN(500), 12 * kHour, seed);
+    std::printf("%6llu %10.2f %10.2f %10.2f %10.2f\n",
+                static_cast<unsigned long long>(seed),
+                r.mean_tx_per_online, Percentile(r.tx_rates, 50),
+                Percentile(r.tx_rates, 90), Percentile(r.tx_rates, 99));
+    min_mean = std::min(min_mean, r.mean_tx_per_online);
+    max_mean = std::max(max_mean, r.mean_tx_per_online);
+  }
+  std::printf("  spread of means across assignments: %.2f%% "
+              "(paper: curves visually indistinguishable)\n",
+              100 * (max_mean - min_mean) / std::max(1e-9, min_mean));
+
+  // ---- (d) scaling with N ----
+  std::printf("\n(d) per-endsystem overhead vs network size (12 h runs):\n");
+  std::printf("%8s %10s %12s %10s %12s %10s %14s %14s\n", "N", "pastry",
+              "maintenance", "query", "pred-lat(s)", "coverage",
+              "dissem B/node", "predagg B/node");  // coverage = predictor endsystems / ever-seen
+  for (int n : {250, 500, 1000, 2000}) {
+    int scaled = seaweed::bench::ScaledN(n);
+    RunResult r = RunSeaweed(scaled, 12 * kHour, /*seed=*/3);
+    std::printf("%8d %10.2f %12.2f %10.3f %12.1f %9.1f%% %14.0f %14.0f\n",
+                scaled, r.pastry_per_online, r.maintenance_per_online,
+                r.query_per_online, r.predictor_latency_s,
+                100 * r.predictor_coverage,
+                r.dissemination_bytes_per_endsystem,
+                r.predictor_bytes_per_endsystem);
+  }
+  Note("shape checks: maintenance O(1) in N and dominant; pastry and query "
+       "grow slowly (O(log N)) and sit 1-3 orders of magnitude lower; "
+       "predictor latency seconds-scale, growing with N (paper: 3.1 s at "
+       "2,000); dissemination ~1 KB per endsystem per query (paper: 1,043 "
+       "B), predictor aggregation smaller (paper: 776 B)");
+  return 0;
+}

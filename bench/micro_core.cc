@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// id arithmetic, SHA-1 query-id derivation, histogram build/estimation,
+// predictor operations, the vertex function, SQL parsing, aggregate
+// execution, and serialization.
+#include <benchmark/benchmark.h>
+
+#include "anemone/anemone.h"
+#include "common/sha1.h"
+#include "db/histogram.h"
+#include "db/query_exec.h"
+#include "db/sql_parser.h"
+#include "seaweed/availability_model.h"
+#include "seaweed/completeness.h"
+#include "seaweed/id_range.h"
+#include "seaweed/vertex_function.h"
+
+namespace seaweed {
+namespace {
+
+void BM_NodeIdRingDistance(benchmark::State& state) {
+  Rng rng(1);
+  NodeId a = NodeId::Random(rng), b = NodeId::Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.RingDistanceTo(b));
+    a = a.Add(NodeId(0, 1));
+  }
+}
+BENCHMARK(BM_NodeIdRingDistance);
+
+void BM_NodeIdDigit(benchmark::State& state) {
+  Rng rng(2);
+  NodeId a = NodeId::Random(rng);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Digit(i, 4));
+    i = (i + 1) % 32;
+  }
+}
+BENCHMARK(BM_NodeIdDigit);
+
+void BM_Sha1QueryId(benchmark::State& state) {
+  std::string sql =
+      "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80 AND ts <= NOW()";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1ToNodeId(sql));
+  }
+}
+BENCHMARK(BM_Sha1QueryId);
+
+void BM_VertexParentChain(benchmark::State& state) {
+  Rng rng(3);
+  NodeId q = NodeId::Random(rng);
+  NodeId v = NodeId::Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VertexDepth(q, v, 4));
+  }
+}
+BENCHMARK(BM_VertexParentChain);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    values.push_back(rng.LogNormal(8, 2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::NumericHistogram::BuildFromValues(values, 200));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HistogramEstimate(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.LogNormal(8, 2));
+  auto h = db::NumericHistogram::BuildFromValues(values, 200);
+  double cut = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.EstimateLessOrEqual(cut));
+    cut += 13.7;
+    if (cut > 1e6) cut = 10;
+  }
+}
+BENCHMARK(BM_HistogramEstimate);
+
+void BM_PredictorMerge(benchmark::State& state) {
+  Rng rng(6);
+  CompletenessPredictor a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.AddRowsAt(static_cast<SimDuration>(rng.Uniform(0, 7.0 * kDay)), 10);
+    b.AddRowsAt(static_cast<SimDuration>(rng.Uniform(0, 7.0 * kDay)), 10);
+  }
+  for (auto _ : state) {
+    CompletenessPredictor c = a;
+    c.Merge(b);
+    benchmark::DoNotOptimize(c.TotalRows());
+  }
+}
+BENCHMARK(BM_PredictorMerge);
+
+void BM_AvailabilityProbUpBy(benchmark::State& state) {
+  AvailabilityModel m;
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    SimTime down = i * kDay;
+    m.RecordDownPeriod(down, down + static_cast<SimDuration>(
+                                        rng.UniformInt(1, 30)) * kHour);
+  }
+  SimTime now = 100 * kDay;
+  SimDuration d = kHour;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.ProbUpBy(now, now - 2 * kHour, now + d));
+    d += kMinute;
+    if (d > 2 * kDay) d = kHour;
+  }
+}
+BENCHMARK(BM_AvailabilityProbUpBy);
+
+void BM_SqlParse(benchmark::State& state) {
+  db::ParseOptions opts;
+  opts.now_unix_seconds = 1234567;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::ParseSelect(
+        "SELECT SUM(Bytes), COUNT(*) FROM Flow WHERE SrcPort=80 AND "
+        "ts <= NOW() AND ts >= NOW() - 86400",
+        opts));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_AggregateScan(benchmark::State& state) {
+  anemone::AnemoneConfig cfg;
+  cfg.days = 14;
+  cfg.workstation_flows_per_day =
+      static_cast<double>(state.range(0)) / 14.0;
+  db::Database database;
+  anemone::GenerateEndsystemData(cfg, 1, &database);
+  auto q = db::ParseSelect("SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80");
+  const db::Table* flow = database.FindTable("Flow");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::ExecuteAggregate(*flow, *q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(flow->num_rows()));
+}
+BENCHMARK(BM_AggregateScan)->Arg(1000)->Arg(10000);
+
+void BM_PartitionByClosestMember(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<NodeId> members;
+  for (int i = 0; i < 9; ++i) members.push_back(NodeId::Random(rng));
+  std::sort(members.begin(), members.end());
+  IdRange range{NodeId::Random(rng), NodeId::Random(rng), false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByClosestMember(range, members));
+  }
+}
+BENCHMARK(BM_PartitionByClosestMember);
+
+void BM_AggregateResultSerialize(benchmark::State& state) {
+  db::AggregateResult r;
+  r.states.resize(3);
+  for (int i = 0; i < 100; ++i) {
+    r.states[0].Add(i);
+    r.states[1].Add(i * 2.5);
+    r.states[2].AddCountOnly();
+  }
+  r.rows_matched = 100;
+  r.endsystems = 1;
+  for (auto _ : state) {
+    Writer w;
+    r.Serialize(&w);
+    Reader rd(w.bytes());
+    benchmark::DoNotOptimize(db::AggregateResult::Deserialize(&rd));
+  }
+}
+BENCHMARK(BM_AggregateResultSerialize);
+
+}  // namespace
+}  // namespace seaweed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Reproduces Table 2: expected availability of a PIER source's tuples as a
+// function of time since its last refresh, e^{-ct}, for the Farsite and
+// Gnutella churn rates — computed both from the closed form and empirically
+// from the synthetic traces (fraction of endsystems up at t0 that stayed up
+// through t0 + delta, averaged over many anchors).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/models.h"
+#include "bench/bench_util.h"
+#include "trace/farsite_model.h"
+#include "trace/gnutella_model.h"
+
+using namespace seaweed;
+using seaweed::bench::Header;
+using seaweed::bench::Note;
+
+namespace {
+
+// Empirical survival: P(up throughout [t, t+delta] | up at t).
+double EmpiricalSurvival(const AvailabilityTrace& trace, SimDuration delta,
+                         SimTime t0, SimTime t1, SimDuration step) {
+  int64_t up = 0, survived = 0;
+  for (SimTime t = t0; t + delta < t1; t += step) {
+    for (int e = 0; e < trace.num_endsystems(); ++e) {
+      const auto& a = trace.endsystem(e);
+      if (!a.IsUp(t)) continue;
+      ++up;
+      if (a.NextDownAfter(t) >= t + delta) ++survived;
+    }
+  }
+  return up ? static_cast<double>(survived) / static_cast<double>(up) : 0;
+}
+
+}  // namespace
+
+int main() {
+  Header("Table 2", "Expected availability of PIER tuples vs refresh age");
+
+  const SimDuration kAges[] = {5 * kMinute, kHour, 12 * kHour};
+  const char* kAgeNames[] = {"5 min", "1 hour", "12 hours"};
+
+  // Closed form with the paper's churn rates.
+  const double c_farsite = 5.5e-6;   // fitted to the paper's Table 2 row
+  const double c_gnutella = 9.46e-5;
+  std::printf("\nClosed form e^{-ct}:\n");
+  std::printf("%-24s %10s %10s %10s\n", "", "5 min", "1 hour", "12 hours");
+  std::printf("%-24s", "Farsite (paper: 99.8/98.0/78.9%)");
+  for (SimDuration age : kAges) {
+    std::printf(" %9.1f%%",
+                100 * analysis::PierAvailability(c_farsite, ToSeconds(age)));
+  }
+  std::printf("\n%-24s", "Gnutella (paper: 97.3/71.6/1.8%)");
+  for (SimDuration age : kAges) {
+    std::printf(" %9.1f%%",
+                100 * analysis::PierAvailability(c_gnutella, ToSeconds(age)));
+  }
+  std::printf("\n");
+
+  // Empirical survival from the synthetic traces.
+  int n = seaweed::bench::ScaledN(1500);
+  FarsiteModelConfig fcfg;
+  auto farsite = GenerateFarsiteTrace(fcfg, n, 2 * kWeek);
+  GnutellaModelConfig gcfg;
+  auto gnutella = GenerateGnutellaTrace(gcfg, n, 2 * kWeek);
+
+  std::printf("\nEmpirical survival on synthetic traces (N=%d):\n", n);
+  std::printf("%-24s %10s %10s %10s\n", "", "5 min", "1 hour", "12 hours");
+  for (auto [name, trace] :
+       {std::pair<const char*, const AvailabilityTrace*>{"Farsite-like",
+                                                         &farsite},
+        {"Gnutella-like", &gnutella}}) {
+    std::printf("%-24s", name);
+    for (size_t i = 0; i < 3; ++i) {
+      double s = EmpiricalSurvival(*trace, kAges[i], 2 * kDay, 12 * kDay,
+                                   6 * kHour);
+      std::printf(" %9.1f%%", 100 * s);
+      (void)kAgeNames[i];
+    }
+    std::printf("\n");
+  }
+  Note("shape check: enterprise churn keeps PIER tuples ~99% fresh at 5 min "
+       "but loses ~20% by 12 h; Gnutella churn destroys availability within "
+       "hours");
+  return 0;
+}

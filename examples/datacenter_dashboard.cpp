@@ -1,0 +1,120 @@
+// Data-center scenario (§1.2: "many Internet services run multiple data
+// centers... each containing thousands of endsystems"): machines export
+// fine-grained performance counters; an automated support system issues
+// one-shot diagnostic queries when an alarm fires.
+//
+//   $ ./build/examples/datacenter_dashboard
+//
+// Demonstrates: a non-Anemone schema through the same public API, querying
+// while a whole "rack" is down (the paper's "why did I get no results from
+// rack 10?" motivation), and reading the delay/completeness trade-off to
+// distinguish "data missing forever" from "data delayed".
+#include <cstdio>
+#include <memory>
+
+#include "seaweed/cluster.h"
+
+using namespace seaweed;
+
+namespace {
+constexpr int kRacks = 8;
+constexpr int kMachinesPerRack = 16;
+constexpr int kEndsystems = kRacks * kMachinesPerRack;
+}  // namespace
+
+int main() {
+  // --- Performance-counter tables: one per machine. ---
+  db::Schema schema({
+      {"ts", db::ColumnType::kInt64, /*indexed=*/true},
+      {"cpu_pct", db::ColumnType::kDouble, false},
+      {"p99_latency_us", db::ColumnType::kInt64, /*indexed=*/true},
+      {"errors", db::ColumnType::kInt64, /*indexed=*/true},
+      {"service", db::ColumnType::kString, /*indexed=*/true},
+  });
+  std::vector<std::shared_ptr<db::Database>> databases;
+  Rng rng(7);
+  for (int e = 0; e < kEndsystems; ++e) {
+    auto database = std::make_shared<db::Database>();
+    auto table = database->CreateTable("Counters", schema);
+    int rack = e / kMachinesPerRack;
+    const char* service = rack < 3 ? "frontend" : rack < 6 ? "cache" : "db";
+    // Rack 5 is the anomaly: elevated latency and error counts.
+    bool anomalous = rack == 5;
+    for (int i = 0; i < 120; ++i) {  // 2 hours of 1-minute samples
+      (*table)->column(0).AppendInt64(i * 60);
+      (*table)->column(1).AppendDouble(rng.Uniform(5, anomalous ? 98 : 60));
+      (*table)->column(2).AppendInt64(
+          static_cast<int64_t>(rng.LogNormal(anomalous ? 9.5 : 7.0, 0.5)));
+      (*table)->column(3).AppendInt64(
+          static_cast<int64_t>(rng.NextBelow(anomalous ? 50 : 3)));
+      (*table)->column(4).AppendString(service);
+      (*table)->CommitRow();
+    }
+    databases.push_back(std::move(database));
+  }
+
+  ClusterConfig config;
+  config.num_endsystems = kEndsystems;
+  config.summary_wire_bytes = 0;
+  SeaweedCluster cluster(config,
+                         std::make_shared<StaticDataProvider>(databases));
+
+  for (int e = 0; e < kEndsystems; ++e) cluster.BringUp(e);
+  cluster.sim().RunUntil(40 * kMinute);  // overlay + metadata replication
+  std::printf("data center online: %d machines in %d racks\n",
+              cluster.CountJoined(), kRacks);
+
+  // Power event: rack 5 (the anomalous one!) drops entirely.
+  std::printf("\n*** rack 5 loses power ***\n");
+  for (int e = 5 * kMachinesPerRack; e < 6 * kMachinesPerRack; ++e) {
+    cluster.BringDown(e);
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  // The alarm system asks: how many error events fleet-wide?
+  QueryObserver observer;
+  observer.on_predictor = [&](const NodeId&,
+                              const CompletenessPredictor& p) {
+    std::printf("\npredictor: %.0f samples expected from %lld machines\n",
+                p.TotalRows(), static_cast<long long>(p.endsystems()));
+    std::printf("  completeness now: %.1f%% — the missing %.1f%% is "
+                "*predicted, not lost*: Seaweed knows rack 5's data volume "
+                "from replicated summaries\n",
+                100 * p.CompletenessAt(0),
+                100 * (1 - p.CompletenessAt(0)));
+  };
+  observer.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    auto errors = r.states[0].Final(db::AggFunc::kSum);
+    auto p99max = r.states[1].Final(db::AggFunc::kMax);
+    std::printf("[%s] errors=%s, max p99=%sus  (%lld machines reporting)\n",
+                FormatSimTime(cluster.sim().Now()).c_str(),
+                errors.ok() ? errors->ToString().c_str() : "NULL",
+                p99max.ok() ? p99max->ToString().c_str() : "NULL",
+                static_cast<long long>(r.endsystems));
+  };
+
+  auto qid = cluster.InjectQuery(
+      0,
+      "SELECT SUM(errors), MAX(p99_latency_us) FROM Counters WHERE "
+      "errors > 0",
+      std::move(observer));
+  if (!qid.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 qid.status().ToString().c_str());
+    return 1;
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  // Facilities restores power; the query is still live, so rack 5's
+  // (anomalous) counters stream straight into the same result.
+  std::printf("\n*** rack 5 power restored — watch errors and p99 jump as "
+              "its data arrives ***\n");
+  for (int e = 5 * kMachinesPerRack; e < 6 * kMachinesPerRack; ++e) {
+    cluster.BringUp(e);
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + 10 * kMinute);
+
+  std::printf("\nthe anomaly was only visible once the unavailable rack's "
+              "data arrived — exactly the one-shot, delay-aware use case\n");
+  return 0;
+}

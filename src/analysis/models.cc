@@ -1,0 +1,111 @@
+#include "analysis/models.h"
+
+#include <cmath>
+#include <limits>
+
+namespace seaweed::analysis {
+
+double CentralizedOverhead(const ModelParams& p) { return p.f_on * p.N * p.u; }
+
+double SeaweedOverhead(const ModelParams& p) {
+  return p.f_on * p.N * p.k * p.p * p.h +
+         (1.0 / p.f_on) * p.N * p.c * p.k * (p.h + p.a);
+}
+
+double DhtReplicatedOverhead(const ModelParams& p) {
+  return p.f_on * p.N * p.k * p.u + (1.0 / p.f_on) * p.N * p.c * p.k * p.d;
+}
+
+double PierOverhead(const ModelParams& p) { return p.f_on * p.N * p.d * p.r; }
+
+double PierAvailability(double churn_rate, double t_seconds) {
+  return std::exp(-churn_rate * t_seconds);
+}
+
+const char* SweepAxisName(SweepAxis axis) {
+  switch (axis) {
+    case SweepAxis::kNetworkSize:
+      return "N (endsystems)";
+    case SweepAxis::kUpdateRate:
+      return "u (bytes/s/endsystem)";
+    case SweepAxis::kDatabaseSize:
+      return "d (bytes/endsystem)";
+    case SweepAxis::kChurnRate:
+      return "c (1/s)";
+  }
+  return "?";
+}
+
+namespace {
+
+void SetAxis(ModelParams* p, SweepAxis axis, double value) {
+  switch (axis) {
+    case SweepAxis::kNetworkSize:
+      p->N = value;
+      break;
+    case SweepAxis::kUpdateRate:
+      p->u = value;
+      break;
+    case SweepAxis::kDatabaseSize:
+      p->d = value;
+      break;
+    case SweepAxis::kChurnRate:
+      p->c = value;
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<SweepRow> Sweep(const ModelParams& base, SweepAxis axis,
+                            double lo, double hi, int points) {
+  std::vector<SweepRow> rows;
+  rows.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    double t = points > 1 ? static_cast<double>(i) / (points - 1) : 0.0;
+    double x = lo * std::pow(hi / lo, t);
+    ModelParams p = base;
+    SetAxis(&p, axis, x);
+    SweepRow row;
+    row.x = x;
+    row.centralized = CentralizedOverhead(p);
+    row.seaweed = SeaweedOverhead(p);
+    row.dht_replicated = DhtReplicatedOverhead(p);
+    ModelParams fast = p;
+    fast.r = 1.0 / 300;
+    row.pier_5min = PierOverhead(fast);
+    ModelParams slow = p;
+    slow.r = 1.0 / 3600;
+    row.pier_1hr = PierOverhead(slow);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double SeaweedCentralizedCrossover(const ModelParams& base, SweepAxis axis,
+                                   double lo, double hi) {
+  auto diff = [&](double x) {
+    ModelParams p = base;
+    SetAxis(&p, axis, x);
+    return SeaweedOverhead(p) - CentralizedOverhead(p);
+  };
+  double flo = diff(lo), fhi = diff(hi);
+  if (flo == 0) return lo;
+  if (fhi == 0) return hi;
+  if ((flo > 0) == (fhi > 0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  for (int i = 0; i < 200; ++i) {
+    double mid = std::sqrt(lo * hi);  // geometric bisection on log axes
+    double fmid = diff(mid);
+    if ((fmid > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace seaweed::analysis

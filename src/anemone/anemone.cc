@@ -1,0 +1,219 @@
+#include "anemone/anemone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace seaweed::anemone {
+
+using db::ColumnDef;
+using db::ColumnType;
+using db::Schema;
+
+const char* const kQueryHttpBytes =
+    "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80";
+const char* const kQueryBigFlows =
+    "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000";
+const char* const kQuerySmbAvg =
+    "SELECT AVG(Bytes) FROM Flow WHERE App='SMB'";
+const char* const kQueryPrivPorts =
+    "SELECT SUM(Packets) FROM Flow WHERE LocalPort < 1024";
+
+Schema FlowSchema() {
+  return Schema({
+      {"ts", ColumnType::kInt64, /*indexed=*/true},
+      {"Interval", ColumnType::kInt64, false},
+      {"SrcIP", ColumnType::kInt64, false},
+      {"DstIP", ColumnType::kInt64, false},
+      {"SrcPort", ColumnType::kInt64, /*indexed=*/true},
+      {"DstPort", ColumnType::kInt64, false},
+      {"LocalPort", ColumnType::kInt64, /*indexed=*/true},
+      {"Protocol", ColumnType::kString, false},
+      {"App", ColumnType::kString, /*indexed=*/true},
+      {"Bytes", ColumnType::kInt64, /*indexed=*/true},
+      {"Packets", ColumnType::kInt64, false},
+  });
+}
+
+Schema PacketSchema() {
+  return Schema({
+      {"ts", ColumnType::kInt64, /*indexed=*/true},
+      {"SrcIP", ColumnType::kInt64, false},
+      {"DstIP", ColumnType::kInt64, false},
+      {"SrcPort", ColumnType::kInt64, /*indexed=*/true},
+      {"DstPort", ColumnType::kInt64, false},
+      {"Protocol", ColumnType::kString, false},
+      {"Direction", ColumnType::kString, false},
+      {"Bytes", ColumnType::kInt64, /*indexed=*/true},
+  });
+}
+
+namespace {
+
+struct AppProfile {
+  const char* name;
+  int port;            // well-known port (0 = ephemeral both ends)
+  const char* proto;   // TCP/UDP
+  double weight_ws;    // relative frequency on workstations
+  double weight_srv;   // relative frequency on servers
+  double bytes_mu;     // log-normal parameters for flow bytes
+  double bytes_sigma;
+};
+
+// Application mix modeled on enterprise traffic studies: web dominates by
+// flow count, SMB/backup dominate by bytes, DNS is chatty but tiny.
+const AppProfile kApps[] = {
+    {"HTTP", 80, "TCP", 30, 18, std::log(15000.0), 1.6},
+    {"HTTPS", 443, "TCP", 18, 10, std::log(9000.0), 1.5},
+    {"SMB", 445, "TCP", 12, 25, std::log(80000.0), 1.9},
+    {"DNS", 53, "UDP", 16, 12, std::log(280.0), 0.6},
+    {"SMTP", 25, "TCP", 3, 8, std::log(20000.0), 1.4},
+    {"LDAP", 389, "TCP", 5, 8, std::log(1200.0), 0.9},
+    {"KERBEROS", 88, "UDP", 4, 6, std::log(600.0), 0.5},
+    {"RPC", 135, "TCP", 4, 7, std::log(2500.0), 1.1},
+    {"RDP", 3389, "TCP", 2, 3, std::log(120000.0), 1.7},
+    {"OTHER", 0, "TCP", 6, 3, std::log(4000.0), 1.8},
+};
+constexpr int kNumApps = static_cast<int>(sizeof(kApps) / sizeof(kApps[0]));
+
+// Relative flow arrival intensity by hour of day (weekday); enterprise
+// traffic concentrates in working hours.
+const double kHourWeight[24] = {
+    0.2, 0.15, 0.12, 0.1, 0.1, 0.15, 0.35, 0.7, 1.2, 1.6, 1.7, 1.6,
+    1.4, 1.6, 1.7, 1.6, 1.4, 1.1, 0.7, 0.5, 0.4, 0.35, 0.3, 0.25};
+
+int EphemeralPort(Rng& rng) {
+  return static_cast<int>(rng.UniformInt(1024, 65535));
+}
+
+}  // namespace
+
+EndsystemDataStats GenerateEndsystemData(const AnemoneConfig& config,
+                                         int index, db::Database* db) {
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(index));
+  const bool is_server = rng.NextDouble() < config.server_fraction;
+
+  // Per-endsystem volume heterogeneity on top of the class split:
+  // log-normal multiplier keeps a heavy upper tail (busy machines).
+  double volume_mult = rng.LogNormal(0.0, 0.8);
+  double flows_per_day = config.workstation_flows_per_day * volume_mult *
+                         (is_server ? config.server_flow_multiplier : 1.0);
+
+  auto flow_result = db->CreateTable("Flow", FlowSchema());
+  SEAWEED_CHECK(flow_result.ok());
+  db::Table* flow = *flow_result;
+  db::Table* packet = nullptr;
+  if (config.packets_per_flow > 0) {
+    auto packet_result = db->CreateTable("Packet", PacketSchema());
+    SEAWEED_CHECK(packet_result.ok());
+    packet = *packet_result;
+  }
+
+  const int64_t my_ip = 0x0A000000LL + index;  // 10.x.y.z
+  std::vector<double> app_weights(kNumApps);
+  for (int a = 0; a < kNumApps; ++a) {
+    app_weights[static_cast<size_t>(a)] =
+        is_server ? kApps[a].weight_srv : kApps[a].weight_ws;
+  }
+
+  EndsystemDataStats stats;
+  for (int day = 0; day < config.days; ++day) {
+    const bool weekend = ((day % 7) >= 5);
+    const double day_factor = weekend ? 0.25 : 1.0;
+    for (int hour = 0; hour < 24; ++hour) {
+      // Expected flows this hour; normalize hour weights to sum ~ 24.
+      double lambda = flows_per_day * day_factor * kHourWeight[hour] / 24.0 *
+                      (24.0 / 18.8);  // 18.8 = sum of kHourWeight
+      // Poisson-ish: draw count as rounded exponential-jittered mean.
+      int count = static_cast<int>(lambda);
+      if (rng.NextDouble() < lambda - count) ++count;
+      for (int f = 0; f < count; ++f) {
+        int a = static_cast<int>(rng.WeightedIndex(app_weights));
+        const AppProfile& app = kApps[a];
+        int64_t ts = static_cast<int64_t>(day) * 86400 + hour * 3600 +
+                     rng.UniformInt(0, 3599);
+        int64_t bytes = std::max<int64_t>(
+            64, static_cast<int64_t>(rng.LogNormal(app.bytes_mu,
+                                                   app.bytes_sigma)));
+        int64_t packets = std::max<int64_t>(
+            1, static_cast<int64_t>(static_cast<double>(bytes) /
+                                    rng.Uniform(400.0, 1200.0)));
+
+        int well_known = app.port != 0 ? app.port : EphemeralPort(rng);
+        // Servers mostly terminate flows on their well-known ports; on
+        // workstations the well-known port is the remote end.
+        bool local_is_service =
+            is_server ? rng.Bernoulli(0.85) : rng.Bernoulli(0.04);
+        int local_port = local_is_service ? well_known : EphemeralPort(rng);
+        int remote_port = local_is_service ? EphemeralPort(rng) : well_known;
+        // Flow direction: which end appears as the source. Response-heavy
+        // apps are usually recorded with the service end as source.
+        bool service_is_src = rng.Bernoulli(0.5);
+        int src_port = service_is_src ? well_known
+                                      : (local_is_service ? remote_port
+                                                          : local_port);
+        int dst_port;
+        if (service_is_src) {
+          dst_port = local_is_service ? remote_port : local_port;
+        } else {
+          dst_port = well_known;
+        }
+        int64_t remote_ip = 0x0A000000LL + rng.UniformInt(0, 65535);
+
+        flow->column(0).AppendInt64(ts);
+        flow->column(1).AppendInt64(config.interval_seconds);
+        flow->column(2).AppendInt64(service_is_src == local_is_service
+                                        ? my_ip
+                                        : remote_ip);
+        flow->column(3).AppendInt64(service_is_src == local_is_service
+                                        ? remote_ip
+                                        : my_ip);
+        flow->column(4).AppendInt64(src_port);
+        flow->column(5).AppendInt64(dst_port);
+        flow->column(6).AppendInt64(local_port);
+        flow->column(7).AppendString(app.proto);
+        flow->column(8).AppendString(app.name);
+        flow->column(9).AppendInt64(bytes);
+        flow->column(10).AppendInt64(packets);
+        flow->CommitRow();
+        ++stats.flow_rows;
+
+        if (packet) {
+          int pkts = static_cast<int>(config.packets_per_flow);
+          if (rng.NextDouble() < config.packets_per_flow - pkts) ++pkts;
+          for (int p = 0; p < pkts; ++p) {
+            packet->column(0).AppendInt64(ts + rng.UniformInt(0, 299));
+            packet->column(1).AppendInt64(my_ip);
+            packet->column(2).AppendInt64(remote_ip);
+            packet->column(3).AppendInt64(src_port);
+            packet->column(4).AppendInt64(dst_port);
+            packet->column(5).AppendString(app.proto);
+            packet->column(6).AppendString(rng.Bernoulli(0.5) ? "Rx" : "Tx");
+            packet->column(7).AppendInt64(
+                std::max<int64_t>(40, bytes / std::max<int64_t>(1, packets)));
+            packet->CommitRow();
+            ++stats.packet_rows;
+          }
+        }
+      }
+    }
+  }
+  stats.data_bytes = db->MemoryBytes();
+  stats.summary_bytes = db->BuildSummary().SerializedBytes();
+  return stats;
+}
+
+double EstimatedUpdateRate(const AnemoneConfig& config) {
+  // Average bytes appended per second per endsystem: flows/day * bytes/row.
+  const double server_share = config.server_fraction;
+  double mean_flows_per_day =
+      config.workstation_flows_per_day *
+      (1.0 - server_share + server_share * config.server_flow_multiplier);
+  // A Flow row is ~60 bytes of raw fields; Packet rows add more when on.
+  double bytes_per_day =
+      mean_flows_per_day * (60.0 + config.packets_per_flow * 45.0);
+  return bytes_per_day / 86400.0;
+}
+
+}  // namespace seaweed::anemone

@@ -1,0 +1,75 @@
+// Anemone: the endsystem-based network-management application driving the
+// paper's evaluation (§4.1).
+//
+// Each endsystem captures its network activity into two tables:
+//   Packet(ts, SrcIP, DstIP, SrcPort, DstPort, Protocol, Direction, Bytes)
+//   Flow(ts, Interval, SrcIP, DstIP, SrcPort, DstPort, LocalPort,
+//        Protocol, App, Bytes, Packets)
+// Flow is a per-flow 5-minute summary.
+//
+// The paper's dataset (a 3-week packet trace of 456 machines in the MSR
+// building) is not public; this module synthesizes per-endsystem data with
+// the properties the experiments depend on: strong volume heterogeneity
+// (servers vs workstations), diurnal activity, realistic application / port
+// mixes (so that predicates like SrcPort=80, App='SMB', LocalPort<1024 and
+// Bytes>20000 select meaningfully skewed subsets), and heavy-tailed flow
+// sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "db/database.h"
+
+namespace seaweed::anemone {
+
+// The five indexed Flow columns (ts, SrcPort, LocalPort, Bytes, App) match
+// the paper's "5 histograms per endsystem".
+db::Schema FlowSchema();
+db::Schema PacketSchema();
+
+// The four evaluation queries of §4.3.2 (Figs 5-8). `now` is the Unix-second
+// timestamp substituted for NOW(); the ts predicate in Q1 spans 24 hours.
+extern const char* const kQueryHttpBytes;      // Fig 5
+extern const char* const kQueryBigFlows;       // Fig 6
+extern const char* const kQuerySmbAvg;         // Fig 7
+extern const char* const kQueryPrivPorts;      // Fig 8
+
+struct AnemoneConfig {
+  // Trace horizon covered by the generated data, in days. Timestamps are
+  // seconds since the simulated epoch (day 0 = Monday 00:00).
+  int days = 21;
+  // Mean Flow rows per *workstation* per day; servers generate ~20x more.
+  double workstation_flows_per_day = 60;
+  double server_flow_multiplier = 20.0;
+  // Fraction of endsystems that are servers (high traffic, serve well-known
+  // ports).
+  double server_fraction = 0.08;
+  // Rows of Packet generated per Flow row (0 disables the Packet table;
+  // Packet is only needed when measuring the data-size parameter d).
+  double packets_per_flow = 0.0;
+  // Measurement interval recorded in Flow.Interval (the paper: 5 min).
+  int interval_seconds = 300;
+  uint64_t seed = 7;
+};
+
+// Statistics about one endsystem's generated dataset.
+struct EndsystemDataStats {
+  int64_t flow_rows = 0;
+  int64_t packet_rows = 0;
+  size_t data_bytes = 0;     // approximate in-memory footprint
+  size_t summary_bytes = 0;  // serialized histogram metadata (the h of Table 1)
+};
+
+// Generates the Anemone dataset for endsystem `index` into `db` (creating
+// the Flow — and optionally Packet — tables). Deterministic in
+// (config.seed, index).
+EndsystemDataStats GenerateEndsystemData(const AnemoneConfig& config,
+                                         int index, db::Database* db);
+
+// Estimated steady-state data generation rate implied by a config, in
+// bytes/second per endsystem (the u parameter of the analytic models).
+double EstimatedUpdateRate(const AnemoneConfig& config);
+
+}  // namespace seaweed::anemone

@@ -1,0 +1,65 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace seaweed {
+
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("SEAWEED_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kWarn;
+}();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directory for brevity.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::cerr << "[FATAL " << file << ":" << line << "] CHECK failed: " << expr;
+  if (!msg.empty()) std::cerr << " — " << msg;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace seaweed

@@ -1,0 +1,73 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// Logging is off by default in tests/benches (level = kWarn) and can be
+// raised programmatically or via the SEAWEED_LOG_LEVEL environment variable
+// (0=debug 1=info 2=warn 3=error 4=off).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace seaweed {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards everything streamed into it; keeps disabled log statements
+// compiling without evaluating side effects in the stream chain lazily.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace internal
+
+#define SEAWEED_LOG(level)                                              \
+  if (static_cast<int>(::seaweed::LogLevel::level) <                    \
+      static_cast<int>(::seaweed::GetLogLevel())) {                     \
+  } else                                                                \
+    ::seaweed::internal::LogMessage(::seaweed::LogLevel::level,         \
+                                    __FILE__, __LINE__)                 \
+        .stream()
+
+#define SEAWEED_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::seaweed::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+    }                                                                   \
+  } while (0)
+
+#define SEAWEED_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::seaweed::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                    \
+  } while (0)
+
+#define SEAWEED_DCHECK(cond) SEAWEED_CHECK(cond)
+
+}  // namespace seaweed

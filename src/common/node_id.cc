@@ -1,0 +1,188 @@
+#include "common/node_id.h"
+
+#include <cassert>
+
+namespace seaweed {
+
+namespace {
+
+int HexDigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+NodeId NodeId::Random(Rng& rng) { return NodeId(rng.Next(), rng.Next()); }
+
+bool NodeId::TryParse(const std::string& hex, NodeId* out) {
+  if (hex.size() != 32) return false;
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 16; ++i) {
+    int v = HexDigitValue(hex[i]);
+    if (v < 0) return false;
+    hi = (hi << 4) | static_cast<uint64_t>(v);
+  }
+  for (int i = 16; i < 32; ++i) {
+    int v = HexDigitValue(hex[i]);
+    if (v < 0) return false;
+    lo = (lo << 4) | static_cast<uint64_t>(v);
+  }
+  *out = NodeId(hi, lo);
+  return true;
+}
+
+NodeId NodeId::FromHex(const std::string& hex) {
+  NodeId id;
+  TryParse(hex, &id);
+  return id;
+}
+
+std::string NodeId::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[i] = kDigits[(hi_ >> (60 - 4 * i)) & 0xF];
+    out[16 + i] = kDigits[(lo_ >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::string NodeId::ToShortString() const { return ToHex().substr(0, 8); }
+
+NodeId NodeId::Add(const NodeId& other) const {
+  uint64_t lo = lo_ + other.lo_;
+  uint64_t carry = (lo < lo_) ? 1 : 0;
+  return NodeId(hi_ + other.hi_ + carry, lo);
+}
+
+NodeId NodeId::Sub(const NodeId& other) const {
+  uint64_t lo = lo_ - other.lo_;
+  uint64_t borrow = (lo_ < other.lo_) ? 1 : 0;
+  return NodeId(hi_ - other.hi_ - borrow, lo);
+}
+
+NodeId NodeId::ClockwiseDistanceTo(const NodeId& other) const {
+  return other.Sub(*this);
+}
+
+NodeId NodeId::RingDistanceTo(const NodeId& other) const {
+  NodeId cw = ClockwiseDistanceTo(other);
+  NodeId ccw = other.ClockwiseDistanceTo(*this);
+  return (cw < ccw) ? cw : ccw;
+}
+
+NodeId NodeId::Half() const {
+  return NodeId(hi_ >> 1, (lo_ >> 1) | (hi_ << 63));
+}
+
+NodeId NodeId::MidpointTo(const NodeId& other) const {
+  // Arc length; if this == other we treat the arc as the whole ring, so the
+  // midpoint is the antipode.
+  NodeId span = ClockwiseDistanceTo(other);
+  if (span == NodeId()) span = Max();  // ~full ring
+  return Add(span.Half());
+}
+
+bool NodeId::InArc(const NodeId& from, const NodeId& to) const {
+  // Clockwise arc [from, to]: x is inside iff dist(from->x) <= dist(from->to).
+  NodeId span = from.ClockwiseDistanceTo(to);
+  NodeId off = from.ClockwiseDistanceTo(*this);
+  return off <= span;
+}
+
+int NodeId::Digit(int i, int b) const {
+  assert(b > 0 && b <= 8 && kIdBits % b == 0);
+  assert(i >= 0 && i < kIdBits / b);
+  const int bit_offset = i * b;  // from MSB
+  const int shift = kIdBits - bit_offset - b;
+  const uint64_t mask = (1ULL << b) - 1;
+  if (shift >= 64) {
+    return static_cast<int>((hi_ >> (shift - 64)) & mask);
+  }
+  if (shift + b <= 64) {
+    return static_cast<int>((lo_ >> shift) & mask);
+  }
+  // Straddles the word boundary (only possible when 64 % b != 0).
+  const int lo_bits = 64 - shift;          // bits taken from hi_'s low end
+  const int hi_bits = b - lo_bits;         // bits taken from lo_'s high end
+  const uint64_t hi_part = hi_ & ((1ULL << hi_bits) - 1);
+  const uint64_t lo_part = lo_ >> (64 - lo_bits);
+  return static_cast<int>(((hi_part << lo_bits) | lo_part) & mask);
+}
+
+NodeId NodeId::WithDigit(int i, int b, int value) const {
+  assert(value >= 0 && value < (1 << b));
+  const int bit_offset = i * b;
+  const int shift = kIdBits - bit_offset - b;
+  uint64_t hi = hi_, lo = lo_;
+  const uint64_t mask = (1ULL << b) - 1;
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (shift >= 64) {
+    hi = (hi & ~(mask << (shift - 64))) | (v << (shift - 64));
+  } else if (shift + b <= 64) {
+    lo = (lo & ~(mask << shift)) | (v << shift);
+  } else {
+    const int lo_bits = 64 - shift;
+    const int hi_bits = b - lo_bits;
+    const uint64_t hi_mask = (1ULL << hi_bits) - 1;
+    hi = (hi & ~hi_mask) | (v >> lo_bits);
+    const uint64_t lo_mask = ((1ULL << lo_bits) - 1) << (64 - lo_bits);
+    lo = (lo & ~lo_mask) | ((v & ((1ULL << lo_bits) - 1)) << (64 - lo_bits));
+  }
+  return NodeId(hi, lo);
+}
+
+int NodeId::CommonPrefixLength(const NodeId& other, int b) const {
+  const int digits = kIdBits / b;
+  for (int i = 0; i < digits; ++i) {
+    if (Digit(i, b) != other.Digit(i, b)) return i;
+  }
+  return digits;
+}
+
+NodeId NodeId::Prefix(int count, int b) const {
+  assert(count >= 0 && count <= kIdBits / b);
+  const int keep_bits = count * b;
+  if (keep_bits == 0) return NodeId();
+  if (keep_bits >= kIdBits) return *this;
+  if (keep_bits <= 64) {
+    const uint64_t mask =
+        keep_bits == 64 ? ~0ULL : ~((1ULL << (64 - keep_bits)) - 1);
+    return NodeId(hi_ & mask, 0);
+  }
+  const int lo_keep = keep_bits - 64;
+  const uint64_t mask =
+      lo_keep == 64 ? ~0ULL : ~((1ULL << (64 - lo_keep)) - 1);
+  return NodeId(hi_, lo_ & mask);
+}
+
+NodeId NodeId::Suffix(int count, int b) const {
+  assert(count >= 0 && count <= kIdBits / b);
+  const int keep_bits = count * b;
+  if (keep_bits == 0) return NodeId();
+  if (keep_bits >= kIdBits) return *this;
+  if (keep_bits <= 64) {
+    const uint64_t mask =
+        keep_bits == 64 ? ~0ULL : (1ULL << keep_bits) - 1;
+    return NodeId(0, lo_ & mask);
+  }
+  const int hi_keep = keep_bits - 64;
+  const uint64_t mask = (1ULL << hi_keep) - 1;
+  return NodeId(hi_ & mask, lo_);
+}
+
+NodeId NodeId::ConcatPrefixSuffix(int prefix_digits, const NodeId& suffix_src,
+                                  int b) const {
+  const int digits = kIdBits / b;
+  assert(prefix_digits >= 0 && prefix_digits <= digits);
+  const int suffix_digits = digits - prefix_digits;
+  NodeId out = Prefix(prefix_digits, b);
+  // Place the last suffix_digits digits of suffix_src into the low digits.
+  NodeId suf = suffix_src.Suffix(suffix_digits, b);
+  return out.Add(suf);  // disjoint bit ranges, so Add == Or
+}
+
+}  // namespace seaweed

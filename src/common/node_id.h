@@ -1,0 +1,99 @@
+// NodeId: 128-bit identifiers in the Pastry circular namespace.
+//
+// Ids name both endsystems (endsystemIds) and objects/queries (keys). The
+// namespace is the ring of integers mod 2^128. Ids are treated as sequences
+// of digits in base 2^b (b is a runtime parameter, typically 4), which is
+// what the Pastry routing table and the Seaweed vertex function V operate on.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace seaweed {
+
+// Number of bits in an id.
+inline constexpr int kIdBits = 128;
+
+class NodeId {
+ public:
+  // Zero id.
+  constexpr NodeId() : hi_(0), lo_(0) {}
+  constexpr NodeId(uint64_t hi, uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  // Uniformly random id.
+  static NodeId Random(Rng& rng);
+
+  // Parses a 32-character hex string (most significant nibble first).
+  // Returns the zero id on malformed input (use TryParse for checking).
+  static NodeId FromHex(const std::string& hex);
+  static bool TryParse(const std::string& hex, NodeId* out);
+
+  // Id with the single most significant bit set, etc. Convenience for tests.
+  static constexpr NodeId Max() { return NodeId(~0ULL, ~0ULL); }
+
+  uint64_t hi() const { return hi_; }
+  uint64_t lo() const { return lo_; }
+
+  // 32-char lowercase hex, MSB first.
+  std::string ToHex() const;
+  // Short prefix for logging (first 8 hex chars).
+  std::string ToShortString() const;
+
+  auto operator<=>(const NodeId&) const = default;
+
+  // --- Ring arithmetic (mod 2^128) ---
+  NodeId Add(const NodeId& other) const;
+  NodeId Sub(const NodeId& other) const;
+  // Clockwise distance from this to other: (other - this) mod 2^128.
+  NodeId ClockwiseDistanceTo(const NodeId& other) const;
+  // Minimal ring distance: min(cw, ccw). Used for "numerically closest".
+  NodeId RingDistanceTo(const NodeId& other) const;
+  // Midpoint of the clockwise arc [this, other]; with this==other the full
+  // ring is assumed. Used by the divide-and-conquer broadcast.
+  NodeId MidpointTo(const NodeId& other) const;
+  // Halves this id's value (logical shift right by one).
+  NodeId Half() const;
+
+  // True if this id lies on the clockwise arc [from, to] inclusive.
+  // When from == to the arc is the single point {from}.
+  bool InArc(const NodeId& from, const NodeId& to) const;
+
+  // --- Digit operations (base 2^b) ---
+  // Digit `i` counted from the most significant end, i in [0, 128/b).
+  int Digit(int i, int b) const;
+  // Returns a copy with digit i (MSB-first) set to `value`.
+  NodeId WithDigit(int i, int b, int value) const;
+  // Length of the common MSB-first digit prefix with `other` in base 2^b.
+  int CommonPrefixLength(const NodeId& other, int b) const;
+
+  // PREFIX(id, count): keeps the first `count` digits, zeroing the rest.
+  NodeId Prefix(int count, int b) const;
+  // SUFFIX(id, count): the last `count` digits of id, as the *low* digits of
+  // the result (high digits zero).
+  NodeId Suffix(int count, int b) const;
+  // Concatenation used by the Seaweed vertex function: the first
+  // `prefix_digits` digits of this id followed by the last
+  // (128/b - prefix_digits) digits of `suffix_src`.
+  NodeId ConcatPrefixSuffix(int prefix_digits, const NodeId& suffix_src,
+                            int b) const;
+
+ private:
+  uint64_t hi_;
+  uint64_t lo_;
+};
+
+// Hash functor for unordered containers.
+struct NodeIdHash {
+  size_t operator()(const NodeId& id) const {
+    // Ids are uniformly distributed; fold the words.
+    uint64_t x = id.hi() ^ (id.lo() * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 29;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace seaweed

@@ -1,0 +1,77 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+//
+// Mirrors arrow::Result. Use SEAWEED_ASSIGN_OR_RETURN to unwrap in functions
+// that themselves return Status/Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace seaweed {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both value and error make `return value;` and
+  // `return Status::...;` work naturally.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                        // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  // Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define SEAWEED_CONCAT_IMPL(a, b) a##b
+#define SEAWEED_CONCAT(a, b) SEAWEED_CONCAT_IMPL(a, b)
+
+// SEAWEED_ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a Result<T>); on error
+// returns its Status from the enclosing function, otherwise assigns to lhs.
+#define SEAWEED_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define SEAWEED_ASSIGN_OR_RETURN(lhs, expr) \
+  SEAWEED_ASSIGN_OR_RETURN_IMPL(            \
+      SEAWEED_CONCAT(_seaweed_result_, __COUNTER__), lhs, expr)
+
+}  // namespace seaweed

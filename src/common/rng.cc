@@ -1,0 +1,144 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace seaweed {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Pareto(double scale, double shape) {
+  assert(scale > 0 && shape > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n >= 1);
+  // Inverse-CDF sampling of the continuous analogue of the Zipf density
+  // (p(x) proportional to x^-s on [1, n+1)), then floored. This matches the
+  // discrete Zipf closely and is what we need for skewed workload synthesis.
+  const double u = NextDouble();
+  const double hi = static_cast<double>(n) + 1.0;
+  double x;
+  if (std::abs(s - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(hi));
+  } else {
+    const double one_minus_s = 1.0 - s;
+    const double hi_pow = std::pow(hi, one_minus_s);
+    x = std::pow(u * (hi_pow - 1.0) + 1.0, 1.0 / one_minus_s);
+  }
+  uint64_t k = static_cast<uint64_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace seaweed

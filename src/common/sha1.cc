@@ -1,0 +1,113 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace seaweed {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Sha1Digest Sha1(std::string_view data) {
+  uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+           h3 = 0x10325476, h4 = 0xC3D2E1F0;
+
+  const uint64_t ml = static_cast<uint64_t>(data.size()) * 8;
+
+  // Message + 0x80 + zero padding + 8-byte big-endian length, processed in
+  // 64-byte chunks without materializing the padded message.
+  size_t total = data.size() + 1;          // +0x80
+  size_t padded = ((total + 8 + 63) / 64) * 64;
+
+  for (size_t chunk = 0; chunk < padded; chunk += 64) {
+    uint8_t block[64];
+    for (size_t i = 0; i < 64; ++i) {
+      size_t pos = chunk + i;
+      if (pos < data.size()) {
+        block[i] = static_cast<uint8_t>(data[pos]);
+      } else if (pos == data.size()) {
+        block[i] = 0x80;
+      } else if (pos >= padded - 8) {
+        int byte_idx = static_cast<int>(pos - (padded - 8));  // 0..7 MSB first
+        block[i] = static_cast<uint8_t>((ml >> (56 - 8 * byte_idx)) & 0xFF);
+      } else {
+        block[i] = 0;
+      }
+    }
+
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+             (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  Sha1Digest out;
+  const uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(hs[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(hs[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(hs[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(hs[i]);
+  }
+  return out;
+}
+
+std::string Sha1Hex(const Sha1Digest& digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t byte : digest) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+NodeId Sha1ToNodeId(std::string_view data) {
+  Sha1Digest d = Sha1(data);
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | d[i];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | d[i];
+  return NodeId(hi, lo);
+}
+
+}  // namespace seaweed

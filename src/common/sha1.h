@@ -1,0 +1,30 @@
+// SHA-1, used to derive queryIds from query text (§3.3 of the paper).
+//
+// Self-contained implementation (FIPS 180-1). Not intended for security-
+// sensitive use; Seaweed only needs a uniform deterministic mapping from
+// query strings into the 128-bit id namespace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/node_id.h"
+
+namespace seaweed {
+
+// 160-bit SHA-1 digest.
+using Sha1Digest = std::array<uint8_t, 20>;
+
+// Computes the SHA-1 digest of `data`.
+Sha1Digest Sha1(std::string_view data);
+
+// Hex string of a digest.
+std::string Sha1Hex(const Sha1Digest& digest);
+
+// Derives a 128-bit NodeId from the first 16 bytes of SHA-1(data). This is
+// how Seaweed assigns queryIds.
+NodeId Sha1ToNodeId(std::string_view data);
+
+}  // namespace seaweed

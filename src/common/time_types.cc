@@ -1,0 +1,45 @@
+#include "common/time_types.h"
+
+#include <cstdio>
+
+namespace seaweed {
+
+std::string FormatSimTime(SimTime t) {
+  int64_t day = DayIndex(t);
+  int64_t rem = t - day * kDay;
+  int h = static_cast<int>(rem / kHour);
+  rem %= kHour;
+  int m = static_cast<int>(rem / kMinute);
+  rem %= kMinute;
+  int s = static_cast<int>(rem / kSecond);
+  int ms = static_cast<int>((rem % kSecond) / kMillisecond);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "d%lld %02d:%02d:%02d.%03d",
+                static_cast<long long>(day), h, m, s, ms);
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(d / kMillisecond));
+  } else if (d < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", ToSeconds(d));
+  } else if (d < kHour) {
+    std::snprintf(buf, sizeof(buf), "%lldm%02llds",
+                  static_cast<long long>(d / kMinute),
+                  static_cast<long long>((d % kMinute) / kSecond));
+  } else if (d < kDay) {
+    std::snprintf(buf, sizeof(buf), "%lldh%02lldm",
+                  static_cast<long long>(d / kHour),
+                  static_cast<long long>((d % kHour) / kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldd%02lldh",
+                  static_cast<long long>(d / kDay),
+                  static_cast<long long>((d % kDay) / kHour));
+  }
+  return buf;
+}
+
+}  // namespace seaweed

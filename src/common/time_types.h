@@ -1,0 +1,70 @@
+// Simulated-time types.
+//
+// Simulation time is an integer count of microseconds since the start of the
+// simulated epoch. Using a strong typedef-ish set of helpers (rather than
+// std::chrono) keeps the discrete-event core allocation-free and trivially
+// serializable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace seaweed {
+
+// Microseconds since simulation epoch.
+using SimTime = int64_t;
+// A duration in microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+inline constexpr SimDuration kWeek = 7 * kDay;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+// Converts to floating-point seconds (for statistics and reporting).
+inline double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline double ToHours(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+inline SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+// Hour of (simulated) day in [0, 24). The simulated epoch is taken to be
+// midnight on a Monday, matching the trace generators.
+inline int HourOfDay(SimTime t) {
+  int64_t h = (t / kHour) % 24;
+  if (h < 0) h += 24;
+  return static_cast<int>(h);
+}
+
+// Day index since epoch (day 0 = Monday).
+inline int64_t DayIndex(SimTime t) {
+  int64_t d = t / kDay;
+  if (t < 0 && t % kDay != 0) --d;
+  return d;
+}
+
+// Day of week in [0, 7), 0 = Monday.
+inline int DayOfWeek(SimTime t) {
+  int64_t d = DayIndex(t) % 7;
+  if (d < 0) d += 7;
+  return static_cast<int>(d);
+}
+
+// True for Saturday/Sunday.
+inline bool IsWeekend(SimTime t) { return DayOfWeek(t) >= 5; }
+
+// "d3 14:05:09.123" style rendering for logs.
+std::string FormatSimTime(SimTime t);
+// "2h05m" style rendering of a duration.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace seaweed

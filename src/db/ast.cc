@@ -1,0 +1,143 @@
+#include "db/ast.h"
+
+#include "db/schema.h"
+
+namespace seaweed::db {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, int cmp3) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp3 == 0;
+    case CompareOp::kNe:
+      return cmp3 != 0;
+    case CompareOp::kLt:
+      return cmp3 < 0;
+    case CompareOp::kLe:
+      return cmp3 <= 0;
+    case CompareOp::kGt:
+      return cmp3 > 0;
+    case CompareOp::kGe:
+      return cmp3 >= 0;
+  }
+  return false;
+}
+
+PredicatePtr Predicate::True() {
+  static const PredicatePtr kTrueNode = std::make_shared<Predicate>();
+  return kTrueNode;
+}
+
+PredicatePtr Predicate::Compare(std::string column, CompareOp op,
+                                Value literal) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Kind::kCompare;
+  p->column = std::move(column);
+  p->op = op;
+  p->literal = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr l, PredicatePtr r) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Kind::kAnd;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr l, PredicatePtr r) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Kind::kOr;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return column + " " + CompareOpName(op) + " " + literal.ToString();
+    case Kind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+bool SelectQuery::IsAggregateOnly() const {
+  bool any_aggregate = false;
+  for (const auto& item : items) {
+    if (item.is_aggregate) {
+      any_aggregate = true;
+      continue;
+    }
+    // A bare column is permitted only when it names the GROUP BY column.
+    if (group_by.empty() || !EqualsIgnoreCase(item.column, group_by)) {
+      return false;
+    }
+  }
+  return any_aggregate;
+}
+
+std::string SelectQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    const auto& item = items[i];
+    if (item.is_aggregate) {
+      out += AggFuncName(item.func);
+      out += "(";
+      out += item.column.empty() ? "*" : item.column;
+      out += ")";
+    } else {
+      out += item.column.empty() ? "*" : item.column;
+    }
+  }
+  out += " FROM " + table;
+  if (where && where->kind != Predicate::Kind::kTrue) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY " + group_by;
+  }
+  return out;
+}
+
+}  // namespace seaweed::db

@@ -1,0 +1,31 @@
+// CSV ingestion for the relational engine, so library users can load real
+// data into endsystem tables without writing column-append code.
+//
+// Format: comma-separated, first row optional header (must match schema
+// names when present), double quotes for fields containing commas/quotes,
+// values parsed according to the declared column types.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "db/table.h"
+
+namespace seaweed::db {
+
+struct CsvOptions {
+  // Whether the first row is a header. With a header the column order may
+  // differ from the schema; columns absent from the schema are rejected.
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+// Appends rows parsed from `in` to `table`. Returns the number of rows
+// appended, or the first parse/type error with its line number.
+Result<int64_t> AppendCsv(std::istream& in, Table* table,
+                          const CsvOptions& options = {});
+Result<int64_t> AppendCsvFile(const std::string& path, Table* table,
+                              const CsvOptions& options = {});
+
+}  // namespace seaweed::db

@@ -1,0 +1,201 @@
+#include "db/estimator.h"
+
+#include <algorithm>
+
+#include "db/schema.h"
+
+namespace seaweed::db {
+
+const ColumnSummary* RowCountEstimator::FindSummary(
+    const std::string& column) const {
+  if (!summaries_) return nullptr;
+  for (const auto& s : *summaries_) {
+    if (EqualsIgnoreCase(s.column_name(), column)) return &s;
+  }
+  return nullptr;
+}
+
+double RowCountEstimator::CompareSelectivity(const Predicate& p) const {
+  const ColumnSummary* summary = FindSummary(p.column);
+  const bool is_range = p.op != CompareOp::kEq && p.op != CompareOp::kNe;
+  if (summary == nullptr || summary->total_rows() == 0) {
+    if (total_rows_ == 0) return 0.0;
+    double sel = is_range ? kDefaultRangeSelectivity : kDefaultEqSelectivity;
+    return p.op == CompareOp::kNe ? 1.0 - kDefaultEqSelectivity : sel;
+  }
+
+  const double total = static_cast<double>(summary->total_rows());
+  double rows = 0;
+  if (summary->is_numeric()) {
+    auto lit = p.literal.ToNumeric();
+    if (!lit.ok()) return 0.0;  // type mismatch: matches nothing
+    const double v = *lit;
+    const NumericHistogram& h = summary->numeric();
+    switch (p.op) {
+      case CompareOp::kEq:
+        rows = h.EstimateEqual(v);
+        break;
+      case CompareOp::kNe:
+        rows = total - h.EstimateEqual(v);
+        break;
+      case CompareOp::kLt:
+        rows = h.EstimateLess(v);
+        break;
+      case CompareOp::kLe:
+        rows = h.EstimateLessOrEqual(v);
+        break;
+      case CompareOp::kGt:
+        rows = total - h.EstimateLessOrEqual(v);
+        break;
+      case CompareOp::kGe:
+        rows = total - h.EstimateLess(v);
+        break;
+    }
+  } else {
+    if (!p.literal.is_string()) return 0.0;
+    const StringHistogram& h = summary->strings();
+    double eq = h.EstimateEqual(p.literal.AsString());
+    switch (p.op) {
+      case CompareOp::kEq:
+        rows = eq;
+        break;
+      case CompareOp::kNe:
+        rows = total - eq;
+        break;
+      default:
+        // Range over strings is unsupported in execution too.
+        rows = total * kDefaultRangeSelectivity;
+        break;
+    }
+  }
+  return std::clamp(rows / total, 0.0, 1.0);
+}
+
+namespace {
+
+// Flattens an AND subtree into its conjuncts.
+void FlattenConjunction(const Predicate* p,
+                        std::vector<const Predicate*>* out) {
+  if (p->kind == Predicate::Kind::kAnd) {
+    FlattenConjunction(p->left.get(), out);
+    FlattenConjunction(p->right.get(), out);
+  } else {
+    out->push_back(p);
+  }
+}
+
+}  // namespace
+
+double RowCountEstimator::ConjunctionSelectivity(
+    const std::vector<const Predicate*>& conjuncts) const {
+  // Merge range predicates that constrain the same numeric column into a
+  // single interval (ts >= NOW()-86400 AND ts <= NOW() must not be treated
+  // as independent — that is the dominant predicate shape in the paper's
+  // queries). Everything else multiplies under independence.
+  struct Interval {
+    std::optional<double> lo;
+    bool lo_inclusive = true;
+    std::optional<double> hi;
+    bool hi_inclusive = true;
+    const ColumnSummary* summary = nullptr;
+  };
+  std::vector<std::pair<std::string, Interval>> intervals;
+  double selectivity = 1.0;
+
+  for (const Predicate* p : conjuncts) {
+    bool merged = false;
+    if (p->kind == Predicate::Kind::kCompare && p->op != CompareOp::kEq &&
+        p->op != CompareOp::kNe) {
+      const ColumnSummary* summary = FindSummary(p->column);
+      auto lit = p->literal.ToNumeric();
+      if (summary != nullptr && summary->is_numeric() && lit.ok()) {
+        Interval* iv = nullptr;
+        for (auto& [col, existing] : intervals) {
+          if (EqualsIgnoreCase(col, p->column)) {
+            iv = &existing;
+            break;
+          }
+        }
+        if (iv == nullptr) {
+          intervals.emplace_back(p->column, Interval{});
+          iv = &intervals.back().second;
+          iv->summary = summary;
+        }
+        const double v = *lit;
+        switch (p->op) {
+          case CompareOp::kLt:
+            if (!iv->hi || v < *iv->hi) {
+              iv->hi = v;
+              iv->hi_inclusive = false;
+            }
+            break;
+          case CompareOp::kLe:
+            if (!iv->hi || v < *iv->hi) {
+              iv->hi = v;
+              iv->hi_inclusive = true;
+            }
+            break;
+          case CompareOp::kGt:
+            if (!iv->lo || v > *iv->lo) {
+              iv->lo = v;
+              iv->lo_inclusive = false;
+            }
+            break;
+          case CompareOp::kGe:
+            if (!iv->lo || v > *iv->lo) {
+              iv->lo = v;
+              iv->lo_inclusive = true;
+            }
+            break;
+          default:
+            break;
+        }
+        merged = true;
+      }
+    }
+    if (!merged) {
+      selectivity *= SelectivityOf(p);
+    }
+  }
+
+  for (const auto& [col, iv] : intervals) {
+    const double total = static_cast<double>(iv.summary->total_rows());
+    if (total <= 0) return 0.0;
+    double rows = iv.summary->numeric().EstimateRange(
+        iv.lo, iv.lo_inclusive, iv.hi, iv.hi_inclusive);
+    selectivity *= std::clamp(rows / total, 0.0, 1.0);
+  }
+  return selectivity;
+}
+
+double RowCountEstimator::SelectivityOf(const Predicate* p) const {
+  if (p == nullptr) return 1.0;
+  switch (p->kind) {
+    case Predicate::Kind::kTrue:
+      return 1.0;
+    case Predicate::Kind::kCompare:
+      return CompareSelectivity(*p);
+    case Predicate::Kind::kAnd: {
+      std::vector<const Predicate*> conjuncts;
+      FlattenConjunction(p, &conjuncts);
+      return ConjunctionSelectivity(conjuncts);
+    }
+    case Predicate::Kind::kOr: {
+      double a = SelectivityOf(p->left.get());
+      double b = SelectivityOf(p->right.get());
+      return a + b - a * b;
+    }
+  }
+  return 1.0;
+}
+
+double RowCountEstimator::EstimateSelectivity(
+    const PredicatePtr& predicate) const {
+  return SelectivityOf(predicate.get());
+}
+
+double RowCountEstimator::EstimateRows(const PredicatePtr& predicate) const {
+  return EstimateSelectivity(predicate) * static_cast<double>(total_rows_);
+}
+
+}  // namespace seaweed::db

@@ -1,0 +1,47 @@
+// Histogram-based row-count estimation (§3.2.2, §4.3.2).
+//
+// When an endsystem is unavailable, a member of its replica set estimates
+// how many of its rows match a query, using only the replicated column
+// summaries. Conjunctions multiply selectivities (attribute-value
+// independence, the standard DBMS assumption); predicates on columns with no
+// summary fall back to System-R style magic constants.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/ast.h"
+#include "db/histogram.h"
+
+namespace seaweed::db {
+
+// Magic selectivities for unsummarized columns (System R defaults).
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+class RowCountEstimator {
+ public:
+  // `summaries` are histograms over (a subset of) one table's columns;
+  // `total_rows` is that table's row count at summary time.
+  RowCountEstimator(const std::vector<ColumnSummary>* summaries,
+                    int64_t total_rows)
+      : summaries_(summaries), total_rows_(total_rows) {}
+
+  // Estimated number of rows matching the predicate.
+  double EstimateRows(const PredicatePtr& predicate) const;
+
+  // Selectivity in [0, 1].
+  double EstimateSelectivity(const PredicatePtr& predicate) const;
+
+ private:
+  const ColumnSummary* FindSummary(const std::string& column) const;
+  double CompareSelectivity(const Predicate& p) const;
+  double SelectivityOf(const Predicate* p) const;
+  double ConjunctionSelectivity(
+      const std::vector<const Predicate*>& conjuncts) const;
+
+  const std::vector<ColumnSummary>* summaries_;
+  int64_t total_rows_;
+};
+
+}  // namespace seaweed::db

@@ -1,0 +1,409 @@
+#include "db/query_exec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seaweed::db {
+
+Result<int> CompiledPredicate::BindNode(const PredicatePtr& pred,
+                                        const Table& table,
+                                        std::vector<Node>* nodes) {
+  Node node;
+  node.kind = pred->kind;
+  switch (pred->kind) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kCompare: {
+      SEAWEED_ASSIGN_OR_RETURN(int col,
+                               table.schema().RequireColumn(pred->column));
+      node.column_index = col;
+      node.column_type = table.schema().column(static_cast<size_t>(col)).type;
+      node.op = pred->op;
+      const Value& lit = pred->literal;
+      if (node.column_type == ColumnType::kString) {
+        if (!lit.is_string()) {
+          return Status::InvalidArgument(
+              "numeric literal compared against string column " +
+              pred->column);
+        }
+        if (pred->op != CompareOp::kEq && pred->op != CompareOp::kNe) {
+          // Range comparison on strings: fall back to lexicographic compare
+          // through the dictionary (slow path flagged by code -2).
+          node.string_code = -2;
+        } else {
+          node.string_code =
+              table.column(static_cast<size_t>(col)).DictCode(lit.AsString());
+        }
+        // Keep the raw string for the slow path via double_literal? No —
+        // store it in a side table below.
+        node.literal_is_int = false;
+        node.int_literal = 0;
+      } else {
+        if (lit.is_string()) {
+          return Status::InvalidArgument(
+              "string literal compared against numeric column " +
+              pred->column);
+        }
+        if (lit.is_int64()) {
+          node.int_literal = lit.AsInt64();
+          node.double_literal = static_cast<double>(lit.AsInt64());
+          node.literal_is_int = true;
+        } else {
+          node.double_literal = lit.AsDouble();
+          node.literal_is_int = false;
+        }
+      }
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      SEAWEED_ASSIGN_OR_RETURN(int l, BindNode(pred->left, table, nodes));
+      SEAWEED_ASSIGN_OR_RETURN(int r, BindNode(pred->right, table, nodes));
+      node.left = l;
+      node.right = r;
+      break;
+    }
+  }
+  nodes->push_back(node);
+  return static_cast<int>(nodes->size()) - 1;
+}
+
+Result<CompiledPredicate> CompiledPredicate::Bind(const PredicatePtr& pred,
+                                                  const Table& table) {
+  CompiledPredicate cp;
+  // String range comparisons need the literal text; stash literals in a
+  // parallel pass. To keep Node POD-small we disallow the rare string-range
+  // case instead (Anemone queries never use it).
+  // (A cleaner lift would store std::string in Node; rejected for cache
+  // friendliness on the hot filter loop.)
+  std::vector<Node> nodes;
+  SEAWEED_ASSIGN_OR_RETURN(int root, BindNode(pred, table, &nodes));
+  for (const Node& n : nodes) {
+    if (n.kind == Predicate::Kind::kCompare && n.string_code == -2) {
+      return Status::NotImplemented(
+          "range comparison on string column is not supported");
+    }
+  }
+  cp.nodes_ = std::move(nodes);
+  cp.root_ = root;
+  return cp;
+}
+
+bool CompiledPredicate::EvalNode(int idx, const Table& table,
+                                 size_t row) const {
+  const Node& n = nodes_[static_cast<size_t>(idx)];
+  switch (n.kind) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kAnd:
+      return EvalNode(n.left, table, row) && EvalNode(n.right, table, row);
+    case Predicate::Kind::kOr:
+      return EvalNode(n.left, table, row) || EvalNode(n.right, table, row);
+    case Predicate::Kind::kCompare: {
+      const Column& col = table.column(static_cast<size_t>(n.column_index));
+      switch (n.column_type) {
+        case ColumnType::kInt64: {
+          int64_t v = col.Int64At(row);
+          if (n.literal_is_int) {
+            int cmp = (v < n.int_literal) ? -1 : (v > n.int_literal ? 1 : 0);
+            return EvalCompare(n.op, cmp);
+          }
+          double d = static_cast<double>(v);
+          int cmp =
+              (d < n.double_literal) ? -1 : (d > n.double_literal ? 1 : 0);
+          return EvalCompare(n.op, cmp);
+        }
+        case ColumnType::kDouble: {
+          double v = col.DoubleAt(row);
+          int cmp =
+              (v < n.double_literal) ? -1 : (v > n.double_literal ? 1 : 0);
+          return EvalCompare(n.op, cmp);
+        }
+        case ColumnType::kString: {
+          // Equality/inequality against a pre-resolved dictionary code.
+          bool eq = n.string_code >= 0 &&
+                    col.StringCodeAt(row) ==
+                        static_cast<uint32_t>(n.string_code);
+          return n.op == CompareOp::kEq ? eq : !eq;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CompiledPredicate::Matches(const Table& table, size_t row) const {
+  return EvalNode(root_, table, row);
+}
+
+void AggState::Merge(const AggState& other) {
+  sum += other.sum;
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Result<Value> AggState::Final(AggFunc func) const {
+  switch (func) {
+    case AggFunc::kCount:
+      return Value(count);
+    case AggFunc::kSum:
+      // SUM over the Anemone columns is integral; keep double to avoid
+      // overflow at global scale but round for integer-like outputs.
+      return Value(sum);
+    case AggFunc::kAvg:
+      if (count == 0) return Status::NotFound("AVG over empty input");
+      return Value(sum / static_cast<double>(count));
+    case AggFunc::kMin:
+      if (count == 0) return Status::NotFound("MIN over empty input");
+      return Value(min);
+    case AggFunc::kMax:
+      if (count == 0) return Status::NotFound("MAX over empty input");
+      return Value(max);
+  }
+  return Status::Internal("bad AggFunc");
+}
+
+void AggState::Serialize(Writer* w) const {
+  w->PutDouble(sum);
+  w->PutI64(count);
+  w->PutDouble(min);
+  w->PutDouble(max);
+}
+
+Result<AggState> AggState::Deserialize(Reader* r) {
+  AggState s;
+  SEAWEED_ASSIGN_OR_RETURN(s.sum, r->GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(s.count, r->GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(s.min, r->GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(s.max, r->GetDouble());
+  return s;
+}
+
+void AggregateResult::Merge(const AggregateResult& other) {
+  if (states.empty()) {
+    states = other.states;
+  } else if (!other.states.empty()) {
+    SEAWEED_CHECK_MSG(states.size() == other.states.size(),
+                      "merging results of different arity");
+    for (size_t i = 0; i < states.size(); ++i) {
+      states[i].Merge(other.states[i]);
+    }
+  }
+  for (const auto& [key, other_states] : other.groups) {
+    auto& mine = GroupStates(key, other_states.size());
+    SEAWEED_CHECK_MSG(mine.size() == other_states.size(),
+                      "merging groups of different arity");
+    for (size_t i = 0; i < mine.size(); ++i) {
+      mine[i].Merge(other_states[i]);
+    }
+  }
+  rows_matched += other.rows_matched;
+  endsystems += other.endsystems;
+}
+
+std::vector<AggState>& AggregateResult::GroupStates(const Value& key,
+                                                    size_t arity) {
+  auto it = std::lower_bound(
+      groups.begin(), groups.end(), key,
+      [](const auto& entry, const Value& k) { return entry.first < k; });
+  if (it == groups.end() || !(it->first == key)) {
+    it = groups.insert(it, {key, std::vector<AggState>(arity)});
+  }
+  return it->second;
+}
+
+const std::vector<AggState>* AggregateResult::FindGroup(
+    const Value& key) const {
+  auto it = std::lower_bound(
+      groups.begin(), groups.end(), key,
+      [](const auto& entry, const Value& k) { return entry.first < k; });
+  if (it == groups.end() || !(it->first == key)) return nullptr;
+  return &it->second;
+}
+
+void AggregateResult::Serialize(Writer* w) const {
+  w->PutVarint(states.size());
+  for (const auto& s : states) s.Serialize(w);
+  w->PutVarint(groups.size());
+  for (const auto& [key, group_states] : groups) {
+    key.Serialize(w);
+    w->PutVarint(group_states.size());
+    for (const auto& s : group_states) s.Serialize(w);
+  }
+  w->PutI64(rows_matched);
+  w->PutI64(endsystems);
+}
+
+Result<AggregateResult> AggregateResult::Deserialize(Reader* r) {
+  AggregateResult out;
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1024) return Status::ParseError("implausible aggregate arity");
+  out.states.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Deserialize(r));
+    out.states.push_back(s);
+  }
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t ng, r->GetVarint());
+  if (ng > 1000000) return Status::ParseError("implausible group count");
+  for (uint64_t g = 0; g < ng; ++g) {
+    SEAWEED_ASSIGN_OR_RETURN(Value key, Value::Deserialize(r));
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t arity, r->GetVarint());
+    if (arity > 1024) return Status::ParseError("implausible group arity");
+    std::vector<AggState> group_states;
+    group_states.reserve(arity);
+    for (uint64_t i = 0; i < arity; ++i) {
+      SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Deserialize(r));
+      group_states.push_back(s);
+    }
+    out.groups.emplace_back(std::move(key), std::move(group_states));
+  }
+  SEAWEED_ASSIGN_OR_RETURN(out.rows_matched, r->GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(out.endsystems, r->GetI64());
+  return out;
+}
+
+size_t AggregateResult::SerializedBytes() const {
+  Writer w;
+  Serialize(&w);
+  return w.size();
+}
+
+Result<AggregateResult> ExecuteAggregate(const Table& table,
+                                         const SelectQuery& query) {
+  if (!query.IsAggregateOnly()) {
+    return Status::InvalidArgument(
+        "distributed execution requires aggregate-only select list");
+  }
+  SEAWEED_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                           CompiledPredicate::Bind(query.where, table));
+
+  // Resolve aggregate input columns.
+  struct AggInput {
+    AggFunc func;
+    int column = -1;  // -1 for COUNT(*) or the bare group-by column
+    bool is_group_column = false;
+    ColumnType type = ColumnType::kInt64;
+  };
+  std::vector<AggInput> inputs;
+  inputs.reserve(query.items.size());
+  for (const auto& item : query.items) {
+    AggInput in;
+    in.func = item.func;
+    if (!item.is_aggregate) {
+      // IsAggregateOnly() guarantees this is the GROUP BY column.
+      in.is_group_column = true;
+      inputs.push_back(in);
+      continue;
+    }
+    if (!item.column.empty()) {
+      SEAWEED_ASSIGN_OR_RETURN(in.column,
+                               table.schema().RequireColumn(item.column));
+      in.type = table.schema().column(static_cast<size_t>(in.column)).type;
+      if (in.type == ColumnType::kString && item.func != AggFunc::kCount) {
+        return Status::InvalidArgument("cannot " +
+                                       std::string(AggFuncName(item.func)) +
+                                       " a string column");
+      }
+    } else if (item.func != AggFunc::kCount) {
+      return Status::InvalidArgument("only COUNT may take '*'");
+    }
+    inputs.push_back(in);
+  }
+
+  int group_column = -1;
+  if (!query.group_by.empty()) {
+    SEAWEED_ASSIGN_OR_RETURN(group_column,
+                             table.schema().RequireColumn(query.group_by));
+  }
+
+  AggregateResult result;
+  result.states.resize(query.items.size());
+  result.endsystems = 1;
+  const size_t n = table.num_rows();
+  const size_t arity = query.items.size();
+  for (size_t row = 0; row < n; ++row) {
+    if (!pred.Matches(table, row)) continue;
+    ++result.rows_matched;
+    std::vector<AggState>* group = nullptr;
+    if (group_column >= 0) {
+      Value key =
+          table.column(static_cast<size_t>(group_column)).ValueAt(row);
+      group = &result.GroupStates(key, arity);
+    }
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const AggInput& in = inputs[i];
+      if (in.is_group_column) continue;  // rendered from the group key
+      AggState& state = group ? (*group)[i] : result.states[i];
+      if (in.column < 0 || in.type == ColumnType::kString) {
+        state.AddCountOnly();
+        if (group) result.states[i].AddCountOnly();
+        continue;
+      }
+      const Column& col = table.column(static_cast<size_t>(in.column));
+      double v = in.type == ColumnType::kInt64
+                     ? static_cast<double>(col.Int64At(row))
+                     : col.DoubleAt(row);
+      state.Add(v);
+      if (group) result.states[i].Add(v);
+    }
+  }
+  return result;
+}
+
+Result<int64_t> CountMatching(const Table& table, const SelectQuery& query) {
+  SEAWEED_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                           CompiledPredicate::Bind(query.where, table));
+  int64_t n = 0;
+  const size_t rows = table.num_rows();
+  for (size_t row = 0; row < rows; ++row) {
+    if (pred.Matches(table, row)) ++n;
+  }
+  return n;
+}
+
+Result<RowSet> ExecuteSelect(const Table& table, const SelectQuery& query,
+                             size_t limit) {
+  SEAWEED_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                           CompiledPredicate::Bind(query.where, table));
+  RowSet out;
+  std::vector<int> cols;
+  bool star = false;
+  for (const auto& item : query.items) {
+    if (item.is_aggregate) {
+      return Status::InvalidArgument(
+          "mixed aggregate/projection select list is not supported");
+    }
+    if (item.column.empty()) {
+      star = true;
+    } else {
+      SEAWEED_ASSIGN_OR_RETURN(int c,
+                               table.schema().RequireColumn(item.column));
+      cols.push_back(c);
+    }
+  }
+  if (star) {
+    cols.clear();
+    for (size_t i = 0; i < table.num_columns(); ++i) {
+      cols.push_back(static_cast<int>(i));
+    }
+  }
+  for (int c : cols) {
+    out.column_names.push_back(table.schema().column(static_cast<size_t>(c)).name);
+  }
+  const size_t n = table.num_rows();
+  for (size_t row = 0; row < n && out.rows.size() < limit; ++row) {
+    if (!pred.Matches(table, row)) continue;
+    std::vector<Value> vals;
+    vals.reserve(cols.size());
+    for (int c : cols) {
+      vals.push_back(table.column(static_cast<size_t>(c)).ValueAt(row));
+    }
+    out.rows.push_back(std::move(vals));
+  }
+  return out;
+}
+
+}  // namespace seaweed::db

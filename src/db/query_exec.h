@@ -1,0 +1,129 @@
+// Query execution: predicate compilation, aggregate accumulators, and the
+// single-table executor every Seaweed endsystem runs locally.
+//
+// Aggregate states are *mergeable* — the property in-network aggregation
+// (§3.4) depends on: merging the per-endsystem states in any order and any
+// grouping yields the same final answer. AVG is carried as (sum, count).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "db/ast.h"
+#include "db/table.h"
+
+namespace seaweed::db {
+
+// A predicate bound against a concrete table schema for fast row evaluation.
+// String literals are pre-resolved to dictionary codes.
+class CompiledPredicate {
+ public:
+  // Binds `pred` to `table`. Fails on unknown columns or type mismatches
+  // (e.g. string literal compared against a numeric column).
+  static Result<CompiledPredicate> Bind(const PredicatePtr& pred,
+                                        const Table& table);
+
+  bool Matches(const Table& table, size_t row) const;
+
+ private:
+  struct Node {
+    Predicate::Kind kind;
+    // kCompare:
+    int column_index = -1;
+    ColumnType column_type = ColumnType::kInt64;
+    CompareOp op = CompareOp::kEq;
+    int64_t int_literal = 0;
+    double double_literal = 0;
+    int64_t string_code = -1;  // -1 = literal absent from dictionary
+    bool literal_is_int = true;
+    // kAnd/kOr: child indices into nodes_.
+    int left = -1;
+    int right = -1;
+  };
+
+  static Result<int> BindNode(const PredicatePtr& pred, const Table& table,
+                              std::vector<Node>* nodes);
+  bool EvalNode(int idx, const Table& table, size_t row) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+// Accumulator for one aggregate select item.
+struct AggState {
+  double sum = 0;
+  int64_t count = 0;  // rows contributing to this aggregate
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    sum += v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void AddCountOnly() { ++count; }
+
+  void Merge(const AggState& other);
+
+  // Final scalar for the given function; COUNT of nothing is 0, other
+  // functions over an empty input return NotFound ("NULL").
+  Result<Value> Final(AggFunc func) const;
+
+  void Serialize(Writer* w) const;
+  static Result<AggState> Deserialize(Reader* r);
+
+  bool operator==(const AggState&) const = default;
+};
+
+// The distributed result unit: one AggState per select item plus the count
+// of matching rows and contributing endsystems. This is what flows up the
+// Seaweed aggregation tree.
+//
+// For GROUP BY queries, `groups` holds one AggState vector per group key
+// (sorted by key); merging is per-key, so grouped results aggregate
+// in-network exactly like plain ones. The aggregate-item AggStates for
+// the bare group-column select item are unused placeholders.
+struct AggregateResult {
+  std::vector<AggState> states;
+  // Sorted by key; empty for ungrouped queries.
+  std::vector<std::pair<Value, std::vector<AggState>>> groups;
+  int64_t rows_matched = 0;
+  int64_t endsystems = 0;
+
+  void Merge(const AggregateResult& other);
+
+  // States for `key`, creating the group if absent (keeps `groups` sorted).
+  std::vector<AggState>& GroupStates(const Value& key, size_t arity);
+  const std::vector<AggState>* FindGroup(const Value& key) const;
+
+  void Serialize(Writer* w) const;
+  static Result<AggregateResult> Deserialize(Reader* r);
+  size_t SerializedBytes() const;
+
+  bool operator==(const AggregateResult&) const = default;
+};
+
+// Executes an aggregate-only query against a local table.
+Result<AggregateResult> ExecuteAggregate(const Table& table,
+                                         const SelectQuery& query);
+
+// Counts rows matching the query's WHERE clause (used for exact row counts
+// on available endsystems and as ground truth in the evaluation).
+Result<int64_t> CountMatching(const Table& table, const SelectQuery& query);
+
+// Projection result for non-aggregate local queries.
+struct RowSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+};
+
+// Executes a projection (non-aggregate) query locally. Distributed execution
+// is restricted to aggregates; this supports the paper's local queries.
+Result<RowSet> ExecuteSelect(const Table& table, const SelectQuery& query,
+                             size_t limit = SIZE_MAX);
+
+}  // namespace seaweed::db

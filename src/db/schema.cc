@@ -1,0 +1,33 @@
+#include "db/schema.h"
+
+#include <cctype>
+
+namespace seaweed::db {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::RequireColumn(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return idx;
+}
+
+}  // namespace seaweed::db

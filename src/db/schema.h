@@ -1,0 +1,42 @@
+// Table schemas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace seaweed::db {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+  // Indexed columns get histograms in the data summary (§3.2.2: "histograms
+  // on indexed columns of the local database").
+  bool indexed = false;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  // Case-insensitive lookup; returns -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  Result<int> RequireColumn(const std::string& name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+// Case-insensitive ASCII string equality (SQL identifiers).
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+}  // namespace seaweed::db

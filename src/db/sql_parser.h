@@ -1,0 +1,22 @@
+// Recursive-descent parser for the Seaweed SQL subset (grammar in ast.h).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/ast.h"
+
+namespace seaweed::db {
+
+struct ParseOptions {
+  // Unix-seconds value substituted for NOW(). The paper notes NOW() is
+  // evaluated on the *injecting* endsystem and shipped as a constant.
+  int64_t now_unix_seconds = 0;
+};
+
+// Parses a SELECT statement. Reports precise ParseError positions.
+Result<SelectQuery> ParseSelect(const std::string& sql,
+                                const ParseOptions& options = {});
+
+}  // namespace seaweed::db

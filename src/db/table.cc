@@ -1,0 +1,113 @@
+#include "db/table.h"
+
+#include "common/logging.h"
+
+namespace seaweed::db {
+
+size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.size();
+    case ColumnType::kDouble:
+      return doubles_.size();
+    case ColumnType::kString:
+      return codes_.size();
+  }
+  return 0;
+}
+
+void Column::AppendString(const std::string& v) {
+  auto it = dict_index_.find(v);
+  uint32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<uint32_t>(dict_.size());
+    dict_.push_back(v);
+    dict_index_.emplace(v, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+int64_t Column::DictCode(const std::string& v) const {
+  auto it = dict_index_.find(v);
+  return it == dict_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+Value Column::ValueAt(size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value(ints_[row]);
+    case ColumnType::kDouble:
+      return Value(doubles_[row]);
+    case ColumnType::kString:
+      return Value(dict_[codes_[row]]);
+  }
+  return Value();
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = ints_.size() * sizeof(int64_t) +
+                 doubles_.size() * sizeof(double) +
+                 codes_.size() * sizeof(uint32_t);
+  for (const auto& s : dict_) bytes += s.size() + sizeof(std::string);
+  return bytes;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (const auto& col : schema_.columns()) {
+    columns_.emplace_back(col.type);
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].type() != schema_.column(i).type) {
+      // Allow int literal into double column.
+      if (!(values[i].is_int64() &&
+            schema_.column(i).type == ColumnType::kDouble)) {
+        return Status::InvalidArgument(
+            "type mismatch for column " + schema_.column(i).name + ": got " +
+            ColumnTypeName(values[i].type()));
+      }
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    switch (schema_.column(i).type) {
+      case ColumnType::kInt64:
+        columns_[i].AppendInt64(values[i].AsInt64());
+        break;
+      case ColumnType::kDouble:
+        columns_[i].AppendDouble(values[i].is_int64()
+                                     ? static_cast<double>(values[i].AsInt64())
+                                     : values[i].AsDouble());
+        break;
+      case ColumnType::kString:
+        columns_[i].AppendString(values[i].AsString());
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::CommitRow() {
+  ++num_rows_;
+  for (const auto& c : columns_) {
+    SEAWEED_DCHECK(c.size() == num_rows_);
+  }
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace seaweed::db

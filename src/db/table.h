@@ -1,0 +1,92 @@
+// Column-oriented in-memory tables.
+//
+// Each endsystem stores its local data in tables like these (the paper used
+// SQL Server 2005; see DESIGN.md for the substitution argument). Columns are
+// stored as typed vectors; strings are dictionary-encoded, which both saves
+// memory for the low-cardinality Anemone columns (protocol, app) and makes
+// equality filters cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace seaweed::db {
+
+// One typed column. Exactly one of the payload vectors is used, matching
+// the declared type.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(const std::string& v);
+
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dict_[codes_[row]];
+  }
+  uint32_t StringCodeAt(size_t row) const { return codes_[row]; }
+
+  // Dictionary code for `v`, or -1 if the string never occurs.
+  int64_t DictCode(const std::string& v) const;
+  size_t dict_size() const { return dict_.size(); }
+  const std::string& DictEntry(uint32_t code) const { return dict_[code]; }
+
+  Value ValueAt(size_t row) const;
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  // Approximate in-memory footprint in bytes (for the d parameter).
+  size_t MemoryBytes() const;
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, uint32_t> dict_index_;
+};
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  // Appends a row; values must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Fast paths used by the workload generators (no Value boxing). The caller
+  // appends to each column directly and then calls CommitRow() to account
+  // the row; all columns must have equal length at commit.
+  void CommitRow();
+
+  // Approximate total bytes held by this table.
+  size_t MemoryBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace seaweed::db

@@ -1,0 +1,96 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace seaweed::db {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<double> Value::ToNumeric() const {
+  if (is_int64()) return static_cast<double>(AsInt64());
+  if (is_double()) return AsDouble();
+  return Status::InvalidArgument("string value used in numeric context: '" +
+                                 AsString() + "'");
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    SEAWEED_CHECK_MSG(is_string() && other.is_string(),
+                      "string compared against numeric");
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_int64() && other.is_int64()) {
+    int64_t a = AsInt64(), b = other.AsInt64();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  double a = is_int64() ? static_cast<double>(AsInt64()) : AsDouble();
+  double b = other.is_int64() ? static_cast<double>(other.AsInt64())
+                              : other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+void Value::Serialize(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ColumnType::kInt64:
+      w->PutI64(AsInt64());
+      break;
+    case ColumnType::kDouble:
+      w->PutDouble(AsDouble());
+      break;
+    case ColumnType::kString:
+      w->PutString(AsString());
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(Reader* r) {
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<ColumnType>(tag)) {
+    case ColumnType::kInt64: {
+      SEAWEED_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      return Value(v);
+    }
+    case ColumnType::kDouble: {
+      SEAWEED_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      return Value(v);
+    }
+    case ColumnType::kString: {
+      SEAWEED_ASSIGN_OR_RETURN(std::string v, r->GetString());
+      return Value(std::move(v));
+    }
+  }
+  return Status::ParseError("bad value type tag");
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+    return buf;
+  }
+  return "'" + AsString() + "'";
+}
+
+}  // namespace seaweed::db

@@ -1,0 +1,123 @@
+#include "overlay/overlay_network.h"
+
+#include "common/logging.h"
+
+namespace seaweed::overlay {
+
+OverlayNetwork::OverlayNetwork(Simulator* sim, Network* network,
+                               const PastryConfig& config, uint64_t seed)
+    : sim_(sim), network_(network), config_(config), rng_(seed) {}
+
+void OverlayNetwork::CreateNodes(const std::vector<NodeId>& ids) {
+  SEAWEED_CHECK_MSG(nodes_.empty(), "CreateNodes called twice");
+  SEAWEED_CHECK(static_cast<int>(ids.size()) ==
+                network_->topology().num_endsystems());
+  // Per-hop failure detection: a sender whose packet hit a dead node learns
+  // about it after a retransmission timeout and can repair + re-route.
+  network_->SetDropHandler(
+      [this](EndsystemIndex from, EndsystemIndex to,
+             std::shared_ptr<void> payload) {
+        auto pkt = std::static_pointer_cast<Packet>(payload);
+        if (pkt) nodes_[from]->OnSendFailed(nodes_[to]->handle(), pkt);
+      },
+      /*drop_notice_delay=*/kSecond);
+  nodes_.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    NodeHandle h{ids[i], static_cast<EndsystemIndex>(i)};
+    nodes_.push_back(std::make_unique<PastryNode>(this, h, config_));
+    EndsystemIndex e = static_cast<EndsystemIndex>(i);
+    network_->SetDeliveryHandler(
+        e, [this, e](EndsystemIndex from, std::shared_ptr<void> payload,
+                     uint32_t bytes) {
+          (void)bytes;
+          OnDelivery(e, from, std::move(payload));
+        });
+  }
+}
+
+void OverlayNetwork::BringUp(EndsystemIndex e) {
+  PastryNode* n = nodes_[e].get();
+  if (n->up()) return;
+  network_->SetUp(e, true);
+  n->Start(PickBootstrap(e));
+}
+
+void OverlayNetwork::BringDown(EndsystemIndex e) {
+  PastryNode* n = nodes_[e].get();
+  if (!n->up()) return;
+  n->Stop();
+  network_->SetUp(e, false);
+}
+
+void OverlayNetwork::SendPacket(EndsystemIndex from, EndsystemIndex to,
+                                const std::shared_ptr<Packet>& pkt) {
+  network_->Send(from, to, pkt->category, pkt, pkt->WireBytes());
+}
+
+void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
+                                   const NodeHandle& to) {
+  // Minimal heartbeat: kind + src handle.
+  constexpr uint32_t kHeartbeatBytes = 1 + kNodeHandleBytes +
+                                       kMessageHeaderBytes;
+  ++heartbeats_sent_;
+  BandwidthMeter* meter = network_->meter();
+  meter->RecordTx(from.address, TrafficCategory::kPastry, sim_->Now(),
+                  kHeartbeatBytes);
+  if (network_->IsUp(to.address)) {
+    meter->RecordRx(to.address, TrafficCategory::kPastry, sim_->Now(),
+                    kHeartbeatBytes);
+    nodes_[to.address]->NoteHeartbeat(from);
+  }
+}
+
+std::optional<NodeHandle> OverlayNetwork::PickBootstrap(
+    EndsystemIndex joiner) {
+  // A real deployment would use a configured contact list; the simulator
+  // picks a random live joined node (excluding the joiner).
+  std::vector<NodeHandle> live;
+  for (const auto& n : nodes_) {
+    if (n->up() && n->joined() && n->address() != joiner) {
+      live.push_back(n->handle());
+    }
+  }
+  if (live.empty()) return std::nullopt;
+  return live[rng_.NextBelow(live.size())];
+}
+
+std::optional<NodeHandle> OverlayNetwork::OracleRoot(const NodeId& key) const {
+  std::optional<NodeHandle> best;
+  NodeId best_dist;
+  for (const auto& n : nodes_) {
+    if (!n->up() || !n->joined()) continue;
+    NodeId d = n->id().RingDistanceTo(key);
+    if (!best.has_value() || d < best_dist) {
+      best = n->handle();
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeHandle> OverlayNetwork::OracleLiveNodes() const {
+  std::vector<NodeHandle> out;
+  for (const auto& n : nodes_) {
+    if (n->up() && n->joined()) out.push_back(n->handle());
+  }
+  return out;
+}
+
+int OverlayNetwork::CountJoined() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->up() && node->joined()) ++n;
+  }
+  return n;
+}
+
+void OverlayNetwork::OnDelivery(EndsystemIndex to, EndsystemIndex from,
+                                std::shared_ptr<void> payload) {
+  auto pkt = std::static_pointer_cast<Packet>(payload);
+  nodes_[to]->HandlePacket(from, pkt);
+}
+
+}  // namespace seaweed::overlay

@@ -1,0 +1,70 @@
+// OverlayNetwork: manages all PastryNodes of one simulation and bridges
+// them to the message-level network.
+//
+// The only "oracle" uses of global knowledge are bootstrap-contact selection
+// on join (real deployments use well-known contact endpoints) and the
+// ground-truth helpers used by tests; the protocols themselves exchange real
+// (bandwidth-charged) messages.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "overlay/pastry_node.h"
+#include "sim/network.h"
+
+namespace seaweed::overlay {
+
+class OverlayNetwork {
+ public:
+  OverlayNetwork(Simulator* sim, Network* network, const PastryConfig& config,
+                 uint64_t seed);
+
+  // Creates one PastryNode per endsystem with the given ids (index i gets
+  // ids[i]). All nodes start down. Must be called exactly once.
+  void CreateNodes(const std::vector<NodeId>& ids);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  PastryNode* node(EndsystemIndex e) { return nodes_[e].get(); }
+  const PastryNode* node(EndsystemIndex e) const { return nodes_[e].get(); }
+
+  Simulator* simulator() const { return sim_; }
+  Network* network() const { return network_; }
+  const PastryConfig& config() const { return config_; }
+
+  // --- Lifecycle ---
+  void BringUp(EndsystemIndex e);
+  void BringDown(EndsystemIndex e);
+
+  // --- Used by PastryNode ---
+  void SendPacket(EndsystemIndex from, EndsystemIndex to,
+                  const std::shared_ptr<Packet>& pkt);
+  // Heartbeat fast path: charges bandwidth for one heartbeat message from
+  // `from` to `to` and, if `to` is up, updates its liveness bookkeeping
+  // synchronously (no event scheduled).
+  void FastHeartbeat(const NodeHandle& from, const NodeHandle& to);
+  std::optional<NodeHandle> PickBootstrap(EndsystemIndex joiner);
+
+  // --- Ground truth helpers (tests / statistics only) ---
+  // The live, joined node numerically closest to `key`.
+  std::optional<NodeHandle> OracleRoot(const NodeId& key) const;
+  // All live, joined node handles.
+  std::vector<NodeHandle> OracleLiveNodes() const;
+  int CountJoined() const;
+
+  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+
+ private:
+  void OnDelivery(EndsystemIndex to, EndsystemIndex from,
+                  std::shared_ptr<void> payload);
+
+  Simulator* sim_;
+  Network* network_;
+  PastryConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<PastryNode>> nodes_;
+  uint64_t heartbeats_sent_ = 0;
+};
+
+}  // namespace seaweed::overlay

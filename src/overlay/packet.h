@@ -1,0 +1,68 @@
+// Overlay wire messages.
+//
+// One packet struct covers the Pastry control plane (join, leafset exchange,
+// probes, announcements) and the application envelope used by Seaweed. Wire
+// size is computed from the fields so the bandwidth meter sees realistic
+// byte counts without serializing every simulated message.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/node_id.h"
+#include "sim/bandwidth_meter.h"
+#include "sim/topology.h"
+
+namespace seaweed::overlay {
+
+// A (nodeId, transport address) pair — what routing state stores.
+struct NodeHandle {
+  NodeId id;
+  EndsystemIndex address = 0;
+
+  bool operator==(const NodeHandle&) const = default;
+};
+
+// Wire size of one NodeHandle: 16-byte id + 4-byte address.
+inline constexpr uint32_t kNodeHandleBytes = 20;
+
+struct Packet {
+  enum class Kind : uint8_t {
+    kJoinRequest,     // routed toward the joiner's id
+    kJoinRow,         // routing-table row from a node on the join path
+    kJoinLeafset,     // leafset from the joiner's root
+    kNodeAnnounce,    // "I am alive at this id" to leafset members
+    kLeafsetRequest,  // ask a neighbor for its leafset (repair)
+    kLeafsetReply,
+    kProbe,           // liveness probe of a routing-table entry
+    kProbeReply,
+    kApp,             // application payload (routed or direct)
+  };
+
+  Kind kind = Kind::kApp;
+  NodeHandle src;          // originator of this packet
+  NodeId key;              // routing key (kJoinRequest, routed kApp)
+  uint8_t row = 0;         // kJoinRow: which routing-table row
+  uint32_t hops = 0;       // hops taken so far (loop guard, stats)
+  std::vector<NodeHandle> entries;  // rows / leafsets
+
+  // kApp payload: opaque to the overlay. `app_bytes` is the serialized size
+  // used for bandwidth accounting; `category` attributes the traffic.
+  std::shared_ptr<void> app_payload;
+  uint32_t app_bytes = 0;
+  bool app_routed = false;  // delivered via key routing (vs direct send)
+  TrafficCategory category = TrafficCategory::kPastry;
+
+  // Approximate serialized size of this packet (excluding the fixed
+  // network-layer header charged by sim::Network).
+  uint32_t WireBytes() const {
+    // kind + src handle + key + row/hops.
+    uint32_t bytes = 1 + kNodeHandleBytes + 16 + 2;
+    bytes += static_cast<uint32_t>(entries.size()) * kNodeHandleBytes + 2;
+    bytes += app_bytes;
+    return bytes;
+  }
+};
+
+}  // namespace seaweed::overlay

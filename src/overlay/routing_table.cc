@@ -1,0 +1,101 @@
+#include "overlay/routing_table.h"
+
+namespace seaweed::overlay {
+
+RoutingTable::RoutingTable(const NodeId& owner, int b)
+    : owner_(owner),
+      b_(b),
+      rows_(kIdBits / b),
+      cols_(1 << b),
+      slots_(static_cast<size_t>(rows_) * static_cast<size_t>(cols_)) {}
+
+bool RoutingTable::Insert(const NodeHandle& node) {
+  if (node.id == owner_) return false;
+  int row = owner_.CommonPrefixLength(node.id, b_);
+  if (row >= rows_) return false;  // same id (already excluded)
+  int col = node.id.Digit(row, b_);
+  auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
+  if (slot.has_value()) {
+    return false;  // keep existing entry
+  }
+  slot = node;
+  ++num_entries_;
+  return true;
+}
+
+bool RoutingTable::Remove(const NodeId& id) {
+  int row = owner_.CommonPrefixLength(id, b_);
+  if (row >= rows_) return false;
+  int col = id.Digit(row, b_);
+  auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
+  if (slot.has_value() && slot->id == id) {
+    slot.reset();
+    --num_entries_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeHandle> RoutingTable::NextHop(const NodeId& key) const {
+  int row = owner_.CommonPrefixLength(key, b_);
+  if (row >= rows_) return std::nullopt;  // key == owner
+  int col = key.Digit(row, b_);
+  return slots_[static_cast<size_t>(row * cols_ + col)];
+}
+
+std::optional<NodeHandle> RoutingTable::CloserEntry(const NodeId& key) const {
+  int own_prefix = owner_.CommonPrefixLength(key, b_);
+  NodeId own_dist = owner_.RingDistanceTo(key);
+  // Only rows >= own_prefix can contain entries with a prefix at least as
+  // long as the owner's.
+  for (int row = own_prefix; row < rows_; ++row) {
+    for (int col = 0; col < cols_; ++col) {
+      const auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
+      if (!slot.has_value()) continue;
+      int p = slot->id.CommonPrefixLength(key, b_);
+      if (p < own_prefix) continue;
+      if (slot->id.RingDistanceTo(key) < own_dist) return *slot;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeHandle> RoutingTable::AllEntries() const {
+  std::vector<NodeHandle> out;
+  out.reserve(num_entries_);
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+std::vector<NodeHandle> RoutingTable::EntriesInArc(const NodeId& lo,
+                                                   const NodeId& hi) const {
+  std::vector<NodeHandle> out;
+  for (const auto& slot : slots_) {
+    if (slot.has_value() && slot->id.InArc(lo, hi)) out.push_back(*slot);
+  }
+  return out;
+}
+
+std::optional<NodeHandle> RoutingTable::RandomEntry(Rng& rng) const {
+  if (num_entries_ == 0) return std::nullopt;
+  uint64_t skip = rng.NextBelow(num_entries_);
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) continue;
+    if (skip == 0) return *slot;
+    --skip;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeHandle> RoutingTable::Row(int row) const {
+  std::vector<NodeHandle> out;
+  for (int col = 0; col < cols_; ++col) {
+    const auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+}  // namespace seaweed::overlay

@@ -1,0 +1,69 @@
+// Pastry routing table: rows indexed by common-prefix length, columns by the
+// next digit (base 2^b). Entry (r, c) is some node whose id shares the first
+// r digits with the owner and has digit c at position r.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/rng.h"
+#include "overlay/packet.h"
+
+namespace seaweed::overlay {
+
+class RoutingTable {
+ public:
+  RoutingTable(const NodeId& owner, int b);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  // Entry at (row, col); nullopt when empty.
+  const std::optional<NodeHandle>& At(int row, int col) const {
+    return slots_[static_cast<size_t>(row * cols_ + col)];
+  }
+
+  // Inserts a node into its canonical slot if the slot is empty (Pastry
+  // keeps the first/nearest candidate; we keep the first). Owner and
+  // duplicate ids are ignored. Returns true if the table changed.
+  bool Insert(const NodeHandle& node);
+
+  // Removes a node wherever it appears. Returns true if present.
+  bool Remove(const NodeId& id);
+
+  // The routing-table next hop for `key`: the entry at
+  // (CommonPrefixLength(owner, key), key.Digit(thatRow)).
+  std::optional<NodeHandle> NextHop(const NodeId& key) const;
+
+  // Any entry whose id shares a strictly longer prefix with `key` than the
+  // owner does, or shares the same prefix but is numerically closer ("rare
+  // case" rule of the Pastry paper).
+  std::optional<NodeHandle> CloserEntry(const NodeId& key) const;
+
+  // All populated entries.
+  std::vector<NodeHandle> AllEntries() const;
+
+  // All entries whose id lies on the clockwise arc [lo, hi] — used by the
+  // Seaweed broadcast to find a contact inside a subrange in O(1) hops.
+  std::vector<NodeHandle> EntriesInArc(const NodeId& lo,
+                                       const NodeId& hi) const;
+
+  // A uniformly random populated entry (for periodic liveness probing).
+  std::optional<NodeHandle> RandomEntry(Rng& rng) const;
+
+  // Contents of one row (for the join protocol).
+  std::vector<NodeHandle> Row(int row) const;
+
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  NodeId owner_;
+  int b_;
+  int rows_;
+  int cols_;
+  size_t num_entries_ = 0;
+  std::vector<std::optional<NodeHandle>> slots_;
+};
+
+}  // namespace seaweed::overlay

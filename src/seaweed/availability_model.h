@@ -1,0 +1,81 @@
+// Per-endsystem availability models (§3.2.1).
+//
+// Two distributions are maintained per endsystem:
+//   * down-duration: how long the endsystem stays unavailable (log-scale
+//     buckets, seconds to weeks);
+//   * up-event hour-of-day: at which hour (0-23) it comes back up.
+//
+// If the up-event distribution is heavily concentrated (peak-to-mean ratio
+// > 2) the endsystem is classified *periodic* and the hour-of-day
+// distribution drives prediction; otherwise the down-duration distribution
+// is used, conditioned on the elapsed downtime.
+//
+// The model is persisted at the endsystem, updated on every up transition,
+// and pushed to the metadata replica set. Its serialized form is the `a`
+// parameter of Table 1 (48 bytes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "common/time_types.h"
+
+namespace seaweed {
+
+class AvailabilityModel {
+ public:
+  // Log-scale down-duration buckets: bucket i covers
+  // [kMinDuration * 2^i, kMinDuration * 2^(i+1)), i in [0, kDownBuckets).
+  static constexpr int kDownBuckets = 20;
+  static constexpr SimDuration kMinDownDuration = 30 * kSecond;
+  static constexpr double kPeriodicPeakToMean = 2.0;
+
+  // Records one completed down period: went down at `down_at`, came back up
+  // at `up_at`.
+  void RecordDownPeriod(SimTime down_at, SimTime up_at);
+
+  int64_t observations() const { return observations_; }
+
+  // Periodic iff the up-event hour histogram has peak-to-mean ratio > 2.
+  bool IsPeriodic() const;
+
+  // P(endsystem is up by time `by`), given that it has been down since
+  // `down_since` and the current time is `now`. Monotone in `by`.
+  // With no observations, falls back to a neutral prior.
+  double ProbUpBy(SimTime now, SimTime down_since, SimTime by) const;
+
+  // Expected next-up time (the smallest t with ProbUpBy >= 0.5); capped at
+  // now + kMaxPredictionHorizon.
+  SimTime PredictUpTime(SimTime now, SimTime down_since) const;
+
+  static constexpr SimDuration kMaxPredictionHorizon = 7 * kDay;
+
+  void Serialize(Writer* w) const;
+  static Result<AvailabilityModel> Deserialize(Reader* r);
+  size_t SerializedBytes() const;
+
+  // Accessors for tests.
+  const std::array<uint32_t, kDownBuckets>& down_histogram() const {
+    return down_hist_;
+  }
+  const std::array<uint32_t, 24>& up_hour_histogram() const {
+    return up_hour_hist_;
+  }
+
+  bool operator==(const AvailabilityModel&) const = default;
+
+ private:
+  static int DownBucket(SimDuration d);
+  // Probability mass of down-durations in (elapsed, elapsed+dt] relative to
+  // the mass > elapsed (conditional survival).
+  double DownDurationProbUpBy(SimDuration elapsed, SimDuration by_delta) const;
+  double PeriodicProbUpBy(SimTime now, SimTime by) const;
+
+  std::array<uint32_t, kDownBuckets> down_hist_{};
+  std::array<uint32_t, 24> up_hour_hist_{};
+  int64_t observations_ = 0;
+};
+
+}  // namespace seaweed

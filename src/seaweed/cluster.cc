@@ -1,0 +1,167 @@
+#include "seaweed/cluster.h"
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+SeaweedCluster::SeaweedCluster(const ClusterConfig& config)
+    : config_(config),
+      topology_(config.topology, config.num_endsystems),
+      meter_(config.num_endsystems),
+      network_(&sim_, &topology_, &meter_, config.message_loss_rate,
+               config.seed ^ 0xbeef) {
+  Construct(std::make_shared<AnemoneDataProvider>(
+      config.anemone, config.num_endsystems, config.keep_tables,
+      config.summary_wire_bytes));
+}
+
+SeaweedCluster::SeaweedCluster(const ClusterConfig& config,
+                               std::shared_ptr<DataProvider> data)
+    : config_(config),
+      topology_(config.topology, config.num_endsystems),
+      meter_(config.num_endsystems),
+      network_(&sim_, &topology_, &meter_, config.message_loss_rate,
+               config.seed ^ 0xbeef) {
+  Construct(std::move(data));
+}
+
+void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
+  data_ = std::move(data);
+  overlay_ = std::make_unique<overlay::OverlayNetwork>(
+      &sim_, &network_, config_.pastry, config_.seed ^ 0xfeed);
+
+  Rng id_rng(config_.seed);
+  ids_.reserve(static_cast<size_t>(config_.num_endsystems));
+  for (int i = 0; i < config_.num_endsystems; ++i) {
+    ids_.push_back(NodeId::Random(id_rng));
+  }
+  overlay_->CreateNodes(ids_);
+
+  seaweed_.reserve(ids_.size());
+  for (int i = 0; i < config_.num_endsystems; ++i) {
+    seaweed_.push_back(std::make_unique<SeaweedNode>(
+        overlay_.get(), overlay_->node(static_cast<EndsystemIndex>(i)),
+        data_.get(), config_.seaweed));
+  }
+}
+
+void SeaweedCluster::AccumulateOnline(SimTime now) {
+  if (now <= last_population_change_) {
+    last_population_change_ = now;
+    return;
+  }
+  // Spread current_up_ * dt across the covered hours.
+  SimTime t = last_population_change_;
+  while (t < now) {
+    int64_t hour = t / kHour;
+    SimTime hour_end = (hour + 1) * kHour;
+    SimTime seg_end = std::min(now, hour_end);
+    if (static_cast<size_t>(hour) >= online_seconds_by_hour_.size()) {
+      online_seconds_by_hour_.resize(static_cast<size_t>(hour) + 1, 0.0);
+    }
+    online_seconds_by_hour_[static_cast<size_t>(hour)] +=
+        static_cast<double>(current_up_) * ToSeconds(seg_end - t);
+    t = seg_end;
+  }
+  last_population_change_ = now;
+}
+
+void SeaweedCluster::DriveFromTrace(const AvailabilityTrace& trace,
+                                    SimTime until) {
+  SEAWEED_CHECK(trace.num_endsystems() >= config_.num_endsystems);
+  const SimTime now = sim_.Now();
+  for (int e = 0; e < config_.num_endsystems; ++e) {
+    const auto& avail = trace.endsystem(e);
+    if (avail.IsUp(now)) {
+      // Stagger the initial joins a little to avoid a join storm at t=0.
+      SimDuration stagger = (static_cast<SimDuration>(e) * 37) %
+                            (5 * kSecond);
+      sim_.At(now + stagger, [this, e] {
+        AccumulateOnline(sim_.Now());
+        ++current_up_;
+        BringUp(e);
+      });
+    }
+    for (const auto& iv : avail.intervals()) {
+      if (iv.start > now && iv.start < until) {
+        sim_.At(iv.start, [this, e] {
+          AccumulateOnline(sim_.Now());
+          ++current_up_;
+          BringUp(e);
+        });
+      }
+      if (iv.end > now && iv.end < until) {
+        sim_.At(iv.end, [this, e] {
+          AccumulateOnline(sim_.Now());
+          --current_up_;
+          BringDown(e);
+        });
+      }
+    }
+  }
+}
+
+void SeaweedCluster::BringUpAll(SimDuration window) {
+  for (int e = 0; e < config_.num_endsystems; ++e) {
+    SimDuration at = (window * e) / std::max(1, config_.num_endsystems);
+    sim_.After(at, [this, e] {
+      AccumulateOnline(sim_.Now());
+      ++current_up_;
+      BringUp(e);
+    });
+  }
+}
+
+Result<NodeId> SeaweedCluster::InjectQuery(int e, const std::string& sql,
+                                           QueryObserver observer,
+                                           SimDuration ttl) {
+  return seaweed_[static_cast<size_t>(e)]->InjectQuery(sql,
+                                                       std::move(observer),
+                                                       ttl);
+}
+
+int SeaweedCluster::CountUp() const {
+  int n = 0;
+  for (int e = 0; e < config_.num_endsystems; ++e) {
+    if (network_.IsUp(static_cast<EndsystemIndex>(e))) ++n;
+  }
+  return n;
+}
+
+double SeaweedCluster::OnlineSecondsInHour(int64_t hour) const {
+  // Flush the integration up to 'now' lazily.
+  const_cast<SeaweedCluster*>(this)->AccumulateOnline(sim_.Now());
+  if (hour < 0 ||
+      static_cast<size_t>(hour) >= online_seconds_by_hour_.size()) {
+    return 0;
+  }
+  return online_seconds_by_hour_[static_cast<size_t>(hour)];
+}
+
+double SeaweedCluster::MeanTxPerOnline(int64_t h0, int64_t h1, int cat) const {
+  const_cast<SeaweedCluster*>(this)->AccumulateOnline(sim_.Now());
+  double bytes = 0;
+  double online_seconds = 0;
+  for (int64_t h = h0; h <= h1; ++h) {
+    if (cat < 0) {
+      for (int c = 0; c < kNumTrafficCategories; ++c) {
+        const auto& tl = meter_.CategoryTimeline(static_cast<TrafficCategory>(c));
+        if (static_cast<size_t>(h) < tl.size() && h >= 0) {
+          bytes += static_cast<double>(tl[static_cast<size_t>(h)]);
+        }
+      }
+    } else {
+      const auto& tl = meter_.CategoryTimeline(static_cast<TrafficCategory>(cat));
+      if (static_cast<size_t>(h) < tl.size() && h >= 0) {
+        bytes += static_cast<double>(tl[static_cast<size_t>(h)]);
+      }
+    }
+    if (h >= 0 &&
+        static_cast<size_t>(h) < online_seconds_by_hour_.size()) {
+      online_seconds += online_seconds_by_hour_[static_cast<size_t>(h)];
+    }
+  }
+  return online_seconds > 0 ? bytes / online_seconds : 0;
+}
+
+}  // namespace seaweed

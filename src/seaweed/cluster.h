@@ -1,0 +1,97 @@
+// SeaweedCluster: one self-contained packet-level simulation — topology,
+// network, Pastry overlay, Seaweed nodes and their data — driven by an
+// availability trace.
+//
+// This is the top-level object benches and examples construct. It owns the
+// whole object graph and exposes query injection plus the measurement
+// surfaces (bandwidth meter, online-population tracking, protocol stats).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "seaweed/node.h"
+#include "trace/availability_trace.h"
+
+namespace seaweed {
+
+struct ClusterConfig {
+  int num_endsystems = 100;
+  overlay::PastryConfig pastry;
+  SeaweedConfig seaweed;
+  TopologyConfig topology;
+  anemone::AnemoneConfig anemone;
+  double message_loss_rate = 0.0;
+  // Keep generated tables resident (small N) instead of regenerating per
+  // execution (large N).
+  bool keep_tables = true;
+  // Wire size charged per summary push; 0 = actual serialized size. The
+  // default reproduces the paper's measured h (Table 1: 6,473 bytes).
+  uint32_t summary_wire_bytes = 6473;
+  uint64_t seed = 1;
+};
+
+class SeaweedCluster {
+ public:
+  explicit SeaweedCluster(const ClusterConfig& config);
+  // As above but with a caller-supplied data provider (tests).
+  SeaweedCluster(const ClusterConfig& config,
+                 std::shared_ptr<DataProvider> data);
+
+  Simulator& sim() { return sim_; }
+  BandwidthMeter& meter() { return meter_; }
+  overlay::OverlayNetwork& overlay() { return *overlay_; }
+  Network& network() { return network_; }
+  const ClusterConfig& config() const { return config_; }
+
+  SeaweedNode* seaweed_node(int e) { return seaweed_[static_cast<size_t>(e)].get(); }
+  overlay::PastryNode* pastry_node(int e) { return overlay_->node(static_cast<EndsystemIndex>(e)); }
+  DataProvider* data() { return data_.get(); }
+
+  // Schedules every up/down transition of `trace` within [sim.Now(), until)
+  // as simulation events, and hourly online-population sampling.
+  void DriveFromTrace(const AvailabilityTrace& trace, SimTime until);
+
+  // Manual lifecycle control (tests, examples).
+  void BringUp(int e) { overlay_->BringUp(static_cast<EndsystemIndex>(e)); }
+  void BringDown(int e) { overlay_->BringDown(static_cast<EndsystemIndex>(e)); }
+  // Brings up all endsystems at staggered times within `window`.
+  void BringUpAll(SimDuration window = 10 * kSecond);
+
+  // Injects a query from endsystem `e` (must be up).
+  Result<NodeId> InjectQuery(int e, const std::string& sql,
+                             QueryObserver observer,
+                             SimDuration ttl = 48 * kHour);
+
+  int CountUp() const;
+  int CountJoined() const { return overlay_->CountJoined(); }
+
+  // Online endsystem-seconds accumulated during `hour` (for normalizing
+  // bandwidth to bytes/sec/online-endsystem as the paper reports).
+  double OnlineSecondsInHour(int64_t hour) const;
+  // Mean bytes/sec per online endsystem over [h0, h1], tx side, for one
+  // traffic category (or all categories with cat < 0).
+  double MeanTxPerOnline(int64_t h0, int64_t h1, int cat = -1) const;
+
+ private:
+  void Construct(std::shared_ptr<DataProvider> data);
+  void SampleOnlineTick();
+
+  ClusterConfig config_;
+  Simulator sim_;
+  Topology topology_;
+  BandwidthMeter meter_;
+  Network network_;
+  std::unique_ptr<overlay::OverlayNetwork> overlay_;
+  std::shared_ptr<DataProvider> data_;
+  std::vector<std::unique_ptr<SeaweedNode>> seaweed_;
+  std::vector<NodeId> ids_;
+  // Online endsystem-seconds per hour (piecewise integration).
+  std::vector<double> online_seconds_by_hour_;
+  SimTime last_population_change_ = 0;
+  int current_up_ = 0;
+
+  void AccumulateOnline(SimTime until_now);
+};
+
+}  // namespace seaweed

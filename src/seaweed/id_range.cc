@@ -1,0 +1,83 @@
+#include "seaweed/id_range.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+std::vector<RangePart> PartitionByClosestMember(
+    const IdRange& range, const std::vector<NodeId>& sorted_members) {
+  std::vector<RangePart> parts;
+  const size_t n = sorted_members.size();
+  if (n == 0 || range.IsEmpty()) return parts;
+  if (n == 1) {
+    parts.push_back({range, 0});
+    return parts;
+  }
+
+  // Cell of member i is the arc [b_i, b_{i+1}) where b_i is the midpoint of
+  // the arc from member i-1 (ring order) to member i.
+  std::vector<NodeId> boundary(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId& prev = sorted_members[(i + n - 1) % n];
+    boundary[i] = prev.MidpointTo(sorted_members[i]);
+  }
+
+  const NodeId span = range.Span();
+  const bool full = range.full;
+
+  // Which member's cell contains range.lo?
+  size_t at = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId& cell_lo = boundary[i];
+    const NodeId& cell_hi = boundary[(i + 1) % n];
+    NodeId cell_span = cell_lo.ClockwiseDistanceTo(cell_hi);
+    if (cell_span == NodeId()) cell_span = NodeId::Max();  // single cell ring
+    if (cell_lo.ClockwiseDistanceTo(range.lo) < cell_span ||
+        (cell_lo == range.lo)) {
+      at = i;
+      break;
+    }
+  }
+
+  // Cut points: boundary offsets from range.lo that fall inside the range.
+  struct Cut {
+    NodeId offset;
+    size_t member;
+  };
+  std::vector<Cut> cuts;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId off = range.lo.ClockwiseDistanceTo(boundary[i]);
+    if (off == NodeId()) continue;  // boundary exactly at lo: `at` covers it
+    if (full || off < span) cuts.push_back({off, i});
+  }
+  std::sort(cuts.begin(), cuts.end(),
+            [](const Cut& a, const Cut& b) { return a.offset < b.offset; });
+
+  NodeId prev_off;  // zero
+  size_t current = at;
+  for (const Cut& cut : cuts) {
+    if (cut.offset != prev_off) {
+      parts.push_back(
+          {IdRange{range.lo.Add(prev_off), range.lo.Add(cut.offset), false},
+           current});
+    }
+    current = cut.member;
+    prev_off = cut.offset;
+  }
+  // Final segment up to range.hi.
+  NodeId end = full ? range.lo : range.hi;
+  if (range.lo.Add(prev_off) != end || parts.empty()) {
+    parts.push_back(
+        {IdRange{range.lo.Add(prev_off), end, false}, current});
+    // A full-ring final segment with prev_off == 0 means no cuts at all:
+    // the whole range is one member's.
+    if (full && prev_off == NodeId() && parts.back().range.lo == end) {
+      parts.back().range.full = true;
+    }
+  }
+  return parts;
+}
+
+}  // namespace seaweed

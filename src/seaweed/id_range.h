@@ -1,0 +1,110 @@
+// Half-open clockwise arcs of the id namespace, used by the query
+// dissemination protocol (§3.3): every broadcast message names the range of
+// the namespace its receiver is responsible for, and ranges are subdivided
+// until they are covered by a single live endsystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/node_id.h"
+
+namespace seaweed {
+
+// The clockwise arc [lo, hi). `full` marks the whole ring (lo == hi would
+// otherwise denote the empty range).
+struct IdRange {
+  NodeId lo;
+  NodeId hi;
+  bool full = false;
+
+  static IdRange Full(const NodeId& at) { return {at, at, true}; }
+  static IdRange Empty(const NodeId& at) { return {at, at, false}; }
+
+  bool IsEmpty() const { return !full && lo == hi; }
+
+  bool Contains(const NodeId& x) const {
+    if (full) return true;
+    // x in [lo, hi): cw distance from lo to x strictly less than lo to hi.
+    return lo.ClockwiseDistanceTo(x) < lo.ClockwiseDistanceTo(hi);
+  }
+
+  // Clockwise span (2^128 for the full ring, represented saturated).
+  NodeId Span() const {
+    if (full) return NodeId::Max();
+    return lo.ClockwiseDistanceTo(hi);
+  }
+
+  // Midpoint of the arc.
+  NodeId Mid() const {
+    if (full) return lo.Add(NodeId::Max().Half());
+    return lo.Add(Span().Half());
+  }
+
+  // Splits into [lo, mid) and [mid, hi).
+  std::pair<IdRange, IdRange> Split() const {
+    NodeId mid = Mid();
+    return {IdRange{lo, mid, false}, IdRange{mid, full ? lo : hi, false}};
+  }
+
+  // Intersection with the clockwise arc [a, b). Returns an empty range when
+  // they do not overlap. Assumes `other` is not the full ring unless this is.
+  IdRange Intersect(const IdRange& other) const {
+    if (full) return other;
+    if (other.full) return *this;
+    // Work in offsets from this->lo.
+    NodeId span = Span();
+    NodeId o_lo = lo.ClockwiseDistanceTo(other.lo);
+    NodeId o_hi = lo.ClockwiseDistanceTo(other.hi);
+    // other may wrap relative to us; handle the common non-wrapping case
+    // and the wrap by clamping.
+    if (o_lo <= o_hi) {
+      NodeId new_lo = (o_lo < span) ? o_lo : span;
+      NodeId new_hi = (o_hi < span) ? o_hi : span;
+      if (new_lo >= new_hi) return Empty(lo);
+      return IdRange{lo.Add(new_lo), lo.Add(new_hi), false};
+    }
+    // other wraps around our origin: [other.lo, end) ∪ [start, other.hi).
+    // Return the larger of the two pieces (callers partition by Voronoi
+    // cells, where single-piece intersections are the norm; a two-piece
+    // intersection is handled by the caller splitting first).
+    NodeId piece1_lo = (o_lo < span) ? o_lo : span;  // [o_lo, span)
+    NodeId piece1 = piece1_lo < span ? piece1_lo.ClockwiseDistanceTo(span)
+                                     : NodeId();
+    NodeId piece2 = (o_hi < span) ? o_hi : span;  // [0, o_hi)
+    if (piece1 == NodeId() && piece2 == NodeId()) return Empty(lo);
+    if (piece1 >= piece2) {
+      return IdRange{lo.Add(piece1_lo), full ? lo : hi, false};
+    }
+    return IdRange{lo, lo.Add(piece2), false};
+  }
+
+  // Stable token for matching child reports to pending ranges.
+  std::string Token() const {
+    return lo.ToHex() + ":" + hi.ToHex() + (full ? ":F" : "");
+  }
+
+  bool operator==(const IdRange&) const = default;
+};
+
+// One piece of a range partition: the sub-range and the index (into the
+// caller's member list) of the member numerically closest to it.
+struct RangePart {
+  IdRange range;
+  size_t member_index;
+};
+
+// Partitions `range` among the Voronoi cells of `sorted_members` (distinct
+// ids in ascending order): every point of the range lands in exactly one
+// part, assigned to the member it is numerically closest to (ties broken
+// toward the clockwise member). This is the subdivision rule of the
+// dissemination protocol — responsibility regions must align with metadata
+// placement (the closest live node holds the replicas).
+//
+// Implemented by walking cell boundaries in offset space from range.lo, so
+// cells that wrap around the range's origin are handled exactly (a naive
+// per-cell intersection can produce two disjoint pieces and drop one).
+std::vector<RangePart> PartitionByClosestMember(
+    const IdRange& range, const std::vector<NodeId>& sorted_members);
+
+}  // namespace seaweed

@@ -1,0 +1,53 @@
+#include "seaweed/metadata.h"
+
+namespace seaweed {
+
+bool MetadataStore::Upsert(const Metadata& metadata) {
+  auto it = records_.find(metadata.owner);
+  if (it == records_.end()) {
+    records_[metadata.owner] =
+        Record{metadata, /*down_since=*/-1, /*acquired_at=*/now_};
+    return true;
+  }
+  if (metadata.version < it->second.metadata.version) return false;
+  it->second.metadata = metadata;
+  it->second.down_since = -1;  // a push implies the owner is alive
+  return true;
+}
+
+void MetadataStore::MarkDown(const NodeId& owner, SimTime now) {
+  auto it = records_.find(owner);
+  if (it == records_.end()) return;
+  if (it->second.down_since < 0) it->second.down_since = now;
+}
+
+void MetadataStore::MarkUp(const NodeId& owner) {
+  auto it = records_.find(owner);
+  if (it == records_.end()) return;
+  it->second.down_since = -1;
+}
+
+const MetadataStore::Record* MetadataStore::Find(const NodeId& owner) const {
+  auto it = records_.find(owner);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const MetadataStore::Record*> MetadataStore::InRange(
+    const IdRange& range, bool only_down) const {
+  std::vector<const Record*> out;
+  for (const auto& [owner, rec] : records_) {
+    if (!range.Contains(owner)) continue;
+    if (only_down && rec.down_since < 0) continue;
+    out.push_back(&rec);
+  }
+  return out;
+}
+
+std::vector<const MetadataStore::Record*> MetadataStore::All() const {
+  std::vector<const Record*> out;
+  out.reserve(records_.size());
+  for (const auto& [owner, rec] : records_) out.push_back(&rec);
+  return out;
+}
+
+}  // namespace seaweed

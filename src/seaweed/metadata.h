@@ -1,0 +1,110 @@
+// Replicated per-endsystem metadata (§3.2): the data summary plus the
+// availability model, and the store each endsystem keeps for the owners it
+// replicates.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/query_exec.h"
+#include "seaweed/availability_model.h"
+#include "seaweed/id_range.h"
+
+namespace seaweed {
+
+struct Metadata {
+  NodeId owner;
+  uint64_t version = 0;
+  db::DatabaseSummary summary;
+  AvailabilityModel availability;
+  // Selective replication (§3.2.2): per-view aggregate results computed by
+  // the owner and replicated with the metadata. View queries are answered
+  // entirely from these replicas — low latency and full coverage of every
+  // endsystem ever seen, at the price of push-period staleness.
+  std::vector<std::pair<std::string, db::AggregateResult>> views;
+
+  const db::AggregateResult* FindView(const std::string& name) const {
+    for (const auto& [n, r] : views) {
+      if (n == name) return &r;
+    }
+    return nullptr;
+  }
+
+  // Serialized size: summary + availability model (h + a of Table 1) plus
+  // replicated view values.
+  size_t SerializedBytes() const {
+    size_t bytes =
+        summary.SerializedBytes() + availability.SerializedBytes() + 24;
+    for (const auto& [name, result] : views) {
+      bytes += name.size() + 2 + result.SerializedBytes();
+    }
+    return bytes;
+  }
+};
+
+// Store of metadata replicas held by one endsystem, with the observed
+// down-time bookkeeping (§3.2.1: "When a member y of the replica set notices
+// that an endsystem x is unavailable, it records the time at which this
+// occurred").
+class MetadataStore {
+ public:
+  struct Record {
+    Metadata metadata;
+    // -1 while the owner is believed up; otherwise the time this replica
+    // noticed the owner go down.
+    SimTime down_since = -1;
+    // When this replica first acquired the record (fallback down-time for
+    // owners learned via anti-entropy that we never saw alive).
+    SimTime acquired_at = 0;
+  };
+
+  // Sets the clock used to stamp acquired_at on insert.
+  void SetNow(SimTime now) { now_ = now; }
+
+  // Inserts or updates; keeps the freshest version. A push from the owner
+  // also implies the owner is up. Returns true if the store changed.
+  bool Upsert(const Metadata& metadata);
+
+  // Marks an owner as down (no-op if we hold no replica for it).
+  void MarkDown(const NodeId& owner, SimTime now);
+  // Marks an owner as up again.
+  void MarkUp(const NodeId& owner);
+
+  const Record* Find(const NodeId& owner) const;
+
+  // Records whose owner id lies in `range`. With `only_down`, restricts to
+  // owners currently believed down.
+  std::vector<const Record*> InRange(const IdRange& range,
+                                     bool only_down) const;
+
+  // All records (anti-entropy on neighbor join).
+  std::vector<const Record*> All() const;
+
+  // Drops records whose owner is farther than the given predicate allows.
+  // `keep` is called with each owner id; false means evict.
+  template <typename KeepFn>
+  size_t EvictIf(KeepFn keep) {
+    size_t evicted = 0;
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (!keep(it->first)) {
+        it = records_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::map<NodeId, Record> records_;
+  SimTime now_ = 0;
+};
+
+}  // namespace seaweed

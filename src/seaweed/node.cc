@@ -1,0 +1,1159 @@
+#include "seaweed/node.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+using overlay::NodeHandle;
+
+SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
+                         overlay::PastryNode* pastry, DataProvider* data,
+                         const SeaweedConfig& config)
+    : overlay_(overlay),
+      pastry_(pastry),
+      data_(data),
+      config_(config),
+      rng_(pastry->id().lo() ^ 0xc0ffee) {
+  pastry_->set_app(this);
+}
+
+void SeaweedNode::SendSeaweed(const NodeHandle& to, const SeaweedMessagePtr& msg,
+                              TrafficCategory category) {
+  pastry_->SendApp(to, msg, msg->WireBytes(), category);
+}
+
+void SeaweedNode::RouteSeaweed(const NodeId& key, const SeaweedMessagePtr& msg,
+                               TrafficCategory category) {
+  pastry_->RouteApp(key, msg, msg->WireBytes(), category);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void SeaweedNode::OnJoined() {
+  const SimTime now = sim()->Now();
+  metadata_.SetNow(now);
+  if (went_down_at_ >= 0) {
+    own_model_.RecordDownPeriod(went_down_at_, now);
+    went_down_at_ = -1;
+  }
+  ++generation_;
+  uint64_t gen = generation_;
+
+  // Replicate our metadata right away (§3.2.2: pushed on (re)join), then
+  // periodically.
+  PushMetadataTick(gen);
+
+  // Learn about queries that went active while we were away. Ask both ring
+  // neighbors (either could itself be a stale entry for a dead node), and
+  // retry once against fresh neighbors after the leafset settles.
+  auto request_query_list = [this] {
+    auto req = std::make_shared<SeaweedMessage>();
+    req->kind = SeaweedMessage::Kind::kQueryListRequest;
+    auto cw = pastry_->leafset().NearestCw();
+    auto ccw = pastry_->leafset().NearestCcw();
+    if (cw.has_value()) SendSeaweed(*cw, req, TrafficCategory::kResult);
+    if (ccw.has_value() && (!cw.has_value() || ccw->id != cw->id)) {
+      SendSeaweed(*ccw, req, TrafficCategory::kResult);
+    }
+  };
+  request_query_list();
+  sim()->After(30 * kSecond, [this, gen, request_query_list] {
+    if (gen != generation_ || !pastry_->joined()) return;
+    request_query_list();
+  });
+
+  sim()->After(config_.query_sweep_period,
+               [this, gen] { SweepExpiredTick(gen); });
+}
+
+void SeaweedNode::OnStopping() {
+  went_down_at_ = sim()->Now();
+  ++generation_;
+  metadata_.Clear();
+  active_.clear();
+  last_pushed_summary_.reset();
+  replicas_with_summary_.clear();
+}
+
+void SeaweedNode::OnNeighborFailed(const NodeHandle& neighbor) {
+  metadata_.MarkDown(neighbor.id, sim()->Now());
+  if (!pastry_->joined()) return;
+  // Re-replication on failure (§3.2: "the metadata held by the leaving
+  // endsystem must be re-replicated on some other endsystem" — the churn
+  // term Nck(h+a)/f_on of the analytic model). For each record we are the
+  // primary holder of, the failed node may have been a replica; restore the
+  // k-th copy on the member that now qualifies, on the failed node's side.
+  for (const auto* rec : metadata_.All()) {
+    const NodeId& owner = rec->metadata.owner;
+    if (owner == id() || owner == neighbor.id) continue;
+    if (!IsLikelyRootFor(owner)) continue;
+    // Pick the qualifying member farthest from the owner: the one most
+    // recently pulled into the replica set by the failure.
+    std::optional<NodeHandle> target;
+    NodeId target_dist;
+    for (const auto& m : pastry_->leafset().All()) {
+      if (!LikelyReplicaFor(owner, m)) continue;
+      NodeId d = m.id.RingDistanceTo(owner);
+      if (!target.has_value() || d > target_dist) {
+        target = m;
+        target_dist = d;
+      }
+    }
+    if (target.has_value()) {
+      auto msg = std::make_shared<SeaweedMessage>();
+      msg->kind = SeaweedMessage::Kind::kMetadataPush;
+      msg->metadata = rec->metadata;
+      msg->metadata_wire_bytes = data_->SummaryWireBytes(index());
+      SendSeaweed(*target, msg, TrafficCategory::kMetadata);
+    }
+  }
+}
+
+void SeaweedNode::OnNeighborAdded(const NodeHandle& neighbor) {
+  if (!pastry_->joined()) return;
+  metadata_.MarkUp(neighbor.id);
+  // Anti-entropy: hand the newcomer the replicas it should now hold, and our
+  // own metadata if it entered our replica set.
+  if (LikelyReplicaFor(id(), neighbor)) {
+    PushMetadataTo(neighbor);
+  }
+  for (const auto* rec : metadata_.All()) {
+    const NodeId& owner = rec->metadata.owner;
+    if (owner == neighbor.id) continue;
+    // Push only records the newcomer is responsible for, and only if we are
+    // the closest live holder (the "primary" of the record) — otherwise all
+    // k holders would re-push the same record on every join, amplifying the
+    // churn re-replication cost k-fold over the model's k(h+a) per event.
+    if (!IsLikelyRootFor(owner)) continue;
+    if (LikelyReplicaFor(owner, neighbor)) {
+      auto msg = std::make_shared<SeaweedMessage>();
+      msg->kind = SeaweedMessage::Kind::kMetadataPush;
+      msg->metadata = rec->metadata;
+      msg->metadata_wire_bytes =
+          data_->SummaryWireBytes(index());  // summaries are same order size
+      SendSeaweed(neighbor, msg, TrafficCategory::kMetadata);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata plane
+// ---------------------------------------------------------------------------
+
+std::vector<NodeHandle> SeaweedNode::ReplicaSet() const {
+  const auto& ls = pastry_->leafset();
+  const int k = config_.metadata_replicas;
+  std::vector<NodeHandle> out;
+  const auto& cw = ls.cw();
+  const auto& ccw = ls.ccw();
+  size_t i = 0, j = 0;
+  // k/2 a side, spilling over when one side is short.
+  while (static_cast<int>(out.size()) < k && (i < cw.size() || j < ccw.size())) {
+    if (i < cw.size() && (i <= j || j >= ccw.size())) {
+      out.push_back(cw[i++]);
+    } else if (j < ccw.size()) {
+      out.push_back(ccw[j++]);
+    }
+  }
+  return out;
+}
+
+bool SeaweedNode::LikelyReplicaFor(const NodeId& owner,
+                                   const NodeHandle& holder) const {
+  // `holder` belongs to owner's replica set iff it is among the k/2
+  // numerically closest live nodes on its side of owner. Judged from this
+  // node's leafset view: owner must lie within leafset coverage (otherwise
+  // we know nothing about its neighborhood — and should not be holding its
+  // metadata either), and fewer than k/2 live members may sit strictly
+  // between holder and owner. Without the coverage requirement a purely
+  // rank-based test accepts arbitrarily distant owners (the local candidate
+  // set is tiny), anti-entropy then spreads every record to every node, and
+  // the stores grow O(N^2).
+  const auto& ls = pastry_->leafset();
+  if (holder.id == owner) return false;
+  if (!ls.Covers(owner) && owner != id()) return false;
+
+  std::vector<NodeId> members;
+  members.push_back(id());
+  for (const auto& h : ls.All()) members.push_back(h.id);
+
+  int between = 0;
+  // Count live members strictly inside the arc between holder and owner
+  // (on holder's side, i.e. the short way from holder to owner).
+  NodeId cw = holder.id.ClockwiseDistanceTo(owner);
+  NodeId ccw = owner.ClockwiseDistanceTo(holder.id);
+  bool holder_ccw_of_owner = cw <= ccw;
+  for (const NodeId& m : members) {
+    if (m == holder.id || m == owner) continue;
+    bool inside = holder_ccw_of_owner
+                      ? (holder.id.ClockwiseDistanceTo(m) < cw && m != owner)
+                      : (owner.ClockwiseDistanceTo(m) < ccw);
+    if (inside) ++between;
+  }
+  return between < config_.metadata_replicas / 2;
+}
+
+void SeaweedNode::PushMetadataTo(const NodeHandle& to, bool allow_delta) {
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kMetadataPush;
+  msg->metadata.owner = id();
+  msg->metadata.version = metadata_version_;
+  msg->metadata.summary = data_->Summary(index());
+  msg->metadata.availability = own_model_;
+  for (const auto& view : config_.views) {
+    db::ParseOptions opts;
+    opts.now_unix_seconds = sim()->Now() / kSecond;
+    auto parsed = db::ParseSelect(view.sql, opts);
+    if (!parsed.ok()) {
+      SEAWEED_LOG(kWarn) << "bad view sql '" << view.sql
+                         << "': " << parsed.status().ToString();
+      continue;
+    }
+    auto value = data_->Execute(index(), *parsed);
+    if (value.ok()) {
+      msg->metadata.views.emplace_back(view.name, std::move(value).value());
+    }
+  }
+  msg->metadata_wire_bytes = data_->SummaryWireBytes(index());
+  if (allow_delta && config_.delta_encoded_summaries &&
+      last_pushed_summary_.has_value() &&
+      replicas_with_summary_.count(to.id)) {
+    // Replica holds the previous version: only the changed buckets travel.
+    msg->metadata_wire_bytes = static_cast<uint32_t>(
+        db::SummaryDeltaBytes(*last_pushed_summary_, msg->metadata.summary));
+  }
+  replicas_with_summary_.insert(to.id);
+  SendSeaweed(to, msg, TrafficCategory::kMetadata);
+}
+
+void SeaweedNode::PushMetadataTick(uint64_t generation) {
+  if (generation != generation_ || !pastry_->joined()) return;
+  ++metadata_version_;
+  for (const auto& replica : ReplicaSet()) {
+    PushMetadataTo(replica, /*allow_delta=*/true);
+  }
+  if (config_.delta_encoded_summaries) {
+    last_pushed_summary_ = data_->Summary(index());
+  }
+  // Evict records we are no longer responsible for (the owner's replica set
+  // drifted away from us as nodes joined); keeps the store O(k).
+  metadata_.EvictIf([this](const NodeId& owner) {
+    return LikelyReplicaFor(owner, pastry_->handle());
+  });
+  // Randomize each period slightly to avoid system-wide synchronization
+  // (§4.3: "each endsystem choosing its push time randomly").
+  SimDuration period = config_.summary_push_period;
+  SimDuration jitter = static_cast<SimDuration>(
+      rng_.NextBelow(static_cast<uint64_t>(period / 4 + 1)));
+  sim()->After(period - period / 8 + jitter,
+               [this, generation] { PushMetadataTick(generation); });
+}
+
+// ---------------------------------------------------------------------------
+// Query lifecycle
+// ---------------------------------------------------------------------------
+
+Result<NodeId> SeaweedNode::InjectQuery(const std::string& sql,
+                                        QueryObserver observer,
+                                        SimDuration ttl) {
+  if (!pastry_->up()) {
+    return Status::Unavailable("injecting endsystem is down");
+  }
+  SEAWEED_ASSIGN_OR_RETURN(
+      Query query, Query::Create(sql, sim()->Now(), pastry_->handle(), ttl));
+  NodeId qid = query.query_id;
+  EnsureQueryActive(query);
+  auto& aq = active_[qid];
+  aq.is_origin = true;
+  aq.observer = std::move(observer);
+
+  // Kick off dissemination: the tree root is the node closest to queryId.
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kBroadcast;
+  msg->queries.push_back(query);
+  msg->query_id = qid;
+  msg->range = IdRange::Full(qid);
+  msg->parent = pastry_->handle();  // the origin; root reports back to us
+  RouteSeaweed(qid, msg, TrafficCategory::kDissemination);
+  return qid;
+}
+
+Result<NodeId> SeaweedNode::InjectContinuousQuery(const std::string& sql,
+                                                  SimDuration period,
+                                                  QueryObserver observer,
+                                                  SimDuration ttl) {
+  if (period <= 0) {
+    return Status::InvalidArgument("continuous period must be positive");
+  }
+  if (!pastry_->up()) {
+    return Status::Unavailable("injecting endsystem is down");
+  }
+  SEAWEED_ASSIGN_OR_RETURN(
+      Query query, Query::Create(sql, sim()->Now(), pastry_->handle(), ttl));
+  query.continuous = true;
+  query.reexec_period = period;
+  NodeId qid = query.query_id;
+  EnsureQueryActive(query);
+  auto& aq = active_[qid];
+  aq.is_origin = true;
+  aq.observer = std::move(observer);
+
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kBroadcast;
+  msg->queries.push_back(query);
+  msg->query_id = qid;
+  msg->range = IdRange::Full(qid);
+  msg->parent = pastry_->handle();
+  RouteSeaweed(qid, msg, TrafficCategory::kDissemination);
+  return qid;
+}
+
+void SeaweedNode::CancelQuery(const NodeId& query_id) {
+  auto it = active_.find(query_id);
+  SimTime tombstone_until = sim()->Now() + 48 * kHour;
+  if (it != active_.end()) {
+    tombstone_until = it->second.query.injected_at + it->second.query.ttl;
+    active_.erase(it);
+  }
+  persisted_leaf_vertex_.erase(query_id);
+  cancelled_[query_id] = tombstone_until;
+  // Seed the epidemic: notify all leafset members; each recipient forwards
+  // once (dedup via its own tombstone).
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kQueryCancel;
+  msg->query_id = query_id;
+  for (const auto& member : pastry_->leafset().All()) {
+    SendSeaweed(member, msg, TrafficCategory::kResult);
+  }
+}
+
+Result<NodeId> SeaweedNode::QueryViewSnapshot(const std::string& view_name,
+                                              QueryObserver observer) {
+  if (!pastry_->up()) {
+    return Status::Unavailable("injecting endsystem is down");
+  }
+  const ReplicatedView* view = nullptr;
+  for (const auto& v : config_.views) {
+    if (v.name == view_name) view = &v;
+  }
+  if (view == nullptr) {
+    return Status::NotFound("no replicated view named '" + view_name + "'");
+  }
+  SEAWEED_ASSIGN_OR_RETURN(
+      Query query, Query::Create(view->sql, sim()->Now(), pastry_->handle(),
+                                 /*ttl=*/kHour));
+  query.view_name = view_name;
+  // Distinct id space from the equivalent one-shot query.
+  query.query_id = Sha1ToNodeId("view:" + view_name + "@" +
+                                std::to_string(sim()->Now()));
+  NodeId qid = query.query_id;
+  EnsureQueryActive(query);
+  auto& aq = active_[qid];
+  aq.is_origin = true;
+  aq.observer = std::move(observer);
+
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kBroadcast;
+  msg->queries.push_back(query);
+  msg->query_id = qid;
+  msg->range = IdRange::Full(qid);
+  msg->parent = pastry_->handle();
+  RouteSeaweed(qid, msg, TrafficCategory::kDissemination);
+  return qid;
+}
+
+void SeaweedNode::HandleQueryCancel(const SeaweedMessagePtr& msg) {
+  if (cancelled_.count(msg->query_id)) return;  // already seen: stop flood
+  CancelQuery(msg->query_id);
+}
+
+void SeaweedNode::EnsureQueryActive(const Query& query) {
+  if (cancelled_.count(query.query_id)) return;
+  auto it = active_.find(query.query_id);
+  if (it != active_.end()) {
+    if (it->second.query.sql.empty() && !query.sql.empty()) {
+      it->second.query = query;
+      ScheduleLocalExecution(query.query_id);
+    }
+    return;
+  }
+  ActiveQuery aq;
+  aq.query = query;
+  active_[query.query_id] = std::move(aq);
+  if (!query.sql.empty() && !query.IsViewSnapshot()) {
+    ScheduleLocalExecution(query.query_id);
+  }
+}
+
+void SeaweedNode::ScheduleLocalExecution(const NodeId& query_id) {
+  auto it = active_.find(query_id);
+  if (it == active_.end() || it->second.executed) return;
+  it->second.executed = true;
+  uint64_t gen = generation_;
+  sim()->After(config_.exec_delay, [this, gen, query_id] {
+    if (gen != generation_) return;
+    ExecuteAndSubmit(query_id);
+  });
+}
+
+void SeaweedNode::ExecuteAndSubmit(const NodeId& query_id) {
+  auto it = active_.find(query_id);
+  if (it == active_.end() || it->second.query.sql.empty()) return;
+  ActiveQuery& aq = it->second;
+  if (aq.query.ExpiredAt(sim()->Now())) return;
+  auto result = data_->Execute(index(), aq.query.parsed);
+  if (!result.ok()) {
+    SEAWEED_LOG(kWarn) << "local execution failed: "
+                       << result.status().ToString();
+    return;
+  }
+  aq.leaf.result = std::move(result).value();
+  aq.leaf.version = sim()->Now() > 0 ? static_cast<uint64_t>(sim()->Now()) : 1;
+  aq.leaf.acked = false;
+  SubmitLeafResult(query_id);
+}
+
+void SeaweedNode::HandleQueryListRequest(const NodeHandle& from) {
+  auto reply = std::make_shared<SeaweedMessage>();
+  reply->kind = SeaweedMessage::Kind::kQueryList;
+  const SimTime now = sim()->Now();
+  for (const auto& [qid, aq] : active_) {
+    if (aq.query.sql.empty() || aq.query.ExpiredAt(now)) continue;
+    reply->queries.push_back(aq.query);
+  }
+  SendSeaweed(from, reply, TrafficCategory::kResult);
+}
+
+void SeaweedNode::HandleQueryList(const SeaweedMessagePtr& msg) {
+  const SimTime now = sim()->Now();
+  for (const auto& q : msg->queries) {
+    if (q.ExpiredAt(now)) continue;
+    EnsureQueryActive(q);
+  }
+}
+
+void SeaweedNode::SweepExpiredTick(uint64_t generation) {
+  if (generation != generation_ || !pastry_->up()) return;
+  const SimTime now = sim()->Now();
+  for (auto it = active_.begin(); it != active_.end();) {
+    const Query& q = it->second.query;
+    bool expired = q.sql.empty()
+                       ? false  // vertex-only entries swept via query copies
+                       : q.ExpiredAt(now);
+    if (expired) {
+      persisted_leaf_vertex_.erase(it->first);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = cancelled_.begin(); it != cancelled_.end();) {
+    if (now > it->second) {
+      it = cancelled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sim()->After(config_.query_sweep_period,
+               [this, generation] { SweepExpiredTick(generation); });
+}
+
+// ---------------------------------------------------------------------------
+// Dissemination + completeness prediction
+// ---------------------------------------------------------------------------
+
+IdRange SeaweedNode::MyCell() const {
+  const auto& ls = pastry_->leafset();
+  auto left = ls.NearestCcw();
+  auto right = ls.NearestCw();
+  if (!left.has_value() && !right.has_value()) {
+    return IdRange::Full(id());
+  }
+  NodeId left_id = left.has_value() ? left->id : right->id;
+  NodeId right_id = right.has_value() ? right->id : left->id;
+  NodeId lo = left_id.MidpointTo(id());
+  NodeId hi = id().MidpointTo(right_id);
+  if (lo == hi) return IdRange::Full(id());
+  return IdRange{lo, hi, false};
+}
+
+bool SeaweedNode::CoveredByLeafset(const IdRange& range) const {
+  if (range.full) return false;
+  const auto& ls = pastry_->leafset();
+  auto fccw = ls.FarthestCcw();
+  auto fcw = ls.FarthestCw();
+  if (!fccw.has_value() || !fcw.has_value()) return false;
+  NodeId start = fccw->id;
+  NodeId span = start.ClockwiseDistanceTo(fcw->id);
+  NodeId off_lo = start.ClockwiseDistanceTo(range.lo);
+  NodeId off_hi = start.ClockwiseDistanceTo(range.hi);
+  return off_lo <= off_hi && off_hi <= span;
+}
+
+void SeaweedNode::HandleBroadcast(const NodeHandle& from,
+                                  const SeaweedMessagePtr& msg) {
+  (void)from;
+  SEAWEED_CHECK(!msg->queries.empty());
+  EnsureQueryActive(msg->queries[0]);
+  auto& aq = active_[msg->query_id];
+  const bool report_to_origin = msg->range.full;
+
+  const std::string token = msg->range.Token();
+  auto existing = aq.tasks.find(token);
+  if (existing != aq.tasks.end()) {
+    // Duplicate (parent reissued while our report was in flight): if we
+    // already finished, re-report; otherwise keep working.
+    if (existing->second.finished) {
+      existing->second.parent = msg->parent;
+      ReportTask(aq, existing->second);
+    }
+    return;
+  }
+  ProcessRange(aq, msg->range, msg->parent, report_to_origin);
+}
+
+void SeaweedNode::ProcessRange(ActiveQuery& aq, const IdRange& range,
+                               const NodeHandle& parent,
+                               bool report_to_origin) {
+  const std::string token = range.Token();
+  RangeTask& task = aq.tasks[token];
+  task.range = range;
+  task.parent = parent;
+  task.report_to_origin = report_to_origin;
+
+  // Worklist of subranges this node resolves locally; anything covered by a
+  // remote node becomes a child entry with a network dispatch.
+  std::deque<IdRange> work;
+  work.push_back(range);
+  const IdRange cell = MyCell();
+  int guard = 0;
+
+  while (!work.empty()) {
+    IdRange r = work.front();
+    work.pop_front();
+    if (r.IsEmpty()) continue;
+    if (++guard > 4 * kIdBits) {
+      SEAWEED_LOG(kWarn) << "range subdivision guard tripped";
+      break;
+    }
+
+    // Terminal: the range is inside the region we are numerically closest
+    // to, which is exactly where our metadata replicas live.
+    bool terminal = cell.full;
+    if (!terminal && !r.full) {
+      terminal = cell.Contains(r.lo) &&
+                 (r.lo.ClockwiseDistanceTo(r.hi) <=
+                  r.lo.ClockwiseDistanceTo(cell.hi));
+    }
+    if (terminal) {
+      if (aq.query.IsViewSnapshot()) {
+        GenerateViewFor(aq, r, &task.view_acc);
+      } else {
+        GeneratePredictorFor(aq, r, &task.acc);
+      }
+      continue;
+    }
+
+    if (CoveredByLeafset(r)) {
+      // Partition r among the cells of {me} ∪ leafset members, assigning
+      // each piece to the member numerically closest to it (= the member
+      // holding the metadata replicas for dead ids in that piece).
+      std::vector<NodeHandle> members = pastry_->leafset().All();
+      members.push_back(pastry_->handle());
+      std::sort(members.begin(), members.end(),
+                [](const NodeHandle& a, const NodeHandle& b) {
+                  return a.id < b.id;
+                });
+      std::vector<NodeId> member_ids;
+      member_ids.reserve(members.size());
+      for (const auto& m : members) member_ids.push_back(m.id);
+      for (const RangePart& part :
+           PartitionByClosestMember(r, member_ids)) {
+        const NodeHandle& m = members[part.member_index];
+        if (m.id == id()) {
+          work.push_back(part.range);
+        } else {
+          ChildRange child;
+          child.range = part.range;
+          child.contact = m;
+          aq.tasks[token].children[part.range.Token()] = child;
+        }
+      }
+      continue;
+    }
+
+    // Too wide for local knowledge: divide and conquer.
+    auto [first, second] = r.Split();
+    for (const IdRange& half : {first, second}) {
+      if (half.IsEmpty()) continue;
+      if (half.Contains(id())) {
+        work.push_back(half);
+        continue;
+      }
+      // Prefer a known contact inside the half (O(1) hop, §3.3); fall back
+      // to routing toward the midpoint.
+      ChildRange child;
+      child.range = half;
+      auto contacts = pastry_->routing_table().EntriesInArc(half.lo, half.hi);
+      for (const auto& h : pastry_->leafset().All()) {
+        if (half.Contains(h.id)) contacts.push_back(h);
+      }
+      if (!contacts.empty()) {
+        NodeId mid = half.Mid();
+        std::sort(contacts.begin(), contacts.end(),
+                  [&mid](const NodeHandle& a, const NodeHandle& b) {
+                    return a.id.RingDistanceTo(mid) < b.id.RingDistanceTo(mid);
+                  });
+        // Drop contacts not actually in the half (EntriesInArc uses the
+        // inclusive arc; re-check half-open membership).
+        if (half.Contains(contacts.front().id)) {
+          child.contact = contacts.front();
+          aq.tasks[token].children[half.Token()] = child;
+          continue;
+        }
+      }
+      if (IsLikelyRootFor(half.Mid())) {
+        // Routing would come straight back to us: keep subdividing locally.
+        work.push_back(half);
+        continue;
+      }
+      child.via_routing = true;
+      aq.tasks[token].children[half.Token()] = child;
+    }
+  }
+
+  RangeTask& final_task = aq.tasks[token];
+  for (auto& [child_token, child] : final_task.children) {
+    DispatchChild(aq, final_task, child);
+  }
+  FinishTaskIfDone(aq, final_task);
+}
+
+void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
+                                ChildRange& child) {
+  ++child.tries;
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kBroadcast;
+  msg->queries.push_back(aq.query);
+  msg->query_id = aq.query.query_id;
+  msg->range = child.range;
+  msg->parent = pastry_->handle();
+  if (child.via_routing) {
+    RouteSeaweed(child.range.Mid(), msg, TrafficCategory::kDissemination);
+  } else {
+    SendSeaweed(child.contact, msg, TrafficCategory::kDissemination);
+  }
+  // Arm the reissue timer.
+  uint64_t gen = generation_;
+  NodeId qid = aq.query.query_id;
+  std::string task_token = task.range.Token();
+  std::string child_token = child.range.Token();
+  sim()->After(config_.child_timeout, [this, gen, qid, task_token,
+                                       child_token] {
+    if (gen != generation_) return;
+    auto it = active_.find(qid);
+    if (it == active_.end()) return;
+    auto t = it->second.tasks.find(task_token);
+    if (t == it->second.tasks.end() || t->second.finished) return;
+    auto c = t->second.children.find(child_token);
+    if (c == t->second.children.end() || c->second.done) return;
+    if (c->second.tries > config_.max_child_retries) {
+      // Give up on this subrange: report what we have (coverage loss is
+      // visible to the user as a slightly low predictor).
+      c->second.done = true;
+      FinishTaskIfDone(it->second, t->second);
+      return;
+    }
+    // Reissue, preferring routing this time (the contact may be dead).
+    c->second.via_routing = true;
+    DispatchChild(it->second, t->second, c->second);
+  });
+}
+
+void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
+                                       CompletenessPredictor* out) {
+  const SimTime now = sim()->Now();
+  const SimTime injected = aq.query.injected_at;
+  if (range.Contains(id())) {
+    // Our own contribution: row-count estimate from the local DBMS.
+    double rows = data_->Summary(index()).EstimateRows(aq.query.parsed);
+    out->AddRowsAt(0, rows);
+    out->AddEndsystems(1);
+  }
+  // Unavailable endsystems whose metadata we replicate.
+  for (const auto* rec : metadata_.InRange(range, /*only_down=*/false)) {
+    const NodeId& owner = rec->metadata.owner;
+    if (owner == id()) continue;
+    if (rec->down_since < 0) {
+      // Believed up: if it is a live leafset member it covers itself; only
+      // predict for it when we have positively marked it down.
+      if (pastry_->leafset().Contains(owner)) continue;
+      // Not in our leafset but in our terminal range: treat as down since
+      // we acquired the record.
+    }
+    SimTime down_since = rec->down_since >= 0 ? rec->down_since
+                                              : rec->acquired_at;
+    double rows = rec->metadata.summary.EstimateRows(aq.query.parsed);
+    if (rows <= 0) {
+      out->AddEndsystems(1);
+      continue;
+    }
+    const AvailabilityModel& model = rec->metadata.availability;
+    out->AddRowsWithAvailability(
+        rows, [&](SimDuration edge) {
+          return model.ProbUpBy(now, down_since, injected + edge);
+        });
+    out->AddEndsystems(1);
+  }
+}
+
+void SeaweedNode::GenerateViewFor(ActiveQuery& aq, const IdRange& range,
+                                  db::AggregateResult* out) {
+  if (range.Contains(id())) {
+    // Our own (fresh) view value.
+    auto own = data_->Execute(index(), aq.query.parsed);
+    if (own.ok()) {
+      out->Merge(*own);
+    }
+  }
+  // Stored view values for every other owner in the range, up or down —
+  // live owners in a terminal range would be leafset members handling their
+  // own cells, so these are the unavailable ones.
+  for (const auto* rec : metadata_.InRange(range, /*only_down=*/false)) {
+    const NodeId& owner = rec->metadata.owner;
+    if (owner == id()) continue;
+    if (rec->down_since < 0 && pastry_->leafset().Contains(owner)) continue;
+    const db::AggregateResult* value =
+        rec->metadata.FindView(aq.query.view_name);
+    if (value != nullptr) {
+      out->Merge(*value);
+    }
+  }
+}
+
+void SeaweedNode::FinishTaskIfDone(ActiveQuery& aq, RangeTask& task) {
+  if (task.finished) return;
+  for (const auto& [token, child] : task.children) {
+    if (!child.done) return;
+  }
+  task.finished = true;
+  ReportTask(aq, task);
+}
+
+void SeaweedNode::ReportTask(ActiveQuery& aq, RangeTask& task) {
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->query_id = aq.query.query_id;
+  msg->range = task.range;
+  msg->predictor = task.acc;
+  msg->result = task.view_acc;  // non-empty only for view snapshots
+  if (task.report_to_origin) {
+    if (aq.query.IsViewSnapshot() && aq.is_origin && aq.observer.on_result) {
+      // Origin is itself the tree root.
+      aq.observer.on_result(aq.query.query_id, task.view_acc);
+      return;
+    }
+    msg->kind = aq.query.IsViewSnapshot()
+                    ? SeaweedMessage::Kind::kResultDeliver
+                    : SeaweedMessage::Kind::kPredictorDeliver;
+    SendSeaweed(aq.query.origin, msg, TrafficCategory::kPredictor);
+  } else {
+    msg->kind = SeaweedMessage::Kind::kPredictorReport;
+    SendSeaweed(task.parent, msg, TrafficCategory::kPredictor);
+  }
+}
+
+void SeaweedNode::HandlePredictorReport(const SeaweedMessagePtr& msg) {
+  auto it = active_.find(msg->query_id);
+  if (it == active_.end()) return;
+  ActiveQuery& aq = it->second;
+  const std::string child_token = msg->range.Token();
+  for (auto& [token, task] : aq.tasks) {
+    auto c = task.children.find(child_token);
+    if (c == task.children.end()) continue;
+    if (!c->second.done) {
+      c->second.done = true;
+      task.acc.Merge(msg->predictor);
+      task.view_acc.Merge(msg->result);
+    }
+    FinishTaskIfDone(aq, task);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result aggregation
+// ---------------------------------------------------------------------------
+
+bool SeaweedNode::IsLikelyRootFor(const NodeId& key) const {
+  return !pastry_->leafset().CloserMemberThanOwner(key).has_value();
+}
+
+NodeId SeaweedNode::LeafParentVertex(const Query& query) const {
+  const int b = pastry_->config().b;
+  const NodeId& qid = query.query_id;
+  if (id() == qid) return qid;
+  NodeId v = VertexParent(qid, id(), b);
+  // Skip vertices we would be primary for ourselves (§3.4 optimization:
+  // repeatedly apply V until reaching a vertexId we are not closest to).
+  while (v != qid && IsLikelyRootFor(v)) {
+    v = VertexParent(qid, v, b);
+  }
+  return v;
+}
+
+void SeaweedNode::SubmitLeafResult(const NodeId& query_id) {
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  ActiveQuery& aq = it->second;
+  if (aq.query.sql.empty() || aq.query.ExpiredAt(sim()->Now())) return;
+
+  NodeId vertex;
+  auto persisted = persisted_leaf_vertex_.find(query_id);
+  if (persisted != persisted_leaf_vertex_.end()) {
+    vertex = persisted->second;
+  } else {
+    vertex = LeafParentVertex(aq.query);
+    persisted_leaf_vertex_[query_id] = vertex;
+  }
+  aq.leaf.vertex_id = vertex;
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kResultSubmit;
+  msg->query_id = query_id;
+  msg->vertex_id = vertex;
+  msg->child_key = id();
+  msg->version = aq.leaf.version;
+  msg->result = aq.leaf.result;
+  if (vertex == query_id && IsLikelyRootFor(query_id)) {
+    // We are the root vertex primary: fold locally.
+    HandleResultSubmit(pastry_->handle(), msg);
+    aq.leaf.acked = true;
+  } else {
+    RouteSeaweed(vertex, msg, TrafficCategory::kResult);
+    uint64_t gen = generation_;
+    uint64_t version = aq.leaf.version;
+    sim()->After(config_.result_ack_timeout, [this, gen, query_id, version] {
+      if (gen != generation_) return;
+      RetryLeafSubmit(query_id, version);
+    });
+  }
+  // Periodic refresh keeps vertex replica groups populated across primary
+  // churn for the lifetime of the query.
+  uint64_t gen = generation_;
+  SimDuration refresh = aq.query.continuous
+                            ? aq.query.reexec_period
+                            : config_.result_refresh_period;
+  sim()->After(refresh, [this, gen, query_id] {
+    if (gen != generation_) return;
+    auto it2 = active_.find(query_id);
+    if (it2 == active_.end() || it2->second.query.ExpiredAt(sim()->Now())) {
+      return;
+    }
+    if (it2->second.query.continuous) {
+      // Continuous mode: recompute the local result; the new version
+      // replaces the old one in the vertex tree.
+      ExecuteAndSubmit(query_id);
+      return;
+    }
+    it2->second.leaf.acked = false;
+    SubmitLeafResult(query_id);
+  });
+}
+
+void SeaweedNode::RetryLeafSubmit(const NodeId& query_id, uint64_t version) {
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  ActiveQuery& aq = it->second;
+  if (aq.leaf.acked || aq.leaf.version != version) return;
+  if (aq.query.ExpiredAt(sim()->Now())) return;
+  // Re-route; the primary may have changed.
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kResultSubmit;
+  msg->query_id = query_id;
+  msg->vertex_id = aq.leaf.vertex_id;
+  msg->child_key = id();
+  msg->version = aq.leaf.version;
+  msg->result = aq.leaf.result;
+  RouteSeaweed(aq.leaf.vertex_id, msg, TrafficCategory::kResult);
+  uint64_t gen = generation_;
+  sim()->After(config_.result_ack_timeout, [this, gen, query_id, version] {
+    if (gen != generation_) return;
+    RetryLeafSubmit(query_id, version);
+  });
+}
+
+db::AggregateResult SeaweedNode::MergedVertexResult(
+    const VertexState& state) const {
+  db::AggregateResult merged;
+  for (const auto& [key, entry] : state.children) {
+    merged.Merge(entry.second);
+  }
+  return merged;
+}
+
+void SeaweedNode::HandleResultSubmit(const NodeHandle& from,
+                                     const SeaweedMessagePtr& msg) {
+  const NodeId& vertex = msg->vertex_id;
+  // If our view says someone else is closer to the vertexId, hand it over.
+  if (!IsLikelyRootFor(vertex)) {
+    auto closer = pastry_->leafset().CloserMemberThanOwner(vertex);
+    if (closer.has_value()) {
+      SendSeaweed(*closer, msg, TrafficCategory::kResult);
+      return;
+    }
+  }
+  if (cancelled_.count(msg->query_id)) return;
+  auto it = active_.find(msg->query_id);
+  if (it == active_.end()) {
+    // Vertex-only participation: we may not have seen the query broadcast.
+    ActiveQuery aq;
+    aq.query.query_id = msg->query_id;
+    aq.query.injected_at = sim()->Now();
+    active_[msg->query_id] = std::move(aq);
+    it = active_.find(msg->query_id);
+  }
+  ActiveQuery& aq = it->second;
+  VertexState& state = aq.vertices[vertex];
+  auto child = state.children.find(msg->child_key);
+  bool updated = false;
+  if (child == state.children.end() || child->second.first < msg->version) {
+    state.children[msg->child_key] = {msg->version, msg->result};
+    updated = true;
+  }
+  // Ack the submitter (exactly-once hinges on ack-after-replicate).
+  if (from.id != id()) {
+    auto ack = std::make_shared<SeaweedMessage>();
+    ack->kind = SeaweedMessage::Kind::kResultAck;
+    ack->query_id = msg->query_id;
+    ack->vertex_id = vertex;
+    ack->child_key = msg->child_key;
+    ack->version = msg->version;
+    SendSeaweed(from, ack, TrafficCategory::kResult);
+  }
+  if (!updated) return;
+
+  ReplicateVertex(aq, vertex, msg->child_key);
+
+  if (!state.send_scheduled) {
+    state.send_scheduled = true;
+    uint64_t gen = generation_;
+    NodeId qid = msg->query_id;
+    sim()->After(config_.result_deliver_debounce, [this, gen, qid, vertex] {
+      if (gen != generation_) return;
+      PropagateVertex(qid, vertex);
+    });
+  }
+  ScheduleVertexRepropagation(msg->query_id, vertex);
+}
+
+void SeaweedNode::ReplicateVertex(ActiveQuery& aq, const NodeId& vertex_id,
+                                  const NodeId& changed_child) {
+  VertexState& state = aq.vertices[vertex_id];
+  auto child = state.children.find(changed_child);
+  if (child == state.children.end()) return;
+  // Replicas: the m leafset members closest to the vertexId. A backup that
+  // has the baseline receives only the changed child entry (delta
+  // replication — full-state would cost O(fan-in) per update and the root
+  // vertex's fan-in grows with N); a backup seen for the first time gets
+  // the full state, otherwise it would reconstruct a partial subtree after
+  // primary failover.
+  std::vector<NodeHandle> members = pastry_->leafset().All();
+  std::sort(members.begin(), members.end(),
+            [&vertex_id](const NodeHandle& a, const NodeHandle& b) {
+              return a.id.RingDistanceTo(vertex_id) <
+                     b.id.RingDistanceTo(vertex_id);
+            });
+  int m = std::min<int>(config_.vertex_backups,
+                        static_cast<int>(members.size()));
+
+  auto delta = std::make_shared<SeaweedMessage>();
+  delta->kind = SeaweedMessage::Kind::kVertexReplicate;
+  delta->query_id = aq.query.query_id;
+  delta->vertex_id = vertex_id;
+  delta->vertex_state.emplace_back(changed_child, child->second.first,
+                                   child->second.second);
+  SeaweedMessagePtr full;  // built lazily
+  for (int i = 0; i < m; ++i) {
+    const NodeHandle& backup = members[static_cast<size_t>(i)];
+    if (state.synced_backups.count(backup.id)) {
+      SendSeaweed(backup, delta, TrafficCategory::kResult);
+      continue;
+    }
+    if (!full) {
+      full = std::make_shared<SeaweedMessage>();
+      full->kind = SeaweedMessage::Kind::kVertexReplicate;
+      full->query_id = aq.query.query_id;
+      full->vertex_id = vertex_id;
+      for (const auto& [key, entry] : state.children) {
+        full->vertex_state.emplace_back(key, entry.first, entry.second);
+      }
+    }
+    SendSeaweed(backup, full, TrafficCategory::kResult);
+    state.synced_backups.insert(backup.id);
+  }
+}
+
+void SeaweedNode::ScheduleVertexRepropagation(const NodeId& query_id,
+                                              const NodeId& vertex_id) {
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  VertexState& state = it->second.vertices[vertex_id];
+  if (state.repropagate_scheduled) return;
+  state.repropagate_scheduled = true;
+  uint64_t gen = generation_;
+  sim()->After(config_.result_refresh_period, [this, gen, query_id,
+                                               vertex_id] {
+    if (gen != generation_) return;
+    auto it2 = active_.find(query_id);
+    if (it2 == active_.end()) return;
+    auto vit = it2->second.vertices.find(vertex_id);
+    if (vit == it2->second.vertices.end()) return;
+    vit->second.repropagate_scheduled = false;
+    // Only the current primary speaks for the vertex.
+    if (IsLikelyRootFor(vertex_id)) {
+      PropagateVertex(query_id, vertex_id);
+    }
+    ScheduleVertexRepropagation(query_id, vertex_id);
+  });
+}
+
+void SeaweedNode::PropagateVertex(const NodeId& query_id,
+                                  const NodeId& vertex_id) {
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return;
+  ActiveQuery& aq = it->second;
+  auto vit = aq.vertices.find(vertex_id);
+  if (vit == aq.vertices.end()) return;
+  VertexState& state = vit->second;
+  state.send_scheduled = false;
+  db::AggregateResult merged = MergedVertexResult(state);
+
+  if (vertex_id == query_id) {
+    // Root vertex: deliver the incremental result to the query origin.
+    if (aq.is_origin && aq.observer.on_result) {
+      aq.observer.on_result(query_id, merged);
+      return;
+    }
+    if (aq.query.origin.id != NodeId()) {
+      auto msg = std::make_shared<SeaweedMessage>();
+      msg->kind = SeaweedMessage::Kind::kResultDeliver;
+      msg->query_id = query_id;
+      msg->vertex_id = vertex_id;
+      msg->result = merged;
+      SendSeaweed(aq.query.origin, msg, TrafficCategory::kResult);
+    }
+    return;
+  }
+
+  const int b = pastry_->config().b;
+  NodeId parent = VertexParent(query_id, vertex_id, b);
+  // Skip self-primary parents (fold locally without network traffic).
+  while (parent != query_id && IsLikelyRootFor(parent)) {
+    parent = VertexParent(query_id, parent, b);
+  }
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kResultSubmit;
+  msg->query_id = query_id;
+  msg->vertex_id = parent;
+  msg->child_key = vertex_id;
+  msg->version = ++state.version;
+  msg->result = merged;
+  if (parent == query_id && IsLikelyRootFor(query_id)) {
+    HandleResultSubmit(pastry_->handle(), msg);
+  } else {
+    RouteSeaweed(parent, msg, TrafficCategory::kResult);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
+                               const NodeId& key, std::shared_ptr<void> payload,
+                               uint32_t bytes) {
+  (void)routed;
+  (void)key;
+  (void)bytes;
+  auto msg = std::static_pointer_cast<SeaweedMessage>(payload);
+  switch (msg->kind) {
+    case SeaweedMessage::Kind::kMetadataPush: {
+      metadata_.SetNow(sim()->Now());
+      metadata_.Upsert(msg->metadata);
+      if (msg->metadata.owner != from.id &&
+          !pastry_->leafset().Contains(msg->metadata.owner)) {
+        // Anti-entropy record for an owner we cannot see: leave its
+        // down-state to be set by failure detection or assumed from
+        // acquisition time.
+        metadata_.MarkDown(msg->metadata.owner, sim()->Now());
+      }
+      break;
+    }
+    case SeaweedMessage::Kind::kBroadcast:
+      HandleBroadcast(from, msg);
+      break;
+    case SeaweedMessage::Kind::kPredictorReport:
+      HandlePredictorReport(msg);
+      break;
+    case SeaweedMessage::Kind::kPredictorDeliver: {
+      auto it = active_.find(msg->query_id);
+      if (it != active_.end() && it->second.is_origin &&
+          it->second.observer.on_predictor) {
+        it->second.observer.on_predictor(msg->query_id, msg->predictor);
+      }
+      break;
+    }
+    case SeaweedMessage::Kind::kResultSubmit:
+      HandleResultSubmit(from, msg);
+      break;
+    case SeaweedMessage::Kind::kResultAck: {
+      auto it = active_.find(msg->query_id);
+      if (it != active_.end() && msg->child_key == id() &&
+          it->second.leaf.version == msg->version) {
+        it->second.leaf.acked = true;
+      }
+      break;
+    }
+    case SeaweedMessage::Kind::kVertexReplicate: {
+      auto it = active_.find(msg->query_id);
+      if (it == active_.end()) {
+        ActiveQuery aq;
+        aq.query.query_id = msg->query_id;
+        aq.query.injected_at = sim()->Now();
+        active_[msg->query_id] = std::move(aq);
+        it = active_.find(msg->query_id);
+      }
+      VertexState& state = it->second.vertices[msg->vertex_id];
+      for (const auto& [child_key, version, result] : msg->vertex_state) {
+        auto c = state.children.find(child_key);
+        if (c == state.children.end() || c->second.first < version) {
+          state.children[child_key] = {version, result};
+        }
+      }
+      break;
+    }
+    case SeaweedMessage::Kind::kResultDeliver: {
+      auto it = active_.find(msg->query_id);
+      if (it != active_.end() && it->second.is_origin &&
+          it->second.observer.on_result) {
+        it->second.observer.on_result(msg->query_id, msg->result);
+      }
+      break;
+    }
+    case SeaweedMessage::Kind::kQueryListRequest:
+      HandleQueryListRequest(from);
+      break;
+    case SeaweedMessage::Kind::kQueryList:
+      HandleQueryList(msg);
+      break;
+    case SeaweedMessage::Kind::kQueryCancel:
+      HandleQueryCancel(msg);
+      break;
+  }
+}
+
+}  // namespace seaweed

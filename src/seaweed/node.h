@@ -1,0 +1,265 @@
+// SeaweedNode: the per-endsystem Seaweed protocol engine (§3).
+//
+// One SeaweedNode is attached to each PastryNode as its application. It
+// implements the three protocol planes:
+//
+//  1. Metadata replication — periodic pushes of the local data summary and
+//     availability model to the k numerically closest neighbors, plus
+//     anti-entropy on neighbor arrival and down-time bookkeeping on
+//     neighbor failure (§3.2).
+//  2. Query dissemination and completeness prediction — divide-and-conquer
+//     namespace-range broadcast; terminal ranges are those inside the
+//     handling node's "cell" (the region it is numerically closest to,
+//     derived from its leafset), which is exactly where its metadata
+//     replicas live; per-range predictors are aggregated back up the
+//     dynamically built distribution tree with timeout-driven reissue
+//     (§3.3).
+//  3. Result aggregation — results flow up the vertex tree defined by the
+//     function V; each interior vertex is a replica group (primary + m
+//     backups) holding versioned per-child results, giving exactly-once
+//     counting with incremental updates (§3.4).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "overlay/overlay_network.h"
+#include "seaweed/data_provider.h"
+#include "seaweed/metadata.h"
+#include "seaweed/vertex_function.h"
+#include "seaweed/wire.h"
+
+namespace seaweed {
+
+// A selectively-replicated view (§3.2.2): `sql` is an aggregate query each
+// endsystem evaluates locally at metadata-push time; the result rides along
+// with the metadata to the replica set.
+struct ReplicatedView {
+  std::string name;
+  std::string sql;
+};
+
+struct SeaweedConfig {
+  int metadata_replicas = 8;            // k of Table 1 (sim uses 8)
+  int vertex_backups = 3;               // m (§4.3.1)
+  SimDuration summary_push_period = static_cast<SimDuration>(17.5 * kMinute);
+  // Charge delta-encoded bytes for periodic summary re-pushes to replicas
+  // that already hold the previous version (§3.2.2 optimization). New
+  // replica members always receive the full summary.
+  bool delta_encoded_summaries = false;
+  SimDuration child_timeout = 10 * kSecond;  // predictor reissue window
+  int max_child_retries = 4;
+  SimDuration exec_delay = 500 * kMillisecond;  // local query execution time
+  SimDuration result_ack_timeout = 10 * kSecond;
+  SimDuration result_refresh_period = 15 * kMinute;
+  SimDuration result_deliver_debounce = 2 * kSecond;
+  SimDuration query_sweep_period = 10 * kMinute;
+  // Views included in every metadata push (empty = none).
+  std::vector<ReplicatedView> views;
+};
+
+// Origin-side observation hooks, invoked on the injecting endsystem.
+struct QueryObserver {
+  // Aggregated completeness predictor arrived (T_e after injection).
+  std::function<void(const NodeId& query_id,
+                     const CompletenessPredictor& predictor)>
+      on_predictor;
+  // Updated incremental result arrived from the root vertex.
+  std::function<void(const NodeId& query_id, const db::AggregateResult&)>
+      on_result;
+};
+
+class SeaweedNode : public overlay::PastryApp {
+ public:
+  SeaweedNode(overlay::OverlayNetwork* overlay, overlay::PastryNode* pastry,
+              DataProvider* data, const SeaweedConfig& config);
+
+  const NodeId& id() const { return pastry_->id(); }
+  int index() const { return static_cast<int>(pastry_->address()); }
+
+  // Injects a query from this endsystem. The observer's hooks fire as the
+  // predictor and incremental results arrive. Fails on parse errors or
+  // non-aggregate queries.
+  Result<NodeId> InjectQuery(const std::string& sql, QueryObserver observer,
+                             SimDuration ttl = 48 * kHour);
+
+  // Injects a continuous query: every endsystem re-executes the query each
+  // `period` and the origin keeps receiving refreshed aggregates until the
+  // TTL expires or the query is cancelled.
+  Result<NodeId> InjectContinuousQuery(const std::string& sql,
+                                       SimDuration period,
+                                       QueryObserver observer,
+                                       SimDuration ttl = 48 * kHour);
+
+  // Cancels an active query (normally called on the origin). The
+  // cancellation spreads epidemically through leafset gossip; every node
+  // drops the query's state on notice, and a tombstone suppresses
+  // re-adoption from stragglers until the original TTL passes.
+  void CancelQuery(const NodeId& query_id);
+
+  // Queries a replicated view (§3.2.2 selective replication): the answer is
+  // assembled from the view values stored in the metadata plane, so it
+  // arrives with dissemination latency (seconds), covers every endsystem
+  // ever seen — up or down — and is stale by at most a push period.
+  // The observer's on_result fires once with the assembled snapshot.
+  Result<NodeId> QueryViewSnapshot(const std::string& view_name,
+                                   QueryObserver observer);
+
+  // --- PastryApp ---
+  void OnAppMessage(const overlay::NodeHandle& from, bool routed,
+                    const NodeId& key, std::shared_ptr<void> payload,
+                    uint32_t bytes) override;
+  void OnJoined() override;
+  void OnStopping() override;
+  void OnNeighborFailed(const overlay::NodeHandle& neighbor) override;
+  void OnNeighborAdded(const overlay::NodeHandle& neighbor) override;
+
+  // --- Introspection (tests, benches) ---
+  const AvailabilityModel& own_availability_model() const { return own_model_; }
+  const MetadataStore& metadata_store() const { return metadata_; }
+  size_t active_query_count() const { return active_.size(); }
+  bool HasActiveQuery(const NodeId& query_id) const {
+    return active_.count(query_id) > 0;
+  }
+
+ private:
+  struct ChildRange {
+    IdRange range;
+    overlay::NodeHandle contact;  // where we sent it (may be re-resolved)
+    bool via_routing = false;     // sent by key-routing (no known contact)
+    int tries = 0;
+    bool done = false;
+  };
+
+  // One outstanding dissemination task: a range this node must cover and
+  // report a predictor for.
+  struct RangeTask {
+    IdRange range;
+    overlay::NodeHandle parent;
+    bool report_to_origin = false;  // we are the tree root
+    CompletenessPredictor acc;
+    db::AggregateResult view_acc;   // view-snapshot queries accumulate here
+    std::map<std::string, ChildRange> children;
+    bool finished = false;
+  };
+
+  struct VertexState {
+    std::map<NodeId, std::pair<uint64_t, db::AggregateResult>> children;
+    uint64_t version = 0;         // our version as a child of our parent
+    bool send_scheduled = false;
+    // Backups known to hold this vertex's full state; others get a full
+    // sync before deltas (a delta-only backup would reconstruct a partial
+    // subtree after primary failover).
+    std::set<NodeId> synced_backups;
+    bool repropagate_scheduled = false;
+  };
+
+  struct PendingSubmit {
+    NodeId vertex_id;
+    uint64_t version = 0;
+    db::AggregateResult result;
+    bool acked = false;
+  };
+
+  struct ActiveQuery {
+    Query query;
+    std::map<std::string, RangeTask> tasks;
+    std::map<NodeId, VertexState> vertices;
+    PendingSubmit leaf;           // our own contribution
+    bool executed = false;
+    // Origin-side state (only on the injecting endsystem).
+    bool is_origin = false;
+    QueryObserver observer;
+  };
+
+  Simulator* sim() const { return overlay_->simulator(); }
+
+  // --- Metadata plane ---
+  void PushMetadataTick(uint64_t generation);
+  void PushMetadataTo(const overlay::NodeHandle& to, bool allow_delta = false);
+  std::vector<overlay::NodeHandle> ReplicaSet() const;
+  bool LikelyReplicaFor(const NodeId& owner,
+                        const overlay::NodeHandle& holder) const;
+
+  // --- Dissemination plane ---
+  void HandleBroadcast(const overlay::NodeHandle& from,
+                       const SeaweedMessagePtr& msg);
+  void ProcessRange(ActiveQuery& aq, const IdRange& range,
+                    const overlay::NodeHandle& parent, bool report_to_origin);
+  // Terminal handling: fills `out` with this node's predictor for `range`.
+  void GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
+                            CompletenessPredictor* out);
+  // Terminal handling for view snapshots: merges this node's own view value
+  // (if in range) and the stored view values of down owners into `out`.
+  void GenerateViewFor(ActiveQuery& aq, const IdRange& range,
+                       db::AggregateResult* out);
+  IdRange MyCell() const;
+  bool CoveredByLeafset(const IdRange& range) const;
+  void DispatchChild(ActiveQuery& aq, RangeTask& task, ChildRange& child);
+  void CheckTaskTimeout(const NodeId& query_id, const std::string& token);
+  void FinishTaskIfDone(ActiveQuery& aq, RangeTask& task);
+  void ReportTask(ActiveQuery& aq, RangeTask& task);
+  void HandlePredictorReport(const SeaweedMessagePtr& msg);
+
+  // --- Result plane ---
+  void EnsureQueryActive(const Query& query);
+  void ScheduleLocalExecution(const NodeId& query_id);
+  void ExecuteAndSubmit(const NodeId& query_id);
+  NodeId LeafParentVertex(const Query& query) const;
+  bool IsLikelyRootFor(const NodeId& key) const;
+  void SubmitLeafResult(const NodeId& query_id);
+  void RetryLeafSubmit(const NodeId& query_id, uint64_t version);
+  void HandleResultSubmit(const overlay::NodeHandle& from,
+                          const SeaweedMessagePtr& msg);
+  void PropagateVertex(const NodeId& query_id, const NodeId& vertex_id);
+  // Periodic upward re-propagation: repairs aggregates lost to vertex
+  // primary failover anywhere above us within one refresh period.
+  void ScheduleVertexRepropagation(const NodeId& query_id,
+                                   const NodeId& vertex_id);
+  void ReplicateVertex(ActiveQuery& aq, const NodeId& vertex_id,
+                       const NodeId& changed_child);
+  db::AggregateResult MergedVertexResult(const VertexState& state) const;
+
+  // --- Query lifecycle ---
+  void HandleQueryListRequest(const overlay::NodeHandle& from);
+  void HandleQueryList(const SeaweedMessagePtr& msg);
+  void HandleQueryCancel(const SeaweedMessagePtr& msg);
+  void SweepExpiredTick(uint64_t generation);
+
+  void SendSeaweed(const overlay::NodeHandle& to, const SeaweedMessagePtr& msg,
+                   TrafficCategory category);
+  void RouteSeaweed(const NodeId& key, const SeaweedMessagePtr& msg,
+                    TrafficCategory category);
+
+  overlay::OverlayNetwork* overlay_;
+  overlay::PastryNode* pastry_;
+  DataProvider* data_;
+  SeaweedConfig config_;
+
+  // Persistent across down periods (§3.2.1: persisted at the endsystem).
+  AvailabilityModel own_model_;
+  SimTime went_down_at_ = -1;
+  uint64_t metadata_version_ = 0;
+  // Previous pushed summary (delta encoding) and the replicas known to hold
+  // it; volatile — reset on rejoin so fresh replicas get full pushes.
+  std::optional<db::DatabaseSummary> last_pushed_summary_;
+  std::set<NodeId> replicas_with_summary_;
+  // §3.4: the leaf "persists that vertexId with the query". Recomputing the
+  // entry vertex after churn could inject our contribution at two depths of
+  // the same chain and double-count it, so the first choice is sticky.
+  std::map<NodeId, NodeId> persisted_leaf_vertex_;
+
+  // Volatile (lost on failure, rebuilt on rejoin).
+  MetadataStore metadata_;
+  std::map<NodeId, ActiveQuery> active_;
+  // Cancelled-query tombstones: query_id -> expiry of the suppression.
+  std::map<NodeId, SimTime> cancelled_;
+  uint64_t generation_ = 0;
+  Rng rng_;
+};
+
+}  // namespace seaweed

@@ -1,0 +1,27 @@
+#include "seaweed/query.h"
+
+namespace seaweed {
+
+Result<Query> Query::Create(const std::string& sql, SimTime injected_at,
+                            const overlay::NodeHandle& origin,
+                            SimDuration ttl) {
+  db::ParseOptions options;
+  options.now_unix_seconds = injected_at / kSecond;
+  SEAWEED_ASSIGN_OR_RETURN(db::SelectQuery parsed,
+                           db::ParseSelect(sql, options));
+  if (!parsed.IsAggregateOnly()) {
+    return Status::InvalidArgument(
+        "distributed queries must be aggregate-only: " + sql);
+  }
+  Query q;
+  q.sql = sql;
+  q.parsed = std::move(parsed);
+  q.query_id =
+      Sha1ToNodeId(sql + "@" + std::to_string(injected_at));
+  q.injected_at = injected_at;
+  q.ttl = ttl;
+  q.origin = origin;
+  return q;
+}
+
+}  // namespace seaweed

@@ -1,0 +1,53 @@
+// Seaweed queries: SQL text plus the derived queryId and lifecycle metadata.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/sha1.h"
+#include "common/time_types.h"
+#include "db/sql_parser.h"
+#include "overlay/packet.h"
+
+namespace seaweed {
+
+struct Query {
+  std::string sql;
+  db::SelectQuery parsed;
+  NodeId query_id;
+  SimTime injected_at = 0;
+  SimDuration ttl = 48 * kHour;
+  overlay::NodeHandle origin;
+  // Continuous mode (§3.4: "the same protocol can be extended easily to
+  // support continuous queries"): endsystems re-execute every
+  // `reexec_period` and submit updated results through the same versioned
+  // aggregation tree.
+  bool continuous = false;
+  SimDuration reexec_period = 0;
+  // View-snapshot mode (§3.2.2 selective replication): the answer is
+  // assembled from replicated view values during dissemination; endsystems
+  // do not execute the query or run the result-aggregation plane.
+  std::string view_name;
+  bool IsViewSnapshot() const { return !view_name.empty(); }
+
+  // Parses `sql` (substituting NOW() with injected_at in Unix seconds) and
+  // derives the queryId as SHA-1 over the text and injection time, so
+  // re-issuing the same text later yields a distinct query (§3.3 assigns the
+  // hash of the query; we include the timestamp to keep one-shot semantics
+  // for repeated identical queries).
+  static Result<Query> Create(const std::string& sql, SimTime injected_at,
+                              const overlay::NodeHandle& origin,
+                              SimDuration ttl = 48 * kHour);
+
+  bool ExpiredAt(SimTime now) const { return now > injected_at + ttl; }
+
+  // Wire size of the query descriptor inside broadcast / query-list
+  // messages.
+  uint32_t WireBytes() const {
+    return static_cast<uint32_t>(sql.size() + view_name.size()) +
+           16 /*queryId*/ + 8 /*injected_at*/ + 8 /*ttl*/ + 2 /*flags*/ +
+           overlay::kNodeHandleBytes;
+  }
+};
+
+}  // namespace seaweed

@@ -1,0 +1,127 @@
+#include "seaweed/simple_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "db/sql_parser.h"
+
+namespace seaweed {
+
+double PredictionOutcome::ActualRowsBy(SimDuration delta) const {
+  double cum = 0;
+  for (const auto& [offset, rows] : arrivals) {
+    if (offset > delta) break;
+    cum += rows;
+  }
+  return cum;
+}
+
+double PredictionOutcome::RelativeErrorAt(SimDuration delta) const {
+  double actual = ActualRowsBy(delta);
+  if (actual <= 0) return 0;
+  return (PredictedRowsBy(delta) - actual) / actual;
+}
+
+double PredictionOutcome::TotalRowsError() const {
+  if (total_exact_rows <= 0) return 0;
+  return (predictor.TotalRows() - total_exact_rows) / total_exact_rows;
+}
+
+AvailabilityModel LearnAvailabilityModel(const EndsystemAvailability& avail,
+                                         SimTime until) {
+  AvailabilityModel model;
+  const auto& ivs = avail.intervals();
+  for (size_t i = 1; i < ivs.size(); ++i) {
+    if (ivs[i].start >= until) break;
+    // Down period between interval i-1 and i.
+    model.RecordDownPeriod(ivs[i - 1].end, ivs[i].start);
+  }
+  return model;
+}
+
+PredictionExperiment::PredictionExperiment(
+    const AvailabilityTrace* trace, const anemone::AnemoneConfig& config)
+    : trace_(trace), anemone_config_(config) {}
+
+Result<int> PredictionExperiment::AddVariant(const std::string& sql,
+                                             SimTime injected_at) {
+  SEAWEED_CHECK_MSG(!prepared_, "AddVariant after Prepare");
+  db::ParseOptions options;
+  options.now_unix_seconds = injected_at / kSecond;
+  SEAWEED_ASSIGN_OR_RETURN(db::SelectQuery parsed,
+                           db::ParseSelect(sql, options));
+  Variant v;
+  v.sql = sql;
+  v.parsed = std::move(parsed);
+  v.injected_at = injected_at;
+  variants_.push_back(std::move(v));
+  return static_cast<int>(variants_.size()) - 1;
+}
+
+void PredictionExperiment::Prepare() {
+  SEAWEED_CHECK(!prepared_);
+  prepared_ = true;
+  const int n = trace_->num_endsystems();
+  for (auto& v : variants_) {
+    v.exact.resize(static_cast<size_t>(n), 0.0);
+    v.estimated.resize(static_cast<size_t>(n), 0.0);
+  }
+  for (int e = 0; e < n; ++e) {
+    db::Database database;
+    anemone::GenerateEndsystemData(anemone_config_, e, &database);
+    db::DatabaseSummary summary = database.BuildSummary();
+    for (auto& v : variants_) {
+      auto exact = database.CountMatching(v.parsed);
+      SEAWEED_CHECK_MSG(exact.ok(), exact.status().ToString());
+      v.exact[static_cast<size_t>(e)] = static_cast<double>(*exact);
+      v.estimated[static_cast<size_t>(e)] = summary.EstimateRows(v.parsed);
+    }
+  }
+}
+
+PredictionOutcome PredictionExperiment::Run(int variant) const {
+  SEAWEED_CHECK(prepared_);
+  const Variant& v = variants_[static_cast<size_t>(variant)];
+  const SimTime T = v.injected_at;
+
+  PredictionOutcome out;
+  out.injected_at = T;
+
+  const int n = trace_->num_endsystems();
+  for (int e = 0; e < n; ++e) {
+    const auto& avail = trace_->endsystem(e);
+    const double exact = v.exact[static_cast<size_t>(e)];
+    const double est = v.estimated[static_cast<size_t>(e)];
+    out.total_exact_rows += exact;
+
+    if (avail.IsUp(T)) {
+      // Available at injection: estimate counted immediately, result rows
+      // arrive immediately.
+      out.predictor.AddRowsAt(0, est);
+      out.predictor.AddEndsystems(1);
+      if (exact > 0) out.arrivals.push_back({0, exact});
+      continue;
+    }
+
+    // Unavailable: predict from the replicated metadata.
+    SimTime down_since = avail.DownSince(T);
+    if (down_since < 0) down_since = 0;  // down since trace start
+    AvailabilityModel model = LearnAvailabilityModel(avail, T);
+    if (est > 0) {
+      out.predictor.AddRowsWithAvailability(est, [&](SimDuration edge) {
+        return model.ProbUpBy(T, down_since, T + edge);
+      });
+    }
+    out.predictor.AddEndsystems(1);
+
+    // Ground truth: rows arrive when the endsystem actually comes back.
+    SimTime up_at = avail.NextUpAt(T);
+    if (up_at != kSimTimeMax && exact > 0) {
+      out.arrivals.push_back({up_at - T, exact});
+    }
+  }
+  std::sort(out.arrivals.begin(), out.arrivals.end());
+  return out;
+}
+
+}  // namespace seaweed

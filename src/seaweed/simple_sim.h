@@ -1,0 +1,90 @@
+// The "simplified simulator" of §4.3.2: trace-driven completeness
+// experiments at full Farsite scale (51,663 endsystems) without packet-level
+// simulation.
+//
+// The paper: "these experiments used a simplified simulator that correctly
+// captures the effect of availability on completeness but does not do
+// packet-level simulation", with per-endsystem query results and histograms
+// precomputed. This module reproduces that methodology:
+//
+//   1. one generation pass synthesizes each endsystem's Anemone data and
+//      precomputes, for every (query, injection-time) variant, the exact
+//      matching row count and the histogram-based estimate;
+//   2. per variant, each endsystem's availability model is learned from the
+//      trace up to the injection time (the warm-up period);
+//   3. the completeness predictor aggregates estimates exactly as the
+//      distributed protocol would, and the "actual" curve counts exact rows
+//      at each endsystem's true next-up time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anemone/anemone.h"
+#include "common/result.h"
+#include "seaweed/availability_model.h"
+#include "seaweed/completeness.h"
+#include "trace/availability_trace.h"
+
+namespace seaweed {
+
+// One predicted-vs-actual completeness run.
+struct PredictionOutcome {
+  SimTime injected_at = 0;
+  CompletenessPredictor predictor;
+  // (arrival time offset from injection, exact rows) per contributing
+  // endsystem, sorted by offset. Offset 0 = available at injection.
+  std::vector<std::pair<SimDuration, double>> arrivals;
+  double total_exact_rows = 0;  // over all endsystems (ground truth)
+
+  // Cumulative actual rows available within `delta` of injection.
+  double ActualRowsBy(SimDuration delta) const;
+  // Cumulative predicted rows within `delta`.
+  double PredictedRowsBy(SimDuration delta) const {
+    return predictor.ExpectedRowsBy(delta);
+  }
+  // Relative prediction error at `delta`: (pred - actual) / actual.
+  double RelativeErrorAt(SimDuration delta) const;
+  // Error of the predicted total row count vs ground truth.
+  double TotalRowsError() const;
+};
+
+class PredictionExperiment {
+ public:
+  PredictionExperiment(const AvailabilityTrace* trace,
+                       const anemone::AnemoneConfig& anemone_config);
+
+  // Registers a (sql, injection time) variant. Call before Prepare().
+  // Returns the variant index.
+  Result<int> AddVariant(const std::string& sql, SimTime injected_at);
+
+  // One pass over all endsystems: generates data, precomputes exact counts
+  // and histogram estimates for every variant.
+  void Prepare();
+
+  // Runs the completeness simulation for one prepared variant.
+  PredictionOutcome Run(int variant) const;
+
+  int num_endsystems() const { return trace_->num_endsystems(); }
+
+ private:
+  struct Variant {
+    std::string sql;
+    db::SelectQuery parsed;
+    SimTime injected_at;
+    std::vector<double> exact;      // per endsystem
+    std::vector<double> estimated;  // per endsystem (histogram-based)
+  };
+
+  const AvailabilityTrace* trace_;
+  anemone::AnemoneConfig anemone_config_;
+  std::vector<Variant> variants_;
+  bool prepared_ = false;
+};
+
+// Learns an availability model from a trace prefix [0, until): every
+// completed down period feeds RecordDownPeriod.
+AvailabilityModel LearnAvailabilityModel(const EndsystemAvailability& avail,
+                                         SimTime until);
+
+}  // namespace seaweed

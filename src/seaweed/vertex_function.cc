@@ -1,0 +1,26 @@
+#include "seaweed/vertex_function.h"
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+NodeId VertexParent(const NodeId& query_id, const NodeId& vertex_id, int b) {
+  SEAWEED_DCHECK(vertex_id != query_id);
+  int len = query_id.CommonPrefixLength(vertex_id, b);
+  // First (len+1) digits from the queryId, remaining digits from the vertex.
+  return query_id.ConcatPrefixSuffix(len + 1, vertex_id, b);
+}
+
+int VertexDepth(const NodeId& query_id, const NodeId& vertex_id, int b) {
+  int depth = 0;
+  NodeId v = vertex_id;
+  const int max_depth = kIdBits / b + 1;
+  while (v != query_id) {
+    v = VertexParent(query_id, v, b);
+    ++depth;
+    SEAWEED_CHECK_MSG(depth <= max_depth, "vertex chain failed to converge");
+  }
+  return depth;
+}
+
+}  // namespace seaweed

@@ -1,0 +1,33 @@
+// The aggregation-tree vertex function V (§3.4).
+//
+// V maps a vertexId to its parent vertexId for a given queryId:
+//
+//   V(queryId, vertexId) = PREFIX(queryId, len+1) ++ SUFFIX(vertexId, D-len-1)
+//
+// where len is the length of the common digit prefix of queryId and
+// vertexId, and D = 128/b digits. Each application replaces one more
+// leading digit of the vertexId with the queryId's digit, so the common
+// prefix grows by at least one per step and the chain converges to queryId
+// (the tree root) in at most D steps.
+//
+// (The paper prints the formula with PREFIX/SUFFIX swapped relative to this;
+// read literally with a most-significant-first digit order that fixpoints
+// without converging, so we use the convergent orientation. The properties
+// the paper claims — deterministic parent, root == queryId, good load
+// spread because interior vertexIds inherit the child's low digits — all
+// hold.)
+#pragma once
+
+#include "common/node_id.h"
+
+namespace seaweed {
+
+// Parent vertexId of `vertex_id` in the aggregation tree of `query_id`.
+// Precondition: vertex_id != query_id (the root has no parent).
+NodeId VertexParent(const NodeId& query_id, const NodeId& vertex_id, int b);
+
+// Depth of `vertex_id` in the tree: number of V applications to reach
+// query_id. Root has depth 0.
+int VertexDepth(const NodeId& query_id, const NodeId& vertex_id, int b);
+
+}  // namespace seaweed

@@ -1,0 +1,109 @@
+// Seaweed protocol messages, carried as application payloads over the
+// Pastry overlay. WireBytes() feeds the bandwidth meter per message kind.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/query_exec.h"
+#include "overlay/packet.h"
+#include "seaweed/completeness.h"
+#include "seaweed/id_range.h"
+#include "seaweed/metadata.h"
+#include "seaweed/query.h"
+
+namespace seaweed {
+
+struct SeaweedMessage {
+  enum class Kind : uint8_t {
+    kMetadataPush,      // owner (or anti-entropy peer) -> replica holder
+    kBroadcast,         // query dissemination: handle this namespace range
+    kPredictorReport,   // child -> parent in the distribution tree
+    kPredictorDeliver,  // tree root -> query origin
+    kResultSubmit,      // leaf/vertex -> parent vertex primary
+    kResultAck,         // vertex primary -> submitter
+    kVertexReplicate,   // vertex primary -> backups
+    kResultDeliver,     // root vertex -> query origin
+    kQueryListRequest,  // rejoining node -> neighbor
+    kQueryList,         // neighbor -> rejoining node
+    kQueryCancel,       // epidemic cancellation notice
+  };
+
+  Kind kind;
+
+  // kMetadataPush
+  Metadata metadata;
+  uint32_t metadata_wire_bytes = 0;  // summary wire size (possibly overridden)
+
+  // Query-scoped fields.
+  NodeId query_id;
+  std::vector<Query> queries;  // kBroadcast (1), kQueryList (n)
+
+  // kBroadcast / kPredictorReport
+  IdRange range;
+  overlay::NodeHandle parent;  // whom to report predictors to
+
+  // kPredictorReport / kPredictorDeliver
+  CompletenessPredictor predictor;
+
+  // kResultSubmit / kResultAck / kVertexReplicate / kResultDeliver
+  NodeId vertex_id;
+  NodeId child_key;
+  uint64_t version = 0;
+  db::AggregateResult result;
+  // kVertexReplicate: full vertex state.
+  std::vector<std::tuple<NodeId, uint64_t, db::AggregateResult>> vertex_state;
+
+  uint32_t WireBytes() const {
+    uint32_t bytes = 1;
+    switch (kind) {
+      case Kind::kMetadataPush:
+        bytes += 16 + 8 + metadata_wire_bytes +
+                 static_cast<uint32_t>(metadata.availability.SerializedBytes());
+        break;
+      case Kind::kBroadcast:
+        bytes += 16 + 33 /*range*/ + overlay::kNodeHandleBytes;
+        for (const auto& q : queries) bytes += q.WireBytes();
+        break;
+      case Kind::kPredictorReport:
+      case Kind::kPredictorDeliver:
+        bytes += 16 + 33 +
+                 static_cast<uint32_t>(predictor.SerializedBytes());
+        // View-snapshot runs carry an aggregate instead of (empty)
+        // predictor mass; charge it when present.
+        if (!result.states.empty() || !result.groups.empty()) {
+          bytes += static_cast<uint32_t>(result.SerializedBytes());
+        }
+        break;
+      case Kind::kResultSubmit:
+      case Kind::kResultDeliver:
+        bytes += 16 + 16 + 16 + 8 +
+                 static_cast<uint32_t>(result.SerializedBytes());
+        break;
+      case Kind::kResultAck:
+        bytes += 16 + 16 + 16 + 8;
+        break;
+      case Kind::kVertexReplicate: {
+        bytes += 16 + 16;
+        for (const auto& [key, ver, res] : vertex_state) {
+          (void)key;
+          (void)ver;
+          bytes += 16 + 8 + static_cast<uint32_t>(res.SerializedBytes());
+        }
+        break;
+      }
+      case Kind::kQueryListRequest:
+      case Kind::kQueryCancel:
+        break;
+      case Kind::kQueryList:
+        for (const auto& q : queries) bytes += q.WireBytes();
+        break;
+    }
+    return bytes;
+  }
+};
+
+using SeaweedMessagePtr = std::shared_ptr<SeaweedMessage>;
+
+}  // namespace seaweed

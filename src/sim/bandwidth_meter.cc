@@ -1,0 +1,110 @@
+#include "sim/bandwidth_meter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+const char* TrafficCategoryName(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kPastry:
+      return "pastry";
+    case TrafficCategory::kMetadata:
+      return "metadata";
+    case TrafficCategory::kDissemination:
+      return "dissemination";
+    case TrafficCategory::kPredictor:
+      return "predictor";
+    case TrafficCategory::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+void BandwidthMeter::Bump(std::vector<uint32_t>& v, int64_t hour,
+                          uint32_t bytes) {
+  if (hour < 0) hour = 0;
+  if (static_cast<size_t>(hour) >= v.size()) {
+    v.resize(static_cast<size_t>(hour) + 1, 0);
+  }
+  v[static_cast<size_t>(hour)] += bytes;
+}
+
+void BandwidthMeter::RecordTx(uint32_t endsystem, TrafficCategory cat,
+                              SimTime t, uint32_t bytes) {
+  SEAWEED_DCHECK(endsystem < per_endsystem_.size());
+  int64_t hour = t / kHour;
+  max_hour_ = std::max(max_hour_, hour);
+  Bump(per_endsystem_[endsystem].tx_by_hour, hour, bytes);
+  total_tx_ += bytes;
+  category_tx_[static_cast<int>(cat)] += bytes;
+  auto& tl = category_timeline_[static_cast<int>(cat)];
+  if (static_cast<size_t>(hour) >= tl.size()) {
+    tl.resize(static_cast<size_t>(hour) + 1, 0);
+  }
+  tl[static_cast<size_t>(hour)] += bytes;
+}
+
+void BandwidthMeter::RecordRx(uint32_t endsystem, TrafficCategory cat,
+                              SimTime t, uint32_t bytes) {
+  (void)cat;
+  SEAWEED_DCHECK(endsystem < per_endsystem_.size());
+  int64_t hour = t / kHour;
+  max_hour_ = std::max(max_hour_, hour);
+  Bump(per_endsystem_[endsystem].rx_by_hour, hour, bytes);
+  total_rx_ += bytes;
+}
+
+uint64_t BandwidthMeter::TxInHour(uint32_t endsystem, int64_t hour) const {
+  const auto& v = per_endsystem_[endsystem].tx_by_hour;
+  if (hour < 0 || static_cast<size_t>(hour) >= v.size()) return 0;
+  return v[static_cast<size_t>(hour)];
+}
+
+uint64_t BandwidthMeter::RxInHour(uint32_t endsystem, int64_t hour) const {
+  const auto& v = per_endsystem_[endsystem].rx_by_hour;
+  if (hour < 0 || static_cast<size_t>(hour) >= v.size()) return 0;
+  return v[static_cast<size_t>(hour)];
+}
+
+std::vector<double> BandwidthMeter::HourlyTxRates(int64_t first_hour,
+                                                  int64_t last_hour) const {
+  std::vector<double> out;
+  out.reserve(per_endsystem_.size() *
+              static_cast<size_t>(last_hour - first_hour + 1));
+  for (size_t e = 0; e < per_endsystem_.size(); ++e) {
+    for (int64_t h = first_hour; h <= last_hour; ++h) {
+      out.push_back(static_cast<double>(TxInHour(static_cast<uint32_t>(e), h)) /
+                    3600.0);
+    }
+  }
+  return out;
+}
+
+std::vector<double> BandwidthMeter::HourlyRxRates(int64_t first_hour,
+                                                  int64_t last_hour) const {
+  std::vector<double> out;
+  out.reserve(per_endsystem_.size() *
+              static_cast<size_t>(last_hour - first_hour + 1));
+  for (size_t e = 0; e < per_endsystem_.size(); ++e) {
+    for (int64_t h = first_hour; h <= last_hour; ++h) {
+      out.push_back(static_cast<double>(RxInHour(static_cast<uint32_t>(e), h)) /
+                    3600.0);
+    }
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace seaweed

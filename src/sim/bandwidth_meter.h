@@ -1,0 +1,90 @@
+// Bandwidth accounting for the packet-level experiments.
+//
+// Every message send/receive is charged to a traffic category so the bench
+// harness can reproduce the paper's component breakdown (Fig 9a: MSPastry
+// overhead vs Seaweed maintenance vs query overhead) and the per-endsystem
+// per-hour load CDFs (Fig 9b, 9c, 10b).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace seaweed {
+
+enum class TrafficCategory : uint8_t {
+  kPastry = 0,         // overlay liveness: leafset heartbeats, join, repair
+  kMetadata = 1,       // Seaweed maintenance: summary + availability pushes
+  kDissemination = 2,  // query broadcast down the distribution tree
+  kPredictor = 3,      // completeness predictor aggregation
+  kResult = 4,         // incremental result aggregation
+};
+inline constexpr int kNumTrafficCategories = 5;
+
+const char* TrafficCategoryName(TrafficCategory c);
+
+class BandwidthMeter {
+ public:
+  explicit BandwidthMeter(int num_endsystems)
+      : per_endsystem_(static_cast<size_t>(num_endsystems)) {}
+
+  // Charges `bytes` transmitted by `from` and (on delivery) received by `to`.
+  void RecordTx(uint32_t endsystem, TrafficCategory cat, SimTime t,
+                uint32_t bytes);
+  void RecordRx(uint32_t endsystem, TrafficCategory cat, SimTime t,
+                uint32_t bytes);
+
+  // --- Totals ---
+  uint64_t total_tx_bytes() const { return total_tx_; }
+  uint64_t total_rx_bytes() const { return total_rx_; }
+  uint64_t CategoryTxBytes(TrafficCategory cat) const {
+    return category_tx_[static_cast<int>(cat)];
+  }
+
+  // --- Timelines (per hour, system-wide, per category, tx bytes) ---
+  // hour -> bytes transmitted in that hour by all endsystems in `cat`.
+  const std::vector<uint64_t>& CategoryTimeline(TrafficCategory cat) const {
+    return category_timeline_[static_cast<int>(cat)];
+  }
+
+  // --- Per-endsystem per-hour samples ---
+  // Bytes transmitted (resp. received) by endsystem e during hour h;
+  // 0 if never recorded.
+  uint64_t TxInHour(uint32_t endsystem, int64_t hour) const;
+  uint64_t RxInHour(uint32_t endsystem, int64_t hour) const;
+  int64_t MaxHour() const { return max_hour_; }
+  int num_endsystems() const {
+    return static_cast<int>(per_endsystem_.size());
+  }
+
+  // Flattened per-endsystem-per-hour average tx bandwidth samples in
+  // bytes/second over hours [first_hour, last_hour], one sample per
+  // (endsystem, hour) pair — the distribution plotted in Fig 9(b).
+  std::vector<double> HourlyTxRates(int64_t first_hour,
+                                    int64_t last_hour) const;
+  std::vector<double> HourlyRxRates(int64_t first_hour,
+                                    int64_t last_hour) const;
+
+ private:
+  struct PerEndsystem {
+    std::vector<uint32_t> tx_by_hour;
+    std::vector<uint32_t> rx_by_hour;
+  };
+
+  static void Bump(std::vector<uint32_t>& v, int64_t hour, uint32_t bytes);
+
+  std::vector<PerEndsystem> per_endsystem_;
+  std::array<uint64_t, kNumTrafficCategories> category_tx_{};
+  std::array<std::vector<uint64_t>, kNumTrafficCategories> category_timeline_;
+  uint64_t total_tx_ = 0;
+  uint64_t total_rx_ = 0;
+  int64_t max_hour_ = -1;
+};
+
+// Percentile of a sample vector (p in [0,100]); sorts a copy.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace seaweed

@@ -1,0 +1,66 @@
+// Discrete-event queue: a binary heap of (time, sequence, callback).
+//
+// Events with equal timestamps fire in scheduling order (FIFO), which keeps
+// simulations deterministic. Cancellation is supported through tombstoning:
+// cancelled events stay in the heap but are skipped on pop, which is O(1)
+// amortized and avoids heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace seaweed {
+
+// Opaque handle to a scheduled event, usable for cancellation.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `when`. `when` must be >= the time of
+  // the last popped event.
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if already fired or cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; kSimTimeMax when empty.
+  SimTime PeekTime() const;
+
+  // Pops and returns the earliest event. Must not be called when empty.
+  // The caller runs the callback (so the queue can be re-entered from it).
+  std::pair<SimTime, std::function<void()>> Pop();
+
+  // Total events ever scheduled (for stats).
+  uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // also serves as FIFO tiebreak: lower id first
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace seaweed

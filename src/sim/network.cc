@@ -1,0 +1,62 @@
+#include "sim/network.h"
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+Network::Network(Simulator* sim, const Topology* topology,
+                 BandwidthMeter* meter, double loss_rate, uint64_t seed)
+    : sim_(sim),
+      topology_(topology),
+      meter_(meter),
+      loss_rate_(loss_rate),
+      rng_(seed),
+      handlers_(static_cast<size_t>(topology->num_endsystems())),
+      up_(static_cast<size_t>(topology->num_endsystems()), false) {}
+
+void Network::SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) {
+  handlers_[e] = std::move(handler);
+}
+
+void Network::SetUp(EndsystemIndex e, bool up) { up_[e] = up; }
+
+bool Network::Send(EndsystemIndex from, EndsystemIndex to,
+                   TrafficCategory cat, std::shared_ptr<void> payload,
+                   uint32_t payload_bytes) {
+  if (!up_[from]) return false;
+  const uint32_t wire_bytes = payload_bytes + kMessageHeaderBytes;
+  meter_->RecordTx(from, cat, sim_->Now(), wire_bytes);
+  ++messages_sent_;
+
+  if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
+    ++messages_lost_;
+    return true;  // sent, but the network ate it
+  }
+
+  SimDuration delay = topology_->Delay(from, to);
+  sim_->After(delay, [this, from, to, cat, wire_bytes,
+                      payload = std::move(payload), payload_bytes]() mutable {
+    if (!up_[to]) {
+      ++messages_lost_;
+      if (drop_handler_ && up_[from]) {
+        // Per-hop failure detection: the sender's retransmission timeout
+        // fires and it learns the next hop is dead.
+        sim_->After(drop_notice_delay_,
+                    [this, from, to, payload = std::move(payload)]() mutable {
+                      if (up_[from] && drop_handler_) {
+                        drop_handler_(from, to, std::move(payload));
+                      }
+                    });
+      }
+      return;
+    }
+    meter_->RecordRx(to, cat, sim_->Now(), wire_bytes);
+    ++messages_delivered_;
+    if (handlers_[to]) {
+      handlers_[to](from, std::move(payload), payload_bytes);
+    }
+  });
+  return true;
+}
+
+}  // namespace seaweed

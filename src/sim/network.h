@@ -1,0 +1,82 @@
+// Message-level simulated network.
+//
+// Delivers opaque payloads between endsystems with topology-derived latency,
+// optional uniform loss, and per-endsystem up/down state. Sends to or from a
+// down endsystem are dropped (the sender still pays transmit bandwidth for
+// sends it initiates, matching a real lossy datagram network).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/bandwidth_meter.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace seaweed {
+
+// Fixed per-message wire overhead (UDP/IP headers plus overlay header).
+inline constexpr uint32_t kMessageHeaderBytes = 48;
+
+class Network {
+ public:
+  // Handler invoked on message delivery at an endsystem.
+  using DeliveryHandler =
+      std::function<void(EndsystemIndex from, std::shared_ptr<void> payload,
+                         uint32_t payload_bytes)>;
+
+  Network(Simulator* sim, const Topology* topology, BandwidthMeter* meter,
+          double loss_rate, uint64_t seed);
+
+  // Registers the receive upcall for an endsystem. Must be set before any
+  // message can be delivered to it.
+  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler);
+
+  // Marks an endsystem as up/down. Messages in flight toward an endsystem
+  // that is down at delivery time are dropped silently.
+  void SetUp(EndsystemIndex e, bool up);
+  bool IsUp(EndsystemIndex e) const { return up_[e]; }
+
+  // Sends `payload_bytes` of application payload (the meter is charged
+  // payload + header). Returns false if the sender is down (nothing sent).
+  bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
+            std::shared_ptr<void> payload, uint32_t payload_bytes);
+
+  // Handler invoked (after `drop_notice_delay`) at the *sender* when a
+  // message could not be delivered because the receiver was down. Models
+  // per-hop timeout-based failure detection (MSPastry acks routed messages
+  // hop by hop); random wire loss is NOT reported.
+  using DropHandler = std::function<void(EndsystemIndex from,
+                                         EndsystemIndex to,
+                                         std::shared_ptr<void> payload)>;
+  void SetDropHandler(DropHandler handler, SimDuration drop_notice_delay) {
+    drop_handler_ = std::move(handler);
+    drop_notice_delay_ = drop_notice_delay;
+  }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_lost() const { return messages_lost_; }
+
+  const Topology& topology() const { return *topology_; }
+  Simulator* simulator() const { return sim_; }
+  BandwidthMeter* meter() const { return meter_; }
+
+ private:
+  Simulator* sim_;
+  const Topology* topology_;
+  BandwidthMeter* meter_;
+  double loss_rate_;
+  Rng rng_;
+  std::vector<DeliveryHandler> handlers_;
+  DropHandler drop_handler_;
+  SimDuration drop_notice_delay_ = kSecond;
+  std::vector<bool> up_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_lost_ = 0;
+};
+
+}  // namespace seaweed

@@ -1,0 +1,29 @@
+#include "sim/simulator.h"
+
+namespace seaweed {
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty()) {
+    SimTime next = queue_.PeekTime();
+    if (next > until) break;
+    auto [when, fn] = queue_.Pop();
+    now_ = when;
+    ++events_executed_;
+    fn();
+  }
+  if (now_ < until && until != kSimTimeMax) now_ = until;
+}
+
+uint64_t Simulator::Step(uint64_t n) {
+  uint64_t done = 0;
+  while (done < n && !queue_.empty()) {
+    auto [when, fn] = queue_.Pop();
+    now_ = when;
+    ++events_executed_;
+    fn();
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace seaweed

@@ -1,0 +1,59 @@
+// Simulator: the discrete-event engine driving all packet-level experiments.
+//
+// Owns the virtual clock and the event queue. Components schedule callbacks
+// with At()/After(); RunUntil() advances the clock. The engine is single-
+// threaded and deterministic.
+#pragma once
+
+#include <functional>
+
+#include "common/logging.h"
+#include "common/time_types.h"
+#include "sim/event_queue.h"
+
+namespace seaweed {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `when` (>= Now()).
+  EventId At(SimTime when, std::function<void()> fn) {
+    SEAWEED_DCHECK(when >= now_);
+    return queue_.Schedule(when, std::move(fn));
+  }
+
+  // Schedules `fn` after `delay` from now.
+  EventId After(SimDuration delay, std::function<void()> fn) {
+    SEAWEED_DCHECK(delay >= 0);
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue drains or the clock passes `until`.
+  // The clock is left at min(until, last event time).
+  void RunUntil(SimTime until);
+
+  // Runs until the event queue is empty.
+  void RunToCompletion() { RunUntil(kSimTimeMax); }
+
+  // Executes at most `n` events (for stepping in tests). Returns the number
+  // actually executed.
+  uint64_t Step(uint64_t n = 1);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace seaweed

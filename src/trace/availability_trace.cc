@@ -1,0 +1,167 @@
+#include "trace/availability_trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+EndsystemAvailability::EndsystemAvailability(std::vector<UpInterval> up)
+    : up_(std::move(up)) {
+  for (size_t i = 0; i < up_.size(); ++i) {
+    SEAWEED_CHECK_MSG(up_[i].start < up_[i].end, "empty or inverted interval");
+    if (i > 0) {
+      SEAWEED_CHECK_MSG(up_[i - 1].end <= up_[i].start,
+                        "intervals must be sorted and disjoint");
+    }
+  }
+}
+
+size_t EndsystemAvailability::FirstIntervalEndingAfter(SimTime t) const {
+  // Binary search on interval end.
+  auto it = std::upper_bound(
+      up_.begin(), up_.end(), t,
+      [](SimTime v, const UpInterval& iv) { return v < iv.end; });
+  return static_cast<size_t>(it - up_.begin());
+}
+
+bool EndsystemAvailability::IsUp(SimTime t) const {
+  size_t i = FirstIntervalEndingAfter(t);
+  return i < up_.size() && up_[i].start <= t;
+}
+
+SimTime EndsystemAvailability::NextUpAt(SimTime t) const {
+  size_t i = FirstIntervalEndingAfter(t);
+  if (i >= up_.size()) return kSimTimeMax;
+  return std::max(t, up_[i].start);
+}
+
+SimTime EndsystemAvailability::NextDownAfter(SimTime t) const {
+  size_t i = FirstIntervalEndingAfter(t);
+  if (i >= up_.size()) return kSimTimeMax;
+  return up_[i].end;
+}
+
+SimTime EndsystemAvailability::DownSince(SimTime t) const {
+  if (IsUp(t)) return -1;
+  // Last interval ending at or before t.
+  size_t i = FirstIntervalEndingAfter(t);
+  if (i == 0) return -1;  // never up before t
+  return up_[i - 1].end;
+}
+
+SimDuration EndsystemAvailability::UpTimeIn(SimTime t0, SimTime t1) const {
+  SimDuration total = 0;
+  for (size_t i = FirstIntervalEndingAfter(t0); i < up_.size(); ++i) {
+    if (up_[i].start >= t1) break;
+    total += std::min(t1, up_[i].end) - std::max(t0, up_[i].start);
+  }
+  return total;
+}
+
+int EndsystemAvailability::DeparturesIn(SimTime t0, SimTime t1) const {
+  int n = 0;
+  for (size_t i = FirstIntervalEndingAfter(t0); i < up_.size(); ++i) {
+    if (up_[i].end >= t1) break;
+    ++n;
+  }
+  return n;
+}
+
+void EndsystemAvailability::Append(UpInterval iv) {
+  SEAWEED_CHECK(iv.start < iv.end);
+  if (!up_.empty()) {
+    SEAWEED_CHECK_MSG(up_.back().end <= iv.start,
+                      "Append out of order");
+    if (up_.back().end == iv.start) {
+      up_.back().end = iv.end;  // coalesce touching intervals
+      return;
+    }
+  }
+  up_.push_back(iv);
+}
+
+int AvailabilityTrace::CountUp(SimTime t) const {
+  int n = 0;
+  for (const auto& e : endsystems_) {
+    if (e.IsUp(t)) ++n;
+  }
+  return n;
+}
+
+double AvailabilityTrace::MeanAvailability(SimTime t0, SimTime t1,
+                                           SimDuration step) const {
+  if (endsystems_.empty()) return 0;
+  // Integrate exactly via up-time rather than sampling when step <= 0.
+  if (step <= 0) {
+    double up = 0;
+    for (const auto& e : endsystems_) {
+      up += static_cast<double>(e.UpTimeIn(t0, t1));
+    }
+    return up / (static_cast<double>(t1 - t0) *
+                 static_cast<double>(endsystems_.size()));
+  }
+  double sum = 0;
+  int samples = 0;
+  for (SimTime t = t0; t < t1; t += step) {
+    sum += static_cast<double>(CountUp(t)) /
+           static_cast<double>(endsystems_.size());
+    ++samples;
+  }
+  return samples ? sum / samples : 0;
+}
+
+double AvailabilityTrace::ChurnRate(SimTime t0, SimTime t1) const {
+  if (endsystems_.empty() || t1 <= t0) return 0;
+  int64_t transitions = 0;
+  for (const auto& e : endsystems_) {
+    for (const auto& iv : e.intervals()) {
+      if (iv.start > t0 && iv.start < t1) ++transitions;  // join
+      if (iv.end > t0 && iv.end < t1) ++transitions;      // leave
+    }
+  }
+  return static_cast<double>(transitions) /
+         (static_cast<double>(endsystems_.size()) * ToSeconds(t1 - t0));
+}
+
+double AvailabilityTrace::DepartureRatePerOnline(SimTime t0, SimTime t1) const {
+  if (endsystems_.empty() || t1 <= t0) return 0;
+  int64_t departures = 0;
+  double online_seconds = 0;
+  for (const auto& e : endsystems_) {
+    departures += e.DeparturesIn(t0, t1);
+    online_seconds += ToSeconds(e.UpTimeIn(t0, t1));
+  }
+  return online_seconds > 0 ? static_cast<double>(departures) / online_seconds
+                            : 0;
+}
+
+std::vector<double> AvailabilityTrace::DiurnalProfile(SimTime t0,
+                                                      SimTime t1) const {
+  std::vector<double> sum(24, 0.0);
+  std::vector<int> count(24, 0);
+  for (SimTime t = t0; t < t1; t += kHour) {
+    int h = HourOfDay(t);
+    sum[static_cast<size_t>(h)] += static_cast<double>(CountUp(t)) /
+                                   static_cast<double>(endsystems_.size());
+    ++count[static_cast<size_t>(h)];
+  }
+  for (int h = 0; h < 24; ++h) {
+    if (count[static_cast<size_t>(h)] > 0) {
+      sum[static_cast<size_t>(h)] /= count[static_cast<size_t>(h)];
+    }
+  }
+  return sum;
+}
+
+std::vector<double> AvailabilityTrace::HourlySamples(SimTime t0,
+                                                     SimTime t1) const {
+  std::vector<double> out;
+  for (SimTime t = t0; t < t1; t += kHour) {
+    out.push_back(static_cast<double>(CountUp(t)) /
+                  static_cast<double>(endsystems_.size()));
+  }
+  return out;
+}
+
+}  // namespace seaweed

@@ -1,0 +1,112 @@
+// Availability traces: per-endsystem up/down interval timelines.
+//
+// The paper drives all experiments from two measured traces — the Farsite
+// study of 51,663 endsystems on the Microsoft corporate network (mean
+// availability 0.81, churn 6.9e-6/s, strong diurnal pattern) and a Gnutella
+// activity trace (7,602 endsystems, departure rate 9.46e-5/s). These traces
+// are not public, so src/trace provides synthetic generators calibrated to
+// the published aggregate statistics (see farsite_model.h / gnutella_model.h)
+// plus this representation and its statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_types.h"
+
+namespace seaweed {
+
+// A half-open interval [start, end) during which an endsystem is up.
+struct UpInterval {
+  SimTime start;
+  SimTime end;
+};
+
+// Timeline of one endsystem: sorted, disjoint up intervals.
+class EndsystemAvailability {
+ public:
+  EndsystemAvailability() = default;
+  explicit EndsystemAvailability(std::vector<UpInterval> up);
+
+  const std::vector<UpInterval>& intervals() const { return up_; }
+
+  // True if the endsystem is up at time t.
+  bool IsUp(SimTime t) const;
+
+  // Earliest time >= t at which the endsystem is up; kSimTimeMax if never.
+  SimTime NextUpAt(SimTime t) const;
+
+  // If up at t: the end of the current up interval. If down at t: the end of
+  // the next up interval. kSimTimeMax if there is no later down transition.
+  SimTime NextDownAfter(SimTime t) const;
+
+  // Start of the most recent down period at time t (i.e. the end of the last
+  // up interval before t). Returns -1 if the endsystem has never been up
+  // before t or is currently up.
+  SimTime DownSince(SimTime t) const;
+
+  // Total up time within [t0, t1).
+  SimDuration UpTimeIn(SimTime t0, SimTime t1) const;
+
+  // Number of up->down transitions in [t0, t1).
+  int DeparturesIn(SimTime t0, SimTime t1) const;
+
+  // Appends an interval; must start at or after the end of the last one
+  // (adjacent intervals are coalesced).
+  void Append(UpInterval iv);
+
+ private:
+  // Index of the first interval with end > t, or up_.size().
+  size_t FirstIntervalEndingAfter(SimTime t) const;
+  std::vector<UpInterval> up_;
+};
+
+// A trace over a fixed horizon [0, duration) for N endsystems.
+class AvailabilityTrace {
+ public:
+  AvailabilityTrace(int num_endsystems, SimDuration duration)
+      : endsystems_(static_cast<size_t>(num_endsystems)),
+        duration_(duration) {}
+
+  int num_endsystems() const { return static_cast<int>(endsystems_.size()); }
+  SimDuration duration() const { return duration_; }
+
+  EndsystemAvailability& endsystem(int i) {
+    return endsystems_[static_cast<size_t>(i)];
+  }
+  const EndsystemAvailability& endsystem(int i) const {
+    return endsystems_[static_cast<size_t>(i)];
+  }
+
+  // --- Aggregate statistics (used for calibration & the Fig 1 bench) ---
+
+  // Number of endsystems up at time t.
+  int CountUp(SimTime t) const;
+
+  // Mean fraction of endsystems up, sampled every `step` over [t0, t1).
+  double MeanAvailability(SimTime t0, SimTime t1,
+                          SimDuration step = kHour) const;
+
+  // Transitions (up->down plus down->up) per endsystem per second in
+  // [t0, t1) — the paper's churn rate c.
+  double ChurnRate(SimTime t0, SimTime t1) const;
+
+  // Departures per *online* endsystem-second in [t0, t1) — the metric the
+  // paper reports for both traces (4.06e-6 Farsite, 9.46e-5 Gnutella).
+  double DepartureRatePerOnline(SimTime t0, SimTime t1) const;
+
+  // Fraction up by hour of day, averaged over [t0, t1): the diurnal profile
+  // visible in Fig 1. Result has 24 entries.
+  std::vector<double> DiurnalProfile(SimTime t0, SimTime t1) const;
+
+  // Fraction of endsystems up at hourly sample points (the Fig 1 series).
+  std::vector<double> HourlySamples(SimTime t0, SimTime t1) const;
+
+ private:
+  std::vector<EndsystemAvailability> endsystems_;
+  SimDuration duration_;
+};
+
+}  // namespace seaweed

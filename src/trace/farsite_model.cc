@@ -1,0 +1,125 @@
+#include "trace/farsite_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+namespace {
+
+// Emits alternating exponential up/down sessions over [0, duration).
+void GenerateExponentialSessions(EndsystemAvailability* out, Rng& rng,
+                                 SimDuration mean_up, SimDuration mean_down,
+                                 SimDuration duration) {
+  // Start in steady state: up with probability mean_up/(mean_up+mean_down).
+  double p_up = static_cast<double>(mean_up) /
+                static_cast<double>(mean_up + mean_down);
+  bool up = rng.Bernoulli(p_up);
+  SimTime t = 0;
+  // If starting mid-session, the residual of an exponential is exponential.
+  while (t < duration) {
+    if (up) {
+      SimTime end = t + static_cast<SimDuration>(
+                            rng.Exponential(static_cast<double>(mean_up)));
+      end = std::min<SimTime>(end, duration);
+      if (end > t) out->Append({t, end});
+      t = end;
+      up = false;
+    } else {
+      t += static_cast<SimDuration>(
+          rng.Exponential(static_cast<double>(mean_down)));
+      up = true;
+    }
+  }
+}
+
+void GenerateDiurnal(EndsystemAvailability* out, Rng& rng,
+                     const FarsiteModelConfig& cfg, SimDuration duration) {
+  // Per-machine habitual arrival/departure hours.
+  double arrive_h = std::clamp(
+      rng.Normal(cfg.arrival_hour_mean, cfg.arrival_hour_stddev), 5.0, 12.0);
+  double depart_h =
+      std::clamp(rng.Normal(cfg.departure_hour_mean, cfg.departure_hour_stddev),
+                 arrive_h + 4.0, 23.0);
+
+  const int64_t num_days = duration / kDay + 1;
+  SimTime up_since = -1;  // >= 0 while the machine is up
+
+  auto jitter = [&]() {
+    return static_cast<SimDuration>(
+        rng.Normal(0.0, static_cast<double>(cfg.daily_jitter_stddev)));
+  };
+  auto close_session = [&](SimTime end) {
+    end = std::min<SimTime>(end, duration);
+    if (up_since >= 0 && end > up_since) {
+      out->Append({up_since, end});
+    }
+    up_since = -1;
+  };
+
+  for (int64_t day = 0; day < num_days; ++day) {
+    SimTime day_start = day * kDay;
+    bool weekend = IsWeekend(day_start);
+
+    if (weekend) {
+      // Machines left on keep running through the weekend. Otherwise there
+      // is a small chance of a short weekend session.
+      if (up_since < 0 && rng.Bernoulli(cfg.weekend_session_prob)) {
+        SimTime s = day_start +
+                    static_cast<SimDuration>(rng.Uniform(9.0, 20.0) * kHour);
+        SimTime e =
+            s + static_cast<SimDuration>(rng.Uniform(0.5, 4.0) * kHour);
+        if (s < duration) {
+          out->Append({s, std::min<SimTime>(e, duration)});
+        }
+      }
+      continue;
+    }
+
+    SimTime arrive =
+        day_start + static_cast<SimDuration>(arrive_h * kHour) + jitter();
+    SimTime depart =
+        day_start + static_cast<SimDuration>(depart_h * kHour) + jitter();
+    if (depart <= arrive) depart = arrive + kHour;
+
+    if (up_since < 0) {
+      // Came in this morning and turned the machine on.
+      up_since = arrive;
+    }
+    // At departure time, decide whether the machine is left on overnight.
+    if (!rng.Bernoulli(cfg.stay_on_overnight)) {
+      close_session(depart);
+    }
+    if (up_since >= 0 && up_since >= duration) {
+      up_since = -1;
+    }
+  }
+  close_session(duration);
+}
+
+}  // namespace
+
+AvailabilityTrace GenerateFarsiteTrace(const FarsiteModelConfig& config,
+                                       int num_endsystems,
+                                       SimDuration duration) {
+  AvailabilityTrace trace(num_endsystems, duration);
+  Rng master(config.seed);
+  for (int i = 0; i < num_endsystems; ++i) {
+    Rng rng = master.Split();
+    double roll = rng.NextDouble();
+    auto* out = &trace.endsystem(i);
+    if (roll < config.server_fraction) {
+      GenerateExponentialSessions(out, rng, config.server_mean_up,
+                                  config.server_mean_down, duration);
+    } else if (roll < config.server_fraction + config.diurnal_fraction) {
+      GenerateDiurnal(out, rng, config, duration);
+    } else {
+      GenerateExponentialSessions(out, rng, config.churner_mean_up,
+                                  config.churner_mean_down, duration);
+    }
+  }
+  return trace;
+}
+
+}  // namespace seaweed

@@ -1,0 +1,59 @@
+// Synthetic generator calibrated to the Farsite enterprise availability
+// study (Bolosky et al., SIGMETRICS 2000) as summarized in the Seaweed paper:
+//
+//   - 51,663 endsystems, ~4 weeks, hourly pings
+//   - mean availability 0.81 (Table 1: f_on)
+//   - churn rate c ~= 6.9e-6 transitions / endsystem / second (Table 1)
+//   - departure rate ~= 4.06e-6 departures / online endsystem / second
+//   - pronounced diurnal pattern: machines come up when people arrive at
+//     work (Fig 1), making many endsystems' up-events predictable
+//
+// The population mixes three machine classes:
+//   * servers        — essentially always on, rare short outages
+//   * diurnal desktops — on during work hours on weekdays; each evening the
+//     owner leaves the machine on overnight with probability `stay_on`
+//   * random churners — exponential up/down sessions (laptops, test boxes)
+//
+// These three classes jointly reproduce the published aggregates (verified
+// by tests/trace_test.cc) and give the availability-model learner both
+// periodic and non-periodic machines to classify, as the paper requires.
+#pragma once
+
+#include "common/rng.h"
+#include "trace/availability_trace.h"
+
+namespace seaweed {
+
+struct FarsiteModelConfig {
+  double server_fraction = 0.45;
+  double diurnal_fraction = 0.30;
+  // remainder are random churners
+
+  // Servers.
+  SimDuration server_mean_up = 30 * kDay;
+  SimDuration server_mean_down = 2 * kHour;
+
+  // Diurnal desktops. Arrival/departure are per-machine habits with daily
+  // jitter on top.
+  double arrival_hour_mean = 8.75;    // ~08:45
+  double arrival_hour_stddev = 0.75;  // habit spread across machines
+  double departure_hour_mean = 17.75;
+  double departure_hour_stddev = 1.0;
+  SimDuration daily_jitter_stddev = 20 * kMinute;
+  double stay_on_overnight = 0.45;  // P(left on at departure time)
+  double weekend_session_prob = 0.08;  // P(short weekend session per day)
+
+  // Random churners.
+  SimDuration churner_mean_up = 36 * kHour;
+  SimDuration churner_mean_down = 14 * kHour;
+
+  uint64_t seed = 1;
+};
+
+// Generates a trace of `num_endsystems` machines over [0, duration).
+// Day 0 is a Monday, matching trace/time_types.h conventions.
+AvailabilityTrace GenerateFarsiteTrace(const FarsiteModelConfig& config,
+                                       int num_endsystems,
+                                       SimDuration duration);
+
+}  // namespace seaweed

@@ -1,0 +1,55 @@
+#include "trace/gnutella_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seaweed {
+
+AvailabilityTrace GenerateGnutellaTrace(const GnutellaModelConfig& config,
+                                        int num_endsystems,
+                                        SimDuration duration) {
+  AvailabilityTrace trace(num_endsystems, duration);
+  Rng master(config.seed);
+
+  // Log-normal parameters giving the configured mean session length:
+  // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+  const double sigma = config.session_sigma;
+  const double mu =
+      std::log(static_cast<double>(config.mean_session)) - sigma * sigma / 2.0;
+
+  for (int i = 0; i < num_endsystems; ++i) {
+    Rng rng = master.Split();
+    auto* out = &trace.endsystem(i);
+    double p_up = static_cast<double>(config.mean_session) /
+                  static_cast<double>(config.mean_session +
+                                      config.mean_downtime);
+    bool up = rng.Bernoulli(p_up);
+    SimTime t = 0;
+    while (t < duration) {
+      if (up) {
+        SimTime end =
+            t + std::max<SimDuration>(
+                    kMinute, static_cast<SimDuration>(rng.LogNormal(mu, sigma)));
+        end = std::min<SimTime>(end, duration);
+        if (end > t) out->Append({t, end});
+        t = end;
+        up = false;
+      } else {
+        // Diurnal modulation: reconnects are more likely in the evening
+        // (hour 18-23). Scale the mean downtime by the local rate.
+        double hour = static_cast<double>(HourOfDay(t));
+        double rate_scale =
+            1.0 + config.diurnal_amplitude *
+                      std::sin((hour - 12.0) / 24.0 * 2.0 * M_PI);
+        double mean_down =
+            static_cast<double>(config.mean_downtime) / rate_scale;
+        t += std::max<SimDuration>(
+            kMinute, static_cast<SimDuration>(rng.Exponential(mean_down)));
+        up = true;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace seaweed

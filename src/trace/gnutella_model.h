@@ -1,0 +1,35 @@
+// Synthetic generator calibrated to the Gnutella activity traces (Saroiu et
+// al., MMCN 2002) as used by the Seaweed paper's high-churn experiment:
+//
+//   - 7,602 endsystems over a 60-hour window
+//   - departure rate ~= 9.46e-5 departures / online endsystem / second
+//     (mean online session ~2.9 hours)
+//   - low mean availability (peers connect for short sessions)
+//
+// Sessions are drawn from a log-normal (heavy-tailed) distribution with the
+// published mean; downtimes are exponential. A mild diurnal modulation is
+// applied to session starts, as observed in the measurement study.
+#pragma once
+
+#include "common/rng.h"
+#include "trace/availability_trace.h"
+
+namespace seaweed {
+
+struct GnutellaModelConfig {
+  // Mean online session: 1 / 9.46e-5 s ~= 2.94 hours.
+  SimDuration mean_session = static_cast<SimDuration>(2.94 * kHour);
+  // Log-normal sigma for session lengths (heavier tail than exponential).
+  double session_sigma = 1.0;
+  // Mean downtime between sessions; chosen for ~0.4 mean availability.
+  SimDuration mean_downtime = static_cast<SimDuration>(4.4 * kHour);
+  // Amplitude of the diurnal modulation of reconnection rate, in [0, 1).
+  double diurnal_amplitude = 0.25;
+  uint64_t seed = 2;
+};
+
+AvailabilityTrace GenerateGnutellaTrace(const GnutellaModelConfig& config,
+                                        int num_endsystems,
+                                        SimDuration duration);
+
+}  // namespace seaweed

@@ -1,0 +1,96 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace seaweed {
+
+namespace {
+constexpr const char* kMagic = "# seaweed-availability-trace v1";
+}
+
+Status SaveTrace(const AvailabilityTrace& trace, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "endsystems " << trace.num_endsystems() << " duration_us "
+      << trace.duration() << "\n";
+  for (int e = 0; e < trace.num_endsystems(); ++e) {
+    const auto& ivs = trace.endsystem(e).intervals();
+    if (ivs.empty()) continue;
+    out << e << ":";
+    for (const auto& iv : ivs) {
+      out << " " << iv.start << "-" << iv.end;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status SaveTraceToFile(const AvailabilityTrace& trace,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveTrace(trace, out);
+}
+
+Result<AvailabilityTrace> LoadTrace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::ParseError("missing trace magic header");
+  }
+  std::string word;
+  int n = -1;
+  long long duration = -1;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("missing trace size header");
+  }
+  {
+    std::istringstream header(line);
+    std::string k1, k2;
+    if (!(header >> k1 >> n >> k2 >> duration) || k1 != "endsystems" ||
+        k2 != "duration_us" || n < 0 || duration < 0) {
+      return Status::ParseError("bad trace size header: " + line);
+    }
+  }
+  AvailabilityTrace trace(n, static_cast<SimDuration>(duration));
+  int line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int index;
+    char colon;
+    if (!(ls >> index >> std::noskipws >> colon) || colon != ':') {
+      return Status::ParseError("bad endsystem line " +
+                                std::to_string(line_no));
+    }
+    if (index < 0 || index >= n) {
+      return Status::ParseError("endsystem index out of range at line " +
+                                std::to_string(line_no));
+    }
+    ls >> std::skipws;
+    long long start, end;
+    char dash;
+    while (ls >> start >> dash >> end) {
+      if (dash != '-' || start >= end) {
+        return Status::ParseError("bad interval at line " +
+                                  std::to_string(line_no));
+      }
+      trace.endsystem(index).Append(
+          {static_cast<SimTime>(start), static_cast<SimTime>(end)});
+    }
+    if (!ls.eof()) {
+      return Status::ParseError("trailing garbage at line " +
+                                std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+Result<AvailabilityTrace> LoadTraceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadTrace(in);
+}
+
+}  // namespace seaweed

@@ -1,0 +1,31 @@
+// Availability-trace persistence.
+//
+// A simple line-oriented text format so traces can be generated once,
+// inspected with standard tools, and replayed across runs (or substituted
+// with real measurement data in the same format):
+//
+//   # seaweed-availability-trace v1
+//   endsystems <N> duration_us <D>
+//   <endsystem-index>: <start_us>-<end_us> <start_us>-<end_us> ...
+//
+// Endsystems with no up intervals may be omitted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "trace/availability_trace.h"
+
+namespace seaweed {
+
+// Writes `trace` in the text format above.
+Status SaveTrace(const AvailabilityTrace& trace, std::ostream& out);
+Status SaveTraceToFile(const AvailabilityTrace& trace,
+                       const std::string& path);
+
+// Parses a trace; validates interval ordering.
+Result<AvailabilityTrace> LoadTrace(std::istream& in);
+Result<AvailabilityTrace> LoadTraceFromFile(const std::string& path);
+
+}  // namespace seaweed

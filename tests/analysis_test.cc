@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/models.h"
+
+namespace seaweed::analysis {
+namespace {
+
+TEST(ModelsTest, CentralizedFormulaHandCheck) {
+  ModelParams p;
+  p.N = 1000;
+  p.f_on = 0.5;
+  p.u = 100;
+  // f_on * N * u = 0.5 * 1000 * 100.
+  EXPECT_DOUBLE_EQ(CentralizedOverhead(p), 50000.0);
+}
+
+TEST(ModelsTest, SeaweedFormulaHandCheck) {
+  ModelParams p;
+  p.N = 1000;
+  p.f_on = 0.5;
+  p.k = 4;
+  p.p = 0.01;
+  p.h = 1000;
+  p.a = 50;
+  p.c = 1e-5;
+  // f_on*N*k*p*h + (1/f_on)*N*c*k*(h+a)
+  double expected = 0.5 * 1000 * 4 * 0.01 * 1000 +
+                    (1 / 0.5) * 1000 * 1e-5 * 4 * 1050;
+  EXPECT_DOUBLE_EQ(SeaweedOverhead(p), expected);
+}
+
+TEST(ModelsTest, DhtReplicatedFormulaHandCheck) {
+  ModelParams p;
+  p.N = 1000;
+  p.f_on = 0.8;
+  p.k = 4;
+  p.u = 100;
+  p.c = 1e-5;
+  p.d = 1e9;
+  double expected = 0.8 * 1000 * 4 * 100 + (1 / 0.8) * 1000 * 1e-5 * 4 * 1e9;
+  EXPECT_DOUBLE_EQ(DhtReplicatedOverhead(p), expected);
+}
+
+TEST(ModelsTest, PierFormulaHandCheck) {
+  ModelParams p;
+  p.N = 1000;
+  p.f_on = 0.8;
+  p.d = 1e9;
+  p.r = 1.0 / 300;
+  EXPECT_DOUBLE_EQ(PierOverhead(p), 0.8 * 1000 * 1e9 / 300);
+}
+
+TEST(ModelsTest, PierAvailabilityMatchesPaperTable2) {
+  // Paper Table 2, Gnutella row (c = 9.46e-5 within rounding).
+  EXPECT_NEAR(PierAvailability(9.46e-5, 300), 0.972, 0.005);
+  EXPECT_NEAR(PierAvailability(9.46e-5, 3600), 0.711, 0.01);
+  EXPECT_NEAR(PierAvailability(9.46e-5, 12 * 3600), 0.017, 0.005);
+}
+
+TEST(ModelsTest, HeadlineRatiosMatchPaperClaims) {
+  ModelParams p;  // Table 1 defaults (figure-consistent p = 1/300)
+  double ratio_centralized = CentralizedOverhead(p) / SeaweedOverhead(p);
+  EXPECT_GT(ratio_centralized, 8.0);   // paper: ~10x
+  EXPECT_LT(ratio_centralized, 14.0);
+  double ratio_dht = DhtReplicatedOverhead(p) / SeaweedOverhead(p);
+  EXPECT_GT(ratio_dht, 1000.0);  // paper: >= 1000x
+}
+
+TEST(ModelsTest, AllDesignsLinearInN) {
+  ModelParams p;
+  for (auto f : {CentralizedOverhead, SeaweedOverhead, DhtReplicatedOverhead,
+                 PierOverhead}) {
+    ModelParams p1 = p, p10 = p;
+    p10.N = p.N * 10;
+    EXPECT_NEAR(f(p10) / f(p1), 10.0, 1e-9);
+  }
+}
+
+TEST(ModelsTest, SeaweedFlatInUpdateRateAndDatabaseSize) {
+  ModelParams a, b;
+  b.u = a.u * 1000;
+  EXPECT_DOUBLE_EQ(SeaweedOverhead(a), SeaweedOverhead(b));
+  ModelParams c, d;
+  d.d = c.d * 1000;
+  EXPECT_DOUBLE_EQ(SeaweedOverhead(c), SeaweedOverhead(d));
+}
+
+TEST(ModelsTest, SweepIsLogSpacedAndComplete) {
+  ModelParams p;
+  auto rows = Sweep(p, SweepAxis::kNetworkSize, 1e3, 1e6, 7);
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_DOUBLE_EQ(rows.front().x, 1e3);
+  EXPECT_NEAR(rows.back().x, 1e6, 1);
+  // Log spacing: constant ratio between consecutive points.
+  double ratio = rows[1].x / rows[0].x;
+  for (size_t i = 2; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].x / rows[i - 1].x, ratio, 1e-6 * ratio);
+  }
+  for (const auto& r : rows) {
+    EXPECT_GT(r.centralized, 0);
+    EXPECT_GT(r.seaweed, 0);
+    EXPECT_GT(r.dht_replicated, 0);
+    EXPECT_GT(r.pier_5min, r.pier_1hr);  // faster refresh costs more
+  }
+}
+
+TEST(ModelsTest, CrossoverBracketsAnemoneRate) {
+  ModelParams p;
+  double crossover =
+      SeaweedCentralizedCrossover(p, SweepAxis::kUpdateRate, 1e-2, 1e5);
+  ASSERT_FALSE(std::isnan(crossover));
+  // Seaweed must already win at the Anemone rate of 970 B/s.
+  EXPECT_LT(crossover, 970.0);
+  // And at the crossover the two designs cost the same.
+  ModelParams at = p;
+  at.u = crossover;
+  EXPECT_NEAR(SeaweedOverhead(at) / CentralizedOverhead(at), 1.0, 0.01);
+}
+
+TEST(ModelsTest, CrossoverNanWhenNoSignChange) {
+  ModelParams p;
+  // Seaweed beats centralized on the whole high-u interval: no crossover.
+  double none =
+      SeaweedCentralizedCrossover(p, SweepAxis::kUpdateRate, 1e4, 1e6);
+  EXPECT_TRUE(std::isnan(none));
+}
+
+}  // namespace
+}  // namespace seaweed::analysis

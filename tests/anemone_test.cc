@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "anemone/anemone.h"
+#include "db/sql_parser.h"
+
+namespace seaweed::anemone {
+namespace {
+
+TEST(AnemoneTest, GeneratesFlowTableWithSchema) {
+  AnemoneConfig cfg;
+  cfg.days = 7;
+  db::Database database;
+  auto stats = GenerateEndsystemData(cfg, 0, &database);
+  const db::Table* flow = database.FindTable("Flow");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->num_rows(), static_cast<size_t>(stats.flow_rows));
+  EXPECT_GT(stats.flow_rows, 0);
+  EXPECT_EQ(flow->schema().num_columns(), 11u);
+  // Packet table disabled by default.
+  EXPECT_EQ(database.FindTable("Packet"), nullptr);
+}
+
+TEST(AnemoneTest, PacketTableWhenEnabled) {
+  AnemoneConfig cfg;
+  cfg.days = 3;
+  cfg.packets_per_flow = 2.0;
+  db::Database database;
+  auto stats = GenerateEndsystemData(cfg, 0, &database);
+  ASSERT_NE(database.FindTable("Packet"), nullptr);
+  EXPECT_GT(stats.packet_rows, stats.flow_rows);
+}
+
+TEST(AnemoneTest, DeterministicPerIndex) {
+  AnemoneConfig cfg;
+  cfg.days = 5;
+  db::Database a, b, c;
+  auto sa = GenerateEndsystemData(cfg, 3, &a);
+  auto sb = GenerateEndsystemData(cfg, 3, &b);
+  auto sc = GenerateEndsystemData(cfg, 4, &c);
+  EXPECT_EQ(sa.flow_rows, sb.flow_rows);
+  auto q = db::ParseSelect("SELECT SUM(Bytes) FROM Flow");
+  EXPECT_DOUBLE_EQ((*a.ExecuteAggregate(*q)).states[0].sum,
+                   (*b.ExecuteAggregate(*q)).states[0].sum);
+  // Different index: almost surely different data.
+  EXPECT_NE(sa.flow_rows, sc.flow_rows);
+}
+
+TEST(AnemoneTest, FiveIndexedColumns) {
+  // The paper: 5 histograms per endsystem.
+  int indexed = 0;
+  for (const auto& col : FlowSchema().columns()) {
+    if (col.indexed) ++indexed;
+  }
+  EXPECT_EQ(indexed, 5);
+}
+
+TEST(AnemoneTest, VolumeHeterogeneity) {
+  // Servers should push the row-count distribution to a heavy tail.
+  AnemoneConfig cfg;
+  cfg.days = 7;
+  std::vector<int64_t> rows;
+  for (int e = 0; e < 60; ++e) {
+    db::Database database;
+    rows.push_back(GenerateEndsystemData(cfg, e, &database).flow_rows);
+  }
+  std::sort(rows.begin(), rows.end());
+  int64_t median = rows[rows.size() / 2];
+  int64_t max = rows.back();
+  EXPECT_GT(max, 4 * median) << "expected heavy-tailed volumes";
+}
+
+TEST(AnemoneTest, EvaluationQueriesSelectMeaningfulSubsets) {
+  AnemoneConfig cfg;
+  cfg.days = 14;
+  cfg.workstation_flows_per_day = 200;
+  db::Database database;
+  GenerateEndsystemData(cfg, 1, &database);
+  int64_t total = *database.CountMatching(
+      *db::ParseSelect("SELECT COUNT(*) FROM Flow"));
+  ASSERT_GT(total, 500);
+
+  for (const char* sql :
+       {kQueryHttpBytes, kQueryBigFlows, kQuerySmbAvg, kQueryPrivPorts}) {
+    auto q = db::ParseSelect(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    auto matched = database.CountMatching(*q);
+    ASSERT_TRUE(matched.ok()) << sql;
+    // Each query selects a non-trivial, non-total subset.
+    EXPECT_GT(*matched, 0) << sql;
+    EXPECT_LT(*matched, total) << sql;
+  }
+}
+
+TEST(AnemoneTest, DiurnalTrafficPattern) {
+  AnemoneConfig cfg;
+  cfg.days = 14;
+  cfg.workstation_flows_per_day = 300;
+  db::Database database;
+  GenerateEndsystemData(cfg, 2, &database);
+  const db::Table* flow = database.FindTable("Flow");
+  ASSERT_NE(flow, nullptr);
+  // Count flows in working hours (9-17) vs night (0-6) by ts.
+  int64_t work = 0, night = 0;
+  for (size_t i = 0; i < flow->num_rows(); ++i) {
+    int64_t ts = flow->column(0).Int64At(i);
+    int hour = static_cast<int>((ts / 3600) % 24);
+    if (hour >= 9 && hour < 17) ++work;
+    if (hour < 6) ++night;
+  }
+  EXPECT_GT(work, 2 * night);
+}
+
+TEST(AnemoneTest, SummarySizeScalesTowardPaperValue) {
+  // With building-trace-like volumes the serialized summary should be in
+  // the ballpark of the paper's h = 6,473 bytes.
+  AnemoneConfig cfg;
+  cfg.days = 21;
+  cfg.workstation_flows_per_day = 400;
+  db::Database database;
+  auto stats = GenerateEndsystemData(cfg, 5, &database);
+  EXPECT_GT(stats.summary_bytes, 2000u);
+  EXPECT_LT(stats.summary_bytes, 30000u);
+}
+
+TEST(AnemoneTest, UpdateRateEstimatePositive) {
+  AnemoneConfig cfg;
+  EXPECT_GT(EstimatedUpdateRate(cfg), 0.0);
+}
+
+}  // namespace
+}  // namespace seaweed::anemone

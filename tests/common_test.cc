@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/node_id.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/sha1.h"
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace seaweed {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "x");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SEAWEED_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Half(3).value_or(-1), -1);
+  EXPECT_EQ(Half(8).value_or(-1), 4);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(42);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(var, 9.0, 0.6);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkew) {
+  Rng rng(5);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.2);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should dominate under a skewed distribution.
+  EXPECT_GT(ones, n / 20);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(1);
+  Rng b = a.Split();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+// --- NodeId ---
+
+TEST(NodeIdTest, HexRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    NodeId id = NodeId::Random(rng);
+    NodeId parsed;
+    ASSERT_TRUE(NodeId::TryParse(id.ToHex(), &parsed));
+    EXPECT_EQ(id, parsed);
+  }
+}
+
+TEST(NodeIdTest, ParseRejectsMalformed) {
+  NodeId out;
+  EXPECT_FALSE(NodeId::TryParse("xyz", &out));
+  EXPECT_FALSE(NodeId::TryParse(std::string(32, 'g'), &out));
+  EXPECT_TRUE(NodeId::TryParse(std::string(32, '0'), &out));
+  EXPECT_EQ(out, NodeId());
+}
+
+TEST(NodeIdTest, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    NodeId a = NodeId::Random(rng);
+    NodeId b = NodeId::Random(rng);
+    EXPECT_EQ(a.Add(b).Sub(b), a);
+  }
+}
+
+TEST(NodeIdTest, AddCarriesAcrossWords) {
+  NodeId a(0, ~0ULL);
+  NodeId one(0, 1);
+  EXPECT_EQ(a.Add(one), NodeId(1, 0));
+}
+
+TEST(NodeIdTest, RingDistanceSymmetric) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    NodeId a = NodeId::Random(rng);
+    NodeId b = NodeId::Random(rng);
+    EXPECT_EQ(a.RingDistanceTo(b), b.RingDistanceTo(a));
+  }
+}
+
+TEST(NodeIdTest, ClockwiseDistanceWraps) {
+  NodeId a(~0ULL, ~0ULL);
+  NodeId b(0, 1);
+  EXPECT_EQ(a.ClockwiseDistanceTo(b), NodeId(0, 2));
+}
+
+TEST(NodeIdTest, MidpointOfArc) {
+  NodeId a(0, 100);
+  NodeId b(0, 200);
+  EXPECT_EQ(a.MidpointTo(b), NodeId(0, 150));
+}
+
+TEST(NodeIdTest, InArcBasics) {
+  NodeId lo(0, 100), hi(0, 200);
+  EXPECT_TRUE(NodeId(0, 100).InArc(lo, hi));
+  EXPECT_TRUE(NodeId(0, 150).InArc(lo, hi));
+  EXPECT_TRUE(NodeId(0, 200).InArc(lo, hi));
+  EXPECT_FALSE(NodeId(0, 99).InArc(lo, hi));
+  EXPECT_FALSE(NodeId(0, 201).InArc(lo, hi));
+  // Wrapping arc.
+  EXPECT_TRUE(NodeId(0, 50).InArc(hi, lo));
+  EXPECT_TRUE(NodeId(~0ULL, 12345).InArc(hi, lo));
+  EXPECT_FALSE(NodeId(0, 150).InArc(hi, lo));
+}
+
+TEST(NodeIdTest, DigitExtractionMatchesHex) {
+  // With b=4, digit i is exactly hex character i.
+  NodeId id = NodeId::FromHex("0123456789abcdef0123456789abcdef");
+  for (int i = 0; i < 32; ++i) {
+    int expected = (i % 16);
+    EXPECT_EQ(id.Digit(i, 4), expected) << "digit " << i;
+  }
+}
+
+TEST(NodeIdTest, WithDigitRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId id = NodeId::Random(rng);
+    for (int b : {4, 8}) {
+      int digits = kIdBits / b;
+      int pos = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(digits)));
+      int val = static_cast<int>(rng.NextBelow(1ULL << b));
+      NodeId modified = id.WithDigit(pos, b, val);
+      EXPECT_EQ(modified.Digit(pos, b), val);
+      // Other digits untouched.
+      for (int i = 0; i < digits; ++i) {
+        if (i != pos) EXPECT_EQ(modified.Digit(i, b), id.Digit(i, b));
+      }
+    }
+  }
+}
+
+TEST(NodeIdTest, CommonPrefixLength) {
+  NodeId a = NodeId::FromHex("aabbccdd000000000000000000000000");
+  NodeId b = NodeId::FromHex("aabbccde000000000000000000000000");
+  EXPECT_EQ(a.CommonPrefixLength(b, 4), 7);
+  EXPECT_EQ(a.CommonPrefixLength(a, 4), 32);
+}
+
+TEST(NodeIdTest, PrefixSuffixConcat) {
+  NodeId a = NodeId::FromHex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  NodeId b = NodeId::FromHex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb");
+  NodeId joined = a.ConcatPrefixSuffix(8, b, 4);
+  EXPECT_EQ(joined.ToHex(), "aaaaaaaabbbbbbbbbbbbbbbbbbbbbbbb");
+}
+
+TEST(NodeIdTest, PrefixZeroesLowDigits) {
+  NodeId a = NodeId::FromHex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(a.Prefix(4, 4).ToHex(), "ffff0000000000000000000000000000");
+  EXPECT_EQ(a.Suffix(4, 4).ToHex(), "0000000000000000000000000000ffff");
+  EXPECT_EQ(a.Prefix(0, 4), NodeId());
+  EXPECT_EQ(a.Prefix(32, 4), a);
+}
+
+TEST(NodeIdTest, HalfShiftsRight) {
+  NodeId a(1, 0);
+  EXPECT_EQ(a.Half(), NodeId(0, 1ULL << 63));
+}
+
+// --- SHA-1 ---
+
+TEST(Sha1Test, KnownVectors) {
+  // FIPS 180-1 test vectors.
+  EXPECT_EQ(Sha1Hex(Sha1("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1Hex(Sha1("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1Hex(Sha1(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, LongInput) {
+  std::string million(1000000, 'a');
+  EXPECT_EQ(Sha1Hex(Sha1(million)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, NodeIdDerivationIsPrefix) {
+  NodeId id = Sha1ToNodeId("abc");
+  EXPECT_EQ(id.ToHex(), "a9993e364706816aba3e25717850c26c");
+}
+
+// --- Serialization ---
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutBool(true);
+  w.PutString("hello");
+  w.PutNodeId(NodeId(7, 9));
+
+  Reader r(w.bytes());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_TRUE(*r.GetBool());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetNodeId(), NodeId(7, 9));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintBoundaries) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     ~0ULL, 1ULL << 32}) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(*r.GetVarint(), v);
+  }
+}
+
+TEST(SerializeTest, VarintIsCompactForSmallValues) {
+  Writer w;
+  w.PutVarint(100);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerializeTest, TruncationIsError) {
+  Writer w;
+  w.PutU32(5);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.GetU64().status().IsOutOfRange());
+}
+
+TEST(SerializeTest, StringTruncationIsError) {
+  Writer w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8('x');
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+// --- Time ---
+
+TEST(TimeTest, HourOfDay) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(13 * kHour + 30 * kMinute), 13);
+  EXPECT_EQ(HourOfDay(25 * kHour), 1);
+}
+
+TEST(TimeTest, DayOfWeekStartsMonday) {
+  EXPECT_EQ(DayOfWeek(0), 0);
+  EXPECT_EQ(DayOfWeek(5 * kDay), 5);
+  EXPECT_TRUE(IsWeekend(5 * kDay));
+  EXPECT_TRUE(IsWeekend(6 * kDay + 3 * kHour));
+  EXPECT_FALSE(IsWeekend(7 * kDay));
+}
+
+TEST(TimeTest, Formatting) {
+  EXPECT_EQ(FormatSimTime(0), "d0 00:00:00.000");
+  EXPECT_EQ(FormatDuration(90 * kMinute), "1h30m");
+  EXPECT_EQ(FormatDuration(500 * kMillisecond), "500ms");
+}
+
+}  // namespace
+}  // namespace seaweed

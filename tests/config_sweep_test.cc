@@ -1,0 +1,156 @@
+// Configuration sweeps: the overlay and the full stack must work across
+// digit widths (b), leafset sizes (l), replication factors, and lossy
+// networks — not just the paper's defaults.
+#include <gtest/gtest.h>
+
+#include "seaweed/cluster.h"
+
+namespace seaweed {
+namespace {
+
+std::shared_ptr<StaticDataProvider> MakeData(int n) {
+  std::vector<std::shared_ptr<db::Database>> dbs;
+  db::Schema schema({{"v", db::ColumnType::kInt64, true}});
+  for (int e = 0; e < n; ++e) {
+    auto database = std::make_shared<db::Database>();
+    auto table = database->CreateTable("T", schema);
+    for (int i = 0; i < 3; ++i) {
+      (*table)->column(0).AppendInt64(e);
+      (*table)->CommitRow();
+    }
+    dbs.push_back(std::move(database));
+  }
+  return std::make_shared<StaticDataProvider>(std::move(dbs));
+}
+
+class DigitWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitWidthSweep, EndToEndQueryAcrossDigitWidths) {
+  const int n = 24;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  cfg.pastry.b = GetParam();
+  SeaweedCluster cluster(cfg, MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+  ASSERT_EQ(cluster.CountJoined(), n);
+
+  db::AggregateResult latest;
+  bool got_predictor = false;
+  QueryObserver obs;
+  obs.on_predictor = [&](const NodeId&, const CompletenessPredictor&) {
+    got_predictor = true;
+  };
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM T",
+                                 std::move(obs));
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  EXPECT_TRUE(got_predictor);
+  EXPECT_EQ(latest.rows_matched, 3 * n);
+  EXPECT_EQ(latest.endsystems, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DigitWidthSweep, ::testing::Values(1, 2, 4, 8));
+
+class LeafsetSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafsetSizeSweep, OverlayAndMetadataWork) {
+  const int n = 20;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  cfg.pastry.l = GetParam();
+  cfg.seaweed.metadata_replicas = GetParam();
+  SeaweedCluster cluster(cfg, MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(40 * kMinute);
+  ASSERT_EQ(cluster.CountJoined(), n);
+  // Metadata replicated to at least l/2 holders.
+  int total_holders = 0;
+  for (int e = 0; e < n; ++e) {
+    NodeId owner = cluster.pastry_node(e)->id();
+    for (int o = 0; o < n; ++o) {
+      if (o != e && cluster.seaweed_node(o)->metadata_store().Find(owner)) {
+        ++total_holders;
+      }
+    }
+  }
+  EXPECT_GE(total_holders, n * GetParam() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LeafsetSizeSweep, ::testing::Values(4, 8, 16));
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, QueryCompletesOnLossyNetwork) {
+  // MSPastry's headline: reliable operation at 5% loss. Our retry layers
+  // (dissemination reissue, leaf-submit acks, periodic refresh) must carry
+  // the query through.
+  const int n = 24;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  cfg.message_loss_rate = GetParam();
+  cfg.seaweed.result_refresh_period = 2 * kMinute;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(10 * kMinute);
+  EXPECT_EQ(cluster.CountJoined(), n);
+
+  db::AggregateResult latest;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM T",
+                                 std::move(obs));
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 15 * kMinute);
+  EXPECT_EQ(latest.rows_matched, 3 * n);
+  EXPECT_EQ(latest.endsystems, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loss, LossSweep, ::testing::Values(0.01, 0.05));
+
+TEST(ClusterAccountingTest, OnlineSecondsMatchTrace) {
+  const int n = 10;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  // Hand-built trace: endsystems 0..4 up the whole 2 hours; 5..9 up for the
+  // second hour only.
+  AvailabilityTrace trace(n, 2 * kHour);
+  for (int e = 0; e < 5; ++e) trace.endsystem(e).Append({0, 2 * kHour});
+  for (int e = 5; e < n; ++e) trace.endsystem(e).Append({kHour, 2 * kHour});
+  cluster.DriveFromTrace(trace, 2 * kHour);
+  cluster.sim().RunUntil(2 * kHour);
+  // Hour 0: 5 endsystems online (up to join staggering of a few seconds).
+  EXPECT_NEAR(cluster.OnlineSecondsInHour(0), 5 * 3600.0, 60.0);
+  EXPECT_NEAR(cluster.OnlineSecondsInHour(1), 10 * 3600.0, 60.0);
+}
+
+TEST(ClusterAccountingTest, MeanTxPerOnlineConsistentWithMeter) {
+  const int n = 12;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(2 * kHour);
+  // Total per-online rate across categories equals the category sum.
+  double total = cluster.MeanTxPerOnline(0, 1);
+  double sum = 0;
+  for (int c = 0; c < kNumTrafficCategories; ++c) {
+    sum += cluster.MeanTxPerOnline(0, 1, c);
+  }
+  EXPECT_NEAR(total, sum, 1e-9);
+  EXPECT_GT(total, 0);
+}
+
+}  // namespace
+}  // namespace seaweed

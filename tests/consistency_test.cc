@@ -1,0 +1,171 @@
+// Tests for the paper's §2.3 consistency guarantees:
+//
+//  * predictor coverage: H_U(-inf, 0) ⊆ H_pred ⊆ H_U(-inf, T_e) — every
+//    endsystem ever seen before injection contributes to the predictor
+//    (with high probability), and nothing else does;
+//  * result coverage: H = H_U(0, T) — an endsystem is counted in the result
+//    (exactly once) iff it was available long enough during the query's
+//    lifetime to receive and process it.
+#include <gtest/gtest.h>
+
+#include "seaweed/cluster.h"
+#include "trace/farsite_model.h"
+
+namespace seaweed {
+namespace {
+
+std::shared_ptr<StaticDataProvider> MakeData(int n) {
+  std::vector<std::shared_ptr<db::Database>> dbs;
+  db::Schema schema({{"v", db::ColumnType::kInt64, true}});
+  for (int e = 0; e < n; ++e) {
+    auto database = std::make_shared<db::Database>();
+    auto table = database->CreateTable("T", schema);
+    (*table)->column(0).AppendInt64(e);
+    (*table)->CommitRow();
+    dbs.push_back(std::move(database));
+  }
+  return std::make_shared<StaticDataProvider>(std::move(dbs));
+}
+
+TEST(ConsistencyTest, PredictorCoversExactlyEverSeenEndsystems) {
+  const int n = 120;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  SeaweedCluster cluster(cfg, MakeData(n));
+
+  // First 90 endsystems come up; 15 of them later fail; the last 30 never
+  // exist as far as Seaweed is concerned.
+  for (int e = 0; e < 90; ++e) cluster.BringUp(e);
+  cluster.sim().RunUntil(40 * kMinute);  // join + metadata replication
+  for (int e = 75; e < 90; ++e) cluster.BringDown(e);
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  CompletenessPredictor predictor;
+  bool got = false;
+  QueryObserver obs;
+  obs.on_predictor = [&](const NodeId&, const CompletenessPredictor& p) {
+    got = true;
+    predictor = p;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM T",
+                                 std::move(obs));
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 2 * kMinute);
+  ASSERT_TRUE(got);
+
+  // Ever-seen = 90; never-seen = 30. Allow a tiny replica-loss shortfall
+  // (the paper's "with high probability").
+  EXPECT_GE(predictor.endsystems(), 88);
+  EXPECT_LE(predictor.endsystems(), 90);
+}
+
+TEST(ConsistencyTest, ResultSetMatchesAvailabilityWindow) {
+  // H = H_U(0, T): endsystems available during the query window contribute
+  // exactly once; endsystems that never come up during it do not.
+  const int n = 60;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  for (int e = 0; e < n; ++e) cluster.BringUp(e);
+  cluster.sim().RunUntil(30 * kMinute);
+
+  // Partition: [0, 40) stay up the whole time; [40, 50) down before the
+  // query, return mid-query; [50, 60) down before and throughout.
+  for (int e = 40; e < n; ++e) cluster.BringDown(e);
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  db::AggregateResult latest;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM T",
+                                 std::move(obs), /*ttl=*/4 * kHour);
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  EXPECT_EQ(latest.endsystems, 40);
+
+  // The middle group returns during the query's lifetime.
+  for (int e = 40; e < 50; ++e) cluster.BringUp(e);
+  cluster.sim().RunUntil(cluster.sim().Now() + 10 * kMinute);
+  EXPECT_EQ(latest.endsystems, 50);
+  EXPECT_EQ(latest.rows_matched, 50);
+
+  // The last group stayed down: never counted, and nobody double-counted.
+  for (const auto& s : latest.states) {
+    EXPECT_LE(s.count, 50);
+  }
+}
+
+TEST(ConsistencyTest, ExactlyOnceAcrossFlappingEndsystem) {
+  // An endsystem that flaps (down/up repeatedly) during the query must
+  // still be counted exactly once.
+  const int n = 30;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  cfg.seaweed.result_refresh_period = kMinute;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  for (int e = 0; e < n; ++e) cluster.BringUp(e);
+  cluster.sim().RunUntil(10 * kMinute);
+
+  db::AggregateResult latest;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM T",
+                                 std::move(obs), /*ttl=*/4 * kHour);
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 2 * kMinute);
+
+  for (int round = 0; round < 4; ++round) {
+    cluster.BringDown(7);
+    cluster.sim().RunUntil(cluster.sim().Now() + 3 * kMinute);
+    cluster.BringUp(7);
+    cluster.sim().RunUntil(cluster.sim().Now() + 3 * kMinute);
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  EXPECT_EQ(latest.endsystems, n);
+  EXPECT_EQ(latest.rows_matched, n);
+}
+
+TEST(ConsistencyTest, TraceDrivenNeverOvercounts) {
+  const int n = 80;
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  SeaweedCluster cluster(cfg, MakeData(n));
+  FarsiteModelConfig fcfg;
+  fcfg.seed = 11;
+  auto trace = GenerateFarsiteTrace(fcfg, n, 10 * kHour);
+  cluster.DriveFromTrace(trace, 10 * kHour);
+  cluster.sim().RunUntil(kHour);
+
+  int64_t max_endsystems = 0;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    max_endsystems = std::max(max_endsystems, r.endsystems);
+    EXPECT_LE(r.endsystems, n);
+    EXPECT_LE(r.rows_matched, n);  // one row each
+    EXPECT_EQ(r.rows_matched, r.endsystems);
+  };
+  int origin = -1;
+  for (int e = 0; e < n; ++e) {
+    if (cluster.pastry_node(e)->joined()) {
+      origin = e;
+      break;
+    }
+  }
+  ASSERT_GE(origin, 0);
+  auto qid = cluster.InjectQuery(origin, "SELECT COUNT(*) FROM T",
+                                 std::move(obs), /*ttl=*/8 * kHour);
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(9 * kHour);
+  EXPECT_GT(max_endsystems, n / 2);
+}
+
+}  // namespace
+}  // namespace seaweed

@@ -1,0 +1,212 @@
+// Query lifecycle tests: cancellation, TTL expiry, continuous queries, and
+// grouped aggregates executed end-to-end over the simulated cluster.
+#include <gtest/gtest.h>
+
+#include "seaweed/cluster.h"
+
+namespace seaweed {
+namespace {
+
+// Endsystem e has e+1 rows with port=80 and value 100, plus one mutable
+// "counter" row pattern for continuous-query tests.
+std::shared_ptr<StaticDataProvider> MakeData(int n) {
+  std::vector<std::shared_ptr<db::Database>> dbs;
+  db::Schema schema({
+      {"port", db::ColumnType::kInt64, true},
+      {"bytes", db::ColumnType::kInt64, true},
+      {"app", db::ColumnType::kString, true},
+  });
+  for (int e = 0; e < n; ++e) {
+    auto database = std::make_shared<db::Database>();
+    auto table = database->CreateTable("Flow", schema);
+    for (int i = 0; i <= e; ++i) {
+      (*table)->column(0).AppendInt64(80);
+      (*table)->column(1).AppendInt64(100);
+      (*table)->column(2).AppendString(e % 2 ? "HTTP" : "SMB");
+      (*table)->CommitRow();
+    }
+    dbs.push_back(std::move(database));
+  }
+  return std::make_shared<StaticDataProvider>(std::move(dbs));
+}
+
+ClusterConfig Cfg(int n) {
+  ClusterConfig cfg;
+  cfg.num_endsystems = n;
+  cfg.summary_wire_bytes = 0;
+  return cfg;
+}
+
+TEST(QueryLifecycleTest, CancelStopsResultFlowAndDropsState) {
+  const int n = 30;
+  auto data = MakeData(n);
+  SeaweedCluster cluster(Cfg(n), data);
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  int result_updates = 0;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult&) {
+    ++result_updates;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM Flow",
+                                 std::move(obs));
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 2 * kMinute);
+  EXPECT_GT(result_updates, 0);
+
+  // Cancel from the origin; give the epidemic time to spread (it crosses
+  // the ring via leafset gossip).
+  cluster.seaweed_node(0)->CancelQuery(*qid);
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  // Every node dropped the query.
+  int still_active = 0;
+  for (int e = 0; e < n; ++e) {
+    if (cluster.seaweed_node(e)->HasActiveQuery(*qid)) ++still_active;
+  }
+  EXPECT_EQ(still_active, 0);
+
+  // And a late joiner does not re-adopt it via the query-list handoff.
+  cluster.BringDown(5);
+  cluster.sim().RunUntil(cluster.sim().Now() + 2 * kMinute);
+  cluster.BringUp(5);
+  cluster.sim().RunUntil(cluster.sim().Now() + 3 * kMinute);
+  EXPECT_FALSE(cluster.seaweed_node(5)->HasActiveQuery(*qid));
+}
+
+TEST(QueryLifecycleTest, TtlExpiryDropsStateEverywhere) {
+  const int n = 20;
+  SeaweedCluster cluster(Cfg(n), MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM Flow",
+                                 QueryObserver{}, /*ttl=*/20 * kMinute);
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  int active_mid = 0;
+  for (int e = 0; e < n; ++e) {
+    if (cluster.seaweed_node(e)->HasActiveQuery(*qid)) ++active_mid;
+  }
+  EXPECT_GT(active_mid, n / 2);
+
+  // Run well past TTL + sweep period.
+  cluster.sim().RunUntil(cluster.sim().Now() + 50 * kMinute);
+  for (int e = 0; e < n; ++e) {
+    EXPECT_FALSE(cluster.seaweed_node(e)->HasActiveQuery(*qid))
+        << "endsystem " << e;
+  }
+}
+
+TEST(QueryLifecycleTest, ContinuousQueryTracksDataChanges) {
+  const int n = 16;
+  auto data = MakeData(n);
+  SeaweedCluster cluster(Cfg(n), data);
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  std::vector<int64_t> observed_counts;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    if (observed_counts.empty() || observed_counts.back() != r.rows_matched) {
+      observed_counts.push_back(r.rows_matched);
+    }
+  };
+  auto qid = cluster.seaweed_node(0)->InjectContinuousQuery(
+      "SELECT COUNT(*) FROM Flow WHERE port = 80", /*period=*/2 * kMinute,
+      std::move(obs), /*ttl=*/4 * kHour);
+  ASSERT_TRUE(qid.ok()) << qid.status();
+
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  ASSERT_FALSE(observed_counts.empty());
+  int64_t initial = observed_counts.back();
+  EXPECT_EQ(initial, static_cast<int64_t>(n) * (n + 1) / 2);
+
+  // Append rows on a few endsystems; within two re-execution periods the
+  // origin's streamed aggregate must reflect them.
+  for (int e = 0; e < 4; ++e) {
+    db::Table* table = data->database(e)->FindTable("Flow");
+    for (int i = 0; i < 10; ++i) {
+      table->column(0).AppendInt64(80);
+      table->column(1).AppendInt64(1);
+      table->column(2).AppendString("HTTP");
+      table->CommitRow();
+    }
+    data->InvalidateSummary(e);
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + 6 * kMinute);
+  EXPECT_EQ(observed_counts.back(), initial + 40);
+}
+
+TEST(QueryLifecycleTest, ContinuousRejectsBadPeriod) {
+  const int n = 4;
+  SeaweedCluster cluster(Cfg(n), MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(2 * kMinute);
+  auto qid = cluster.seaweed_node(0)->InjectContinuousQuery(
+      "SELECT COUNT(*) FROM Flow", 0, QueryObserver{});
+  EXPECT_TRUE(qid.status().IsInvalidArgument());
+}
+
+TEST(QueryLifecycleTest, GroupedAggregateEndToEnd) {
+  const int n = 24;
+  SeaweedCluster cluster(Cfg(n), MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  db::AggregateResult latest;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+  };
+  auto qid = cluster.InjectQuery(
+      0, "SELECT app, SUM(bytes), COUNT(*) FROM Flow GROUP BY app",
+      std::move(obs));
+  ASSERT_TRUE(qid.ok()) << qid.status();
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+
+  // Even endsystems hold SMB rows, odd hold HTTP. Row counts: endsystem e
+  // has e+1 rows.
+  int64_t smb = 0, http = 0;
+  for (int e = 0; e < n; ++e) {
+    (e % 2 ? http : smb) += e + 1;
+  }
+  ASSERT_EQ(latest.groups.size(), 2u);
+  const auto* http_states = latest.FindGroup(db::Value(std::string("HTTP")));
+  const auto* smb_states = latest.FindGroup(db::Value(std::string("SMB")));
+  ASSERT_NE(http_states, nullptr);
+  ASSERT_NE(smb_states, nullptr);
+  EXPECT_EQ((*http_states)[2].count, http);
+  EXPECT_EQ((*smb_states)[2].count, smb);
+  EXPECT_DOUBLE_EQ((*http_states)[1].sum, 100.0 * static_cast<double>(http));
+  EXPECT_EQ(latest.endsystems, n);
+}
+
+TEST(QueryLifecycleTest, OriginDownQueryStillAggregates) {
+  // The origin injects and then dies: the query keeps running; results
+  // accumulate in the root vertex (the origin just is not there to see
+  // them). On rejoin... the origin lost its observer state (volatile), so
+  // we only assert the system stays consistent and other nodes keep the
+  // query active.
+  const int n = 24;
+  SeaweedCluster cluster(Cfg(n), MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  auto qid = cluster.InjectQuery(3, "SELECT COUNT(*) FROM Flow",
+                                 QueryObserver{}, /*ttl=*/4 * kHour);
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + kMinute);
+  cluster.BringDown(3);
+  cluster.sim().RunUntil(cluster.sim().Now() + 10 * kMinute);
+
+  int active = 0;
+  for (int e = 0; e < n; ++e) {
+    if (cluster.seaweed_node(e)->HasActiveQuery(*qid)) ++active;
+  }
+  EXPECT_GT(active, n / 2);
+}
+
+}  // namespace
+}  // namespace seaweed

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth_meter.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace seaweed {
+namespace {
+
+TEST(EventQueueTest, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(10, [&] { order.push_back(2); });
+  q.Schedule(5, [&] { order.push_back(0); });
+  while (!q.empty()) {
+    auto [t, fn] = q.Pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Cancel(id));  // double cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, PeekSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.PeekTime(), 2);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.At(100, [&] { seen.push_back(sim.Now()); });
+  sim.At(50, [&] { seen.push_back(sim.Now()); });
+  sim.RunUntil(200);
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.Now(), 200);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  bool late = false;
+  sim.At(100, [&] { late = true; });
+  sim.RunUntil(99);
+  EXPECT_FALSE(late);
+  sim.RunUntil(100);
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.After(10, chain);
+  };
+  sim.After(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulatorTest, StepExecutesBoundedEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(i, [&] { ++count; });
+  }
+  EXPECT_EQ(sim.Step(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.At(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyConfig cfg_;
+};
+
+TEST_F(TopologyTest, RouterCountMatchesConfig) {
+  Topology topo(cfg_, 100);
+  int expected = cfg_.num_core_routers +
+                 cfg_.num_core_routers * cfg_.regions_per_core +
+                 cfg_.num_core_routers * cfg_.regions_per_core *
+                     cfg_.branches_per_region;
+  EXPECT_EQ(topo.num_routers(), expected);
+  EXPECT_EQ(topo.num_endsystems(), 100);
+}
+
+TEST_F(TopologyTest, DelayIsSymmetricAndPositive) {
+  Topology topo(cfg_, 50);
+  for (EndsystemIndex a = 0; a < 50; ++a) {
+    for (EndsystemIndex b = 0; b < 50; b += 7) {
+      EXPECT_EQ(topo.Delay(a, b), topo.Delay(b, a));
+      EXPECT_GT(topo.Delay(a, b), 0);
+    }
+  }
+}
+
+TEST_F(TopologyTest, SameRouterPairsAreClose) {
+  Topology topo(cfg_, 200);
+  // Two endsystems on the same router: delay = 2 LAN hops.
+  for (EndsystemIndex a = 0; a < 200; ++a) {
+    for (EndsystemIndex b = a + 1; b < 200; ++b) {
+      if (topo.RouterOf(a) == topo.RouterOf(b)) {
+        EXPECT_EQ(topo.Delay(a, b), 2 * cfg_.lan_link_delay);
+        return;
+      }
+    }
+  }
+}
+
+TEST_F(TopologyTest, RouterRttSatisfiesTriangleInequality) {
+  Topology topo(cfg_, 1);
+  int n = topo.num_routers();
+  // Spot check: shortest paths can't be beaten via an intermediate.
+  for (int a = 0; a < n; a += 37) {
+    for (int b = 0; b < n; b += 41) {
+      for (int c = 0; c < n; c += 43) {
+        EXPECT_LE(topo.RouterRtt(a, b),
+                  topo.RouterRtt(a, c) + topo.RouterRtt(c, b));
+      }
+    }
+  }
+}
+
+TEST_F(TopologyTest, DeterministicForSameSeed) {
+  Topology t1(cfg_, 20), t2(cfg_, 20);
+  for (EndsystemIndex a = 0; a < 20; ++a) {
+    EXPECT_EQ(t1.RouterOf(a), t2.RouterOf(a));
+    for (EndsystemIndex b = 0; b < 20; ++b) {
+      EXPECT_EQ(t1.Delay(a, b), t2.Delay(a, b));
+    }
+  }
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topo_(TopologyConfig{}, 10),
+        meter_(10),
+        net_(&sim_, &topo_, &meter_, 0.0, 1) {
+    for (EndsystemIndex e = 0; e < 10; ++e) net_.SetUp(e, true);
+  }
+  Simulator sim_;
+  Topology topo_;
+  BandwidthMeter meter_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithTopologyDelay) {
+  bool delivered = false;
+  SimTime at = -1;
+  net_.SetDeliveryHandler(1, [&](EndsystemIndex from,
+                                 std::shared_ptr<void> payload, uint32_t) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(*std::static_pointer_cast<int>(payload), 42);
+    delivered = true;
+    at = sim_.Now();
+  });
+  net_.Send(0, 1, TrafficCategory::kPastry, std::make_shared<int>(42), 100);
+  sim_.RunToCompletion();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(at, topo_.Delay(0, 1));
+}
+
+TEST_F(NetworkTest, ChargesTxAndRxWithHeader) {
+  net_.SetDeliveryHandler(1, [](EndsystemIndex, std::shared_ptr<void>,
+                                uint32_t) {});
+  net_.Send(0, 1, TrafficCategory::kMetadata, nullptr, 100);
+  sim_.RunToCompletion();
+  EXPECT_EQ(meter_.total_tx_bytes(), 100 + kMessageHeaderBytes);
+  EXPECT_EQ(meter_.total_rx_bytes(), 100 + kMessageHeaderBytes);
+  EXPECT_EQ(meter_.CategoryTxBytes(TrafficCategory::kMetadata),
+            100 + kMessageHeaderBytes);
+}
+
+TEST_F(NetworkTest, DownSenderCannotSend) {
+  net_.SetUp(0, false);
+  EXPECT_FALSE(net_.Send(0, 1, TrafficCategory::kPastry, nullptr, 10));
+  EXPECT_EQ(meter_.total_tx_bytes(), 0u);
+}
+
+TEST_F(NetworkTest, DownReceiverDropsInFlight) {
+  bool delivered = false;
+  net_.SetDeliveryHandler(1, [&](EndsystemIndex, std::shared_ptr<void>,
+                                 uint32_t) { delivered = true; });
+  net_.Send(0, 1, TrafficCategory::kPastry, nullptr, 10);
+  net_.SetUp(1, false);  // goes down before delivery
+  sim_.RunToCompletion();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.messages_lost(), 1u);
+  // Sender still paid for the transmission.
+  EXPECT_GT(meter_.total_tx_bytes(), 0u);
+  EXPECT_EQ(meter_.total_rx_bytes(), 0u);
+}
+
+TEST(NetworkLossTest, UniformLossDropsApproximately) {
+  Simulator sim;
+  Topology topo(TopologyConfig{}, 2);
+  BandwidthMeter meter(2);
+  Network net(&sim, &topo, &meter, 0.2, 99);
+  net.SetUp(0, true);
+  net.SetUp(1, true);
+  int delivered = 0;
+  net.SetDeliveryHandler(1, [&](EndsystemIndex, std::shared_ptr<void>,
+                                uint32_t) { ++delivered; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    net.Send(0, 1, TrafficCategory::kPastry, nullptr, 10);
+  }
+  sim.RunToCompletion();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.8, 0.03);
+}
+
+TEST(BandwidthMeterTest, HourBucketing) {
+  BandwidthMeter meter(2);
+  meter.RecordTx(0, TrafficCategory::kPastry, 10 * kMinute, 1000);
+  meter.RecordTx(0, TrafficCategory::kPastry, 90 * kMinute, 500);
+  meter.RecordTx(1, TrafficCategory::kResult, 30 * kMinute, 200);
+  EXPECT_EQ(meter.TxInHour(0, 0), 1000u);
+  EXPECT_EQ(meter.TxInHour(0, 1), 500u);
+  EXPECT_EQ(meter.TxInHour(1, 0), 200u);
+  EXPECT_EQ(meter.TxInHour(1, 5), 0u);
+  EXPECT_EQ(meter.CategoryTxBytes(TrafficCategory::kPastry), 1500u);
+  EXPECT_EQ(meter.CategoryTimeline(TrafficCategory::kPastry)[0], 1000u);
+}
+
+TEST(BandwidthMeterTest, HourlyRatesPerEndsystem) {
+  BandwidthMeter meter(2);
+  meter.RecordTx(0, TrafficCategory::kPastry, 0, 3600);
+  auto rates = meter.HourlyTxRates(0, 0);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);  // 3600 bytes over an hour = 1 B/s
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(PercentileTest, BasicPercentiles) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_NEAR(Percentile(v, 50), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace seaweed

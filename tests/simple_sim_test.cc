@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "seaweed/simple_sim.h"
+#include "trace/farsite_model.h"
+
+namespace seaweed {
+namespace {
+
+TEST(LearnAvailabilityModelTest, LearnsFromIntervals) {
+  EndsystemAvailability avail({{0, 10 * kHour},
+                               {12 * kHour, 20 * kHour},
+                               {26 * kHour, 30 * kHour}});
+  auto model = LearnAvailabilityModel(avail, 30 * kHour);
+  EXPECT_EQ(model.observations(), 2);  // two completed down periods
+  // A later cutoff that excludes the second down period:
+  auto early = LearnAvailabilityModel(avail, 13 * kHour);
+  EXPECT_EQ(early.observations(), 1);
+}
+
+class PredictionExperimentTest : public ::testing::Test {
+ protected:
+  static constexpr int kEndsystems = 400;
+
+  static void SetUpTestSuite() {
+    FarsiteModelConfig fcfg;
+    fcfg.seed = 3;
+    trace_ = new AvailabilityTrace(
+        GenerateFarsiteTrace(fcfg, kEndsystems, 4 * kWeek));
+    anemone::AnemoneConfig acfg;
+    acfg.days = 21;
+    acfg.workstation_flows_per_day = 40;
+    experiment_ = new PredictionExperiment(trace_, acfg);
+    v_count_ = *experiment_->AddVariant("SELECT COUNT(*) FROM Flow",
+                                        2 * kWeek + kDay);
+    v_http_ = *experiment_->AddVariant(
+        "SELECT SUM(Bytes) FROM Flow WHERE SrcPort=80", 2 * kWeek + kDay);
+    v_later_ = *experiment_->AddVariant("SELECT COUNT(*) FROM Flow",
+                                        2 * kWeek + kDay + 9 * kHour);
+    experiment_->Prepare();
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    delete trace_;
+  }
+
+  static AvailabilityTrace* trace_;
+  static PredictionExperiment* experiment_;
+  static int v_count_, v_http_, v_later_;
+};
+
+AvailabilityTrace* PredictionExperimentTest::trace_ = nullptr;
+PredictionExperiment* PredictionExperimentTest::experiment_ = nullptr;
+int PredictionExperimentTest::v_count_ = 0;
+int PredictionExperimentTest::v_http_ = 0;
+int PredictionExperimentTest::v_later_ = 0;
+
+TEST_F(PredictionExperimentTest, TotalRowCountErrorIsSmall) {
+  auto out = experiment_->Run(v_count_);
+  // Histogram estimation of COUNT(*) is exact per endsystem; the only
+  // error sources are availability-related (none for the total).
+  EXPECT_LT(std::abs(out.TotalRowsError()), 0.005);
+  EXPECT_GT(out.total_exact_rows, 0);
+}
+
+TEST_F(PredictionExperimentTest, ImmediateCompletenessMatchesAvailability) {
+  auto out = experiment_->Run(v_count_);
+  double avail_frac =
+      static_cast<double>(trace_->CountUp(out.injected_at)) / kEndsystems;
+  double immediate_frac = out.ActualRowsBy(0) / out.total_exact_rows;
+  // Row mass is heterogeneous, so allow slack around the machine fraction.
+  EXPECT_NEAR(immediate_frac, avail_frac, 0.15);
+  // Predictor's bucket 0 tracks the actual immediately-available rows.
+  EXPECT_NEAR(out.PredictedRowsBy(0), out.ActualRowsBy(0),
+              0.05 * out.total_exact_rows);
+}
+
+TEST_F(PredictionExperimentTest, ActualCurveMonotone) {
+  auto out = experiment_->Run(v_http_);
+  double prev = -1;
+  for (SimDuration d = 0; d <= 48 * kHour; d += kHour) {
+    double v = out.ActualRowsBy(d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(PredictionExperimentTest, PredictionErrorWithinPaperBand) {
+  // Paper: <5% error at all checked horizons. Allow extra slack at the
+  // hardest horizon (8h, the morning arrival wave) for the small-N test.
+  auto out = experiment_->Run(v_count_);
+  for (double hours : {1.0, 2.0, 4.0}) {
+    double err =
+        out.RelativeErrorAt(static_cast<SimDuration>(hours * kHour));
+    EXPECT_LT(std::abs(err), 0.06) << "horizon " << hours << "h";
+  }
+  double err8 = out.RelativeErrorAt(8 * kHour);
+  EXPECT_LT(std::abs(err8), 0.12) << "horizon 8h";
+}
+
+TEST_F(PredictionExperimentTest, LaterInjectionSeesMoreImmediateRows) {
+  // 09:00 injection (working hours): higher availability than midnight.
+  auto midnight = experiment_->Run(v_count_);
+  auto morning = experiment_->Run(v_later_);
+  double mid_frac = midnight.ActualRowsBy(0) / midnight.total_exact_rows;
+  double morn_frac = morning.ActualRowsBy(0) / morning.total_exact_rows;
+  EXPECT_GT(morn_frac, mid_frac);
+}
+
+TEST_F(PredictionExperimentTest, ArrivalsSortedAndBounded) {
+  auto out = experiment_->Run(v_http_);
+  SimDuration prev = -1;
+  double sum = 0;
+  for (const auto& [offset, rows] : out.arrivals) {
+    EXPECT_GE(offset, prev);
+    EXPECT_GT(rows, 0);
+    prev = offset;
+    sum += rows;
+  }
+  EXPECT_LE(sum, out.total_exact_rows + 1e-9);
+}
+
+}  // namespace
+}  // namespace seaweed

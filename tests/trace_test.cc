@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "trace/availability_trace.h"
+#include "trace/farsite_model.h"
+#include "trace/gnutella_model.h"
+
+namespace seaweed {
+namespace {
+
+// --- EndsystemAvailability primitives ---
+
+TEST(EndsystemAvailabilityTest, IsUpAndTransitions) {
+  EndsystemAvailability a({{10, 20}, {30, 40}});
+  EXPECT_FALSE(a.IsUp(5));
+  EXPECT_TRUE(a.IsUp(10));
+  EXPECT_TRUE(a.IsUp(19));
+  EXPECT_FALSE(a.IsUp(20));
+  EXPECT_TRUE(a.IsUp(35));
+  EXPECT_FALSE(a.IsUp(40));
+
+  EXPECT_EQ(a.NextUpAt(5), 10);
+  EXPECT_EQ(a.NextUpAt(15), 15);   // already up
+  EXPECT_EQ(a.NextUpAt(25), 30);
+  EXPECT_EQ(a.NextUpAt(50), kSimTimeMax);
+
+  EXPECT_EQ(a.NextDownAfter(15), 20);
+  EXPECT_EQ(a.NextDownAfter(25), 40);
+}
+
+TEST(EndsystemAvailabilityTest, DownSince) {
+  EndsystemAvailability a({{10, 20}, {30, 40}});
+  EXPECT_EQ(a.DownSince(5), -1);   // never up yet
+  EXPECT_EQ(a.DownSince(15), -1);  // currently up
+  EXPECT_EQ(a.DownSince(25), 20);
+  EXPECT_EQ(a.DownSince(100), 40);
+}
+
+TEST(EndsystemAvailabilityTest, UpTimeIntegral) {
+  EndsystemAvailability a({{10, 20}, {30, 40}});
+  EXPECT_EQ(a.UpTimeIn(0, 50), 20);
+  EXPECT_EQ(a.UpTimeIn(15, 35), 10);
+  EXPECT_EQ(a.UpTimeIn(21, 29), 0);
+}
+
+TEST(EndsystemAvailabilityTest, DeparturesCount) {
+  EndsystemAvailability a({{10, 20}, {30, 40}});
+  EXPECT_EQ(a.DeparturesIn(0, 50), 2);
+  EXPECT_EQ(a.DeparturesIn(0, 25), 1);
+  EXPECT_EQ(a.DeparturesIn(21, 29), 0);
+}
+
+TEST(EndsystemAvailabilityTest, AppendCoalesces) {
+  EndsystemAvailability a;
+  a.Append({0, 10});
+  a.Append({10, 20});
+  EXPECT_EQ(a.intervals().size(), 1u);
+  a.Append({30, 40});
+  EXPECT_EQ(a.intervals().size(), 2u);
+}
+
+// --- Farsite-like trace calibration ---
+
+class FarsiteTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FarsiteModelConfig cfg;
+    trace_ = new AvailabilityTrace(
+        GenerateFarsiteTrace(cfg, 3000, 4 * kWeek));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static AvailabilityTrace* trace_;
+};
+
+AvailabilityTrace* FarsiteTraceTest::trace_ = nullptr;
+
+TEST_F(FarsiteTraceTest, MeanAvailabilityNearPaperValue) {
+  // Paper (Table 1): f_on = 0.81. Accept a calibration band.
+  double avail = trace_->MeanAvailability(kWeek, 3 * kWeek);
+  EXPECT_GT(avail, 0.76);
+  EXPECT_LT(avail, 0.86);
+}
+
+TEST_F(FarsiteTraceTest, ChurnRateNearPaperValue) {
+  // Paper (Table 1): c = 6.9e-6 /s. Order of magnitude must match.
+  double c = trace_->ChurnRate(kWeek, 3 * kWeek);
+  EXPECT_GT(c, 2e-6);
+  EXPECT_LT(c, 1.5e-5);
+}
+
+TEST_F(FarsiteTraceTest, DepartureRateNearPaperValue) {
+  // Paper (§4.3.3): 4.06e-6 departures per online endsystem-second.
+  double rate = trace_->DepartureRatePerOnline(kWeek, 3 * kWeek);
+  EXPECT_GT(rate, 1.5e-6);
+  EXPECT_LT(rate, 8e-6);
+}
+
+TEST_F(FarsiteTraceTest, DiurnalPatternVisible) {
+  // Fig 1: availability peaks during working hours.
+  auto profile = trace_->DiurnalProfile(kWeek, 3 * kWeek);
+  double work = (profile[10] + profile[11] + profile[14] + profile[15]) / 4;
+  double night = (profile[1] + profile[2] + profile[3] + profile[4]) / 4;
+  EXPECT_GT(work, night + 0.03);
+}
+
+TEST_F(FarsiteTraceTest, WeekendDipVisible) {
+  auto hourly = trace_->HourlySamples(0, 4 * kWeek);
+  // Mean availability on weekday middays vs weekend middays.
+  double weekday = 0, weekend = 0;
+  int wd = 0, we = 0;
+  for (size_t h = 0; h < hourly.size(); ++h) {
+    SimTime t = static_cast<SimTime>(h) * kHour;
+    if (HourOfDay(t) != 12) continue;
+    if (IsWeekend(t)) {
+      weekend += hourly[h];
+      ++we;
+    } else {
+      weekday += hourly[h];
+      ++wd;
+    }
+  }
+  ASSERT_GT(wd, 0);
+  ASSERT_GT(we, 0);
+  EXPECT_GT(weekday / wd, weekend / we + 0.02);
+}
+
+TEST_F(FarsiteTraceTest, ContainsPeriodicAndNonPeriodicMachines) {
+  int periodic = 0, nonperiodic = 0;
+  for (int e = 0; e < 500; ++e) {
+    const auto& ivs = trace_->endsystem(e).intervals();
+    if (ivs.size() < 6) continue;
+    // Count distinct up-hours.
+    std::vector<int> hours;
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      hours.push_back(HourOfDay(ivs[i].start));
+    }
+    std::sort(hours.begin(), hours.end());
+    int distinct = static_cast<int>(
+        std::unique(hours.begin(), hours.end()) - hours.begin());
+    if (distinct <= 3) {
+      ++periodic;
+    } else if (distinct >= 8) {
+      ++nonperiodic;
+    }
+  }
+  EXPECT_GT(periodic, 10);
+  EXPECT_GT(nonperiodic, 10);
+}
+
+TEST(FarsiteDeterminismTest, SameSeedSameTrace) {
+  FarsiteModelConfig cfg;
+  auto a = GenerateFarsiteTrace(cfg, 50, kWeek);
+  auto b = GenerateFarsiteTrace(cfg, 50, kWeek);
+  for (int e = 0; e < 50; ++e) {
+    ASSERT_EQ(a.endsystem(e).intervals().size(),
+              b.endsystem(e).intervals().size());
+    for (size_t i = 0; i < a.endsystem(e).intervals().size(); ++i) {
+      EXPECT_EQ(a.endsystem(e).intervals()[i].start,
+                b.endsystem(e).intervals()[i].start);
+    }
+  }
+}
+
+// --- Gnutella-like trace calibration ---
+
+TEST(GnutellaTraceTest, HighChurnCalibration) {
+  GnutellaModelConfig cfg;
+  auto trace = GenerateGnutellaTrace(cfg, 2000, 60 * kHour);
+  // Paper: departure rate 9.46e-5 per online endsystem-second.
+  double rate = trace.DepartureRatePerOnline(6 * kHour, 54 * kHour);
+  EXPECT_GT(rate, 4e-5);
+  EXPECT_LT(rate, 2e-4);
+  // Much lower availability than the enterprise trace.
+  double avail = trace.MeanAvailability(6 * kHour, 54 * kHour);
+  EXPECT_GT(avail, 0.2);
+  EXPECT_LT(avail, 0.6);
+}
+
+TEST(GnutellaTraceTest, ChurnFarExceedsFarsite) {
+  GnutellaModelConfig gcfg;
+  FarsiteModelConfig fcfg;
+  auto g = GenerateGnutellaTrace(gcfg, 800, 60 * kHour);
+  auto f = GenerateFarsiteTrace(fcfg, 800, 60 * kHour);
+  EXPECT_GT(g.DepartureRatePerOnline(6 * kHour, 54 * kHour),
+            10 * f.DepartureRatePerOnline(6 * kHour, 54 * kHour));
+}
+
+}  // namespace
+}  // namespace seaweed

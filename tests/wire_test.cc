@@ -1,0 +1,111 @@
+// Wire-size accounting tests: the bandwidth figures of the evaluation hinge
+// on WireBytes() being sane for every message kind.
+#include <gtest/gtest.h>
+
+#include "overlay/packet.h"
+#include "seaweed/wire.h"
+
+namespace seaweed {
+namespace {
+
+using overlay::NodeHandle;
+using overlay::Packet;
+
+TEST(PacketWireTest, BaseSizeAndEntries) {
+  Packet pkt;
+  pkt.kind = Packet::Kind::kProbe;
+  uint32_t base = pkt.WireBytes();
+  EXPECT_GT(base, 16u);   // at least an id
+  EXPECT_LT(base, 128u);  // control packets are small
+
+  pkt.entries.resize(8);
+  EXPECT_EQ(pkt.WireBytes(), base + 8 * overlay::kNodeHandleBytes);
+}
+
+TEST(PacketWireTest, AppPayloadAdds) {
+  Packet pkt;
+  pkt.kind = Packet::Kind::kApp;
+  uint32_t base = pkt.WireBytes();
+  pkt.app_bytes = 1000;
+  EXPECT_EQ(pkt.WireBytes(), base + 1000);
+}
+
+TEST(SeaweedWireTest, MetadataPushDominatedBySummary) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kMetadataPush;
+  msg.metadata_wire_bytes = 6473;
+  uint32_t bytes = msg.WireBytes();
+  EXPECT_GE(bytes, 6473u);
+  EXPECT_LT(bytes, 6473u + 512u);  // fixed overhead stays small
+}
+
+TEST(SeaweedWireTest, BroadcastCarriesQueryText) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kBroadcast;
+  Query q;
+  q.sql = "SELECT COUNT(*) FROM Flow";
+  msg.queries.push_back(q);
+  uint32_t with_short = msg.WireBytes();
+  msg.queries[0].sql = std::string(500, 'x');
+  EXPECT_EQ(msg.WireBytes(), with_short + 500 - 25);
+}
+
+TEST(SeaweedWireTest, PredictorReportConstantSize) {
+  SeaweedMessage a, b;
+  a.kind = b.kind = SeaweedMessage::Kind::kPredictorReport;
+  for (int i = 0; i < 1000; ++i) {
+    b.predictor.AddRowsAt(i * kMinute, 1.5);
+  }
+  // Predictors are fixed-size: message cost must not grow with content.
+  EXPECT_EQ(a.WireBytes(), b.WireBytes());
+}
+
+TEST(SeaweedWireTest, ResultSubmitGrowsWithGroups) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kResultSubmit;
+  msg.result.states.resize(1);
+  uint32_t plain = msg.WireBytes();
+  for (int g = 0; g < 10; ++g) {
+    msg.result.GroupStates(db::Value(int64_t{g}), 1);
+  }
+  EXPECT_GT(msg.WireBytes(), plain + 10 * 30u);
+}
+
+TEST(SeaweedWireTest, AckIsTiny) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kResultAck;
+  EXPECT_LT(msg.WireBytes(), 80u);
+}
+
+TEST(SeaweedWireTest, VertexReplicateChargesPerChild) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kVertexReplicate;
+  uint32_t empty = msg.WireBytes();
+  db::AggregateResult r;
+  r.states.resize(2);
+  msg.vertex_state.emplace_back(NodeId(1, 1), 1, r);
+  uint32_t one = msg.WireBytes();
+  msg.vertex_state.emplace_back(NodeId(2, 2), 1, r);
+  EXPECT_EQ(msg.WireBytes() - one, one - empty);
+  EXPECT_GT(one, empty);
+}
+
+TEST(SeaweedWireTest, QueryListScalesWithQueries) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kQueryList;
+  uint32_t empty = msg.WireBytes();
+  Query q;
+  q.sql = "SELECT COUNT(*) FROM Flow";
+  msg.queries.push_back(q);
+  msg.queries.push_back(q);
+  EXPECT_EQ(msg.WireBytes(), empty + 2 * q.WireBytes());
+}
+
+TEST(SeaweedWireTest, CancelIsTiny) {
+  SeaweedMessage msg;
+  msg.kind = SeaweedMessage::Kind::kQueryCancel;
+  EXPECT_LT(msg.WireBytes(), 100u);
+}
+
+}  // namespace
+}  // namespace seaweed
