@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_churn"
+  "../bench/fig10_churn.pdb"
+  "CMakeFiles/fig10_churn.dir/fig10_churn.cc.o"
+  "CMakeFiles/fig10_churn.dir/fig10_churn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_availability"
+  "../bench/fig1_availability.pdb"
+  "CMakeFiles/fig1_availability.dir/fig1_availability.cc.o"
+  "CMakeFiles/fig1_availability.dir/fig1_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

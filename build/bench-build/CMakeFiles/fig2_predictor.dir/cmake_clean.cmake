@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_predictor"
+  "../bench/fig2_predictor.pdb"
+  "CMakeFiles/fig2_predictor.dir/fig2_predictor.cc.o"
+  "CMakeFiles/fig2_predictor.dir/fig2_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_scalability"
+  "../bench/fig3_scalability.pdb"
+  "CMakeFiles/fig3_scalability.dir/fig3_scalability.cc.o"
+  "CMakeFiles/fig3_scalability.dir/fig3_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

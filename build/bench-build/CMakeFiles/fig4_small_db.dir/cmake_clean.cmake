@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_small_db"
+  "../bench/fig4_small_db.pdb"
+  "CMakeFiles/fig4_small_db.dir/fig4_small_db.cc.o"
+  "CMakeFiles/fig4_small_db.dir/fig4_small_db.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_small_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

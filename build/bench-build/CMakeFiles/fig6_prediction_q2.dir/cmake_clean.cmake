@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_prediction_q2"
+  "../bench/fig6_prediction_q2.pdb"
+  "CMakeFiles/fig6_prediction_q2.dir/fig6_prediction_q2.cc.o"
+  "CMakeFiles/fig6_prediction_q2.dir/fig6_prediction_q2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_prediction_q2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_prediction_q3"
+  "../bench/fig7_prediction_q3.pdb"
+  "CMakeFiles/fig7_prediction_q3.dir/fig7_prediction_q3.cc.o"
+  "CMakeFiles/fig7_prediction_q3.dir/fig7_prediction_q3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prediction_q3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

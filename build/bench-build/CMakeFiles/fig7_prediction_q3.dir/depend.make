@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_prediction_q3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_prediction_q4"
+  "../bench/fig8_prediction_q4.pdb"
+  "CMakeFiles/fig8_prediction_q4.dir/fig8_prediction_q4.cc.o"
+  "CMakeFiles/fig8_prediction_q4.dir/fig8_prediction_q4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_prediction_q4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_overheads"
+  "../bench/fig9_overheads.pdb"
+  "CMakeFiles/fig9_overheads.dir/fig9_overheads.cc.o"
+  "CMakeFiles/fig9_overheads.dir/fig9_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

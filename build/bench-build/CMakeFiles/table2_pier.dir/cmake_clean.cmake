@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_pier"
+  "../bench/table2_pier.pdb"
+  "CMakeFiles/table2_pier.dir/table2_pier.cc.o"
+  "CMakeFiles/table2_pier.dir/table2_pier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_dashboard.dir/datacenter_dashboard.cpp.o"
+  "CMakeFiles/datacenter_dashboard.dir/datacenter_dashboard.cpp.o.d"
+  "datacenter_dashboard"
+  "datacenter_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_sql_shell.dir/local_sql_shell.cpp.o"
+  "CMakeFiles/local_sql_shell.dir/local_sql_shell.cpp.o.d"
+  "local_sql_shell"
+  "local_sql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_sql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_analysis.dir/models.cc.o"
+  "CMakeFiles/seaweed_analysis.dir/models.cc.o.d"
+  "libseaweed_analysis.a"
+  "libseaweed_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_anemone.dir/anemone.cc.o"
+  "CMakeFiles/seaweed_anemone.dir/anemone.cc.o.d"
+  "libseaweed_anemone.a"
+  "libseaweed_anemone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_anemone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

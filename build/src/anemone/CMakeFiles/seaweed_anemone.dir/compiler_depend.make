@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seaweed_anemone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/seaweed_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/node_id.cc" "src/common/CMakeFiles/seaweed_common.dir/node_id.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/node_id.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/seaweed_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/common/CMakeFiles/seaweed_common.dir/serialize.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/serialize.cc.o.d"
+  "/root/repo/src/common/sha1.cc" "src/common/CMakeFiles/seaweed_common.dir/sha1.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/sha1.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/seaweed_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/status.cc.o.d"
+  "/root/repo/src/common/time_types.cc" "src/common/CMakeFiles/seaweed_common.dir/time_types.cc.o" "gcc" "src/common/CMakeFiles/seaweed_common.dir/time_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

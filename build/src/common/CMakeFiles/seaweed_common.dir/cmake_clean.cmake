@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_common.dir/logging.cc.o"
+  "CMakeFiles/seaweed_common.dir/logging.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/node_id.cc.o"
+  "CMakeFiles/seaweed_common.dir/node_id.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/rng.cc.o"
+  "CMakeFiles/seaweed_common.dir/rng.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/serialize.cc.o"
+  "CMakeFiles/seaweed_common.dir/serialize.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/sha1.cc.o"
+  "CMakeFiles/seaweed_common.dir/sha1.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/status.cc.o"
+  "CMakeFiles/seaweed_common.dir/status.cc.o.d"
+  "CMakeFiles/seaweed_common.dir/time_types.cc.o"
+  "CMakeFiles/seaweed_common.dir/time_types.cc.o.d"
+  "libseaweed_common.a"
+  "libseaweed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

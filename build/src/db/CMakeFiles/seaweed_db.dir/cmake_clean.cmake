@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_db.dir/ast.cc.o"
+  "CMakeFiles/seaweed_db.dir/ast.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/csv.cc.o"
+  "CMakeFiles/seaweed_db.dir/csv.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/database.cc.o"
+  "CMakeFiles/seaweed_db.dir/database.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/estimator.cc.o"
+  "CMakeFiles/seaweed_db.dir/estimator.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/histogram.cc.o"
+  "CMakeFiles/seaweed_db.dir/histogram.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/query_exec.cc.o"
+  "CMakeFiles/seaweed_db.dir/query_exec.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/schema.cc.o"
+  "CMakeFiles/seaweed_db.dir/schema.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/sql_parser.cc.o"
+  "CMakeFiles/seaweed_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/table.cc.o"
+  "CMakeFiles/seaweed_db.dir/table.cc.o.d"
+  "CMakeFiles/seaweed_db.dir/value.cc.o"
+  "CMakeFiles/seaweed_db.dir/value.cc.o.d"
+  "libseaweed_db.a"
+  "libseaweed_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/leafset.cc" "src/overlay/CMakeFiles/seaweed_overlay.dir/leafset.cc.o" "gcc" "src/overlay/CMakeFiles/seaweed_overlay.dir/leafset.cc.o.d"
+  "/root/repo/src/overlay/overlay_network.cc" "src/overlay/CMakeFiles/seaweed_overlay.dir/overlay_network.cc.o" "gcc" "src/overlay/CMakeFiles/seaweed_overlay.dir/overlay_network.cc.o.d"
+  "/root/repo/src/overlay/pastry_node.cc" "src/overlay/CMakeFiles/seaweed_overlay.dir/pastry_node.cc.o" "gcc" "src/overlay/CMakeFiles/seaweed_overlay.dir/pastry_node.cc.o.d"
+  "/root/repo/src/overlay/routing_table.cc" "src/overlay/CMakeFiles/seaweed_overlay.dir/routing_table.cc.o" "gcc" "src/overlay/CMakeFiles/seaweed_overlay.dir/routing_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seaweed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seaweed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_overlay.dir/leafset.cc.o"
+  "CMakeFiles/seaweed_overlay.dir/leafset.cc.o.d"
+  "CMakeFiles/seaweed_overlay.dir/overlay_network.cc.o"
+  "CMakeFiles/seaweed_overlay.dir/overlay_network.cc.o.d"
+  "CMakeFiles/seaweed_overlay.dir/pastry_node.cc.o"
+  "CMakeFiles/seaweed_overlay.dir/pastry_node.cc.o.d"
+  "CMakeFiles/seaweed_overlay.dir/routing_table.cc.o"
+  "CMakeFiles/seaweed_overlay.dir/routing_table.cc.o.d"
+  "libseaweed_overlay.a"
+  "libseaweed_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

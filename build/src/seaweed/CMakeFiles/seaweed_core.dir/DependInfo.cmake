@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seaweed/availability_model.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/availability_model.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/availability_model.cc.o.d"
+  "/root/repo/src/seaweed/cluster.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/cluster.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/cluster.cc.o.d"
+  "/root/repo/src/seaweed/completeness.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/completeness.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/completeness.cc.o.d"
+  "/root/repo/src/seaweed/data_provider.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/data_provider.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/data_provider.cc.o.d"
+  "/root/repo/src/seaweed/id_range.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/id_range.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/id_range.cc.o.d"
+  "/root/repo/src/seaweed/metadata.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/metadata.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/metadata.cc.o.d"
+  "/root/repo/src/seaweed/node.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/node.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/node.cc.o.d"
+  "/root/repo/src/seaweed/query.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/query.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/query.cc.o.d"
+  "/root/repo/src/seaweed/simple_sim.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/simple_sim.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/simple_sim.cc.o.d"
+  "/root/repo/src/seaweed/vertex_function.cc" "src/seaweed/CMakeFiles/seaweed_core.dir/vertex_function.cc.o" "gcc" "src/seaweed/CMakeFiles/seaweed_core.dir/vertex_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seaweed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seaweed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seaweed_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/seaweed_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/seaweed_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/anemone/CMakeFiles/seaweed_anemone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

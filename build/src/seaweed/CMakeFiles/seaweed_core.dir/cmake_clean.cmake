@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_core.dir/availability_model.cc.o"
+  "CMakeFiles/seaweed_core.dir/availability_model.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/cluster.cc.o"
+  "CMakeFiles/seaweed_core.dir/cluster.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/completeness.cc.o"
+  "CMakeFiles/seaweed_core.dir/completeness.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/data_provider.cc.o"
+  "CMakeFiles/seaweed_core.dir/data_provider.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/id_range.cc.o"
+  "CMakeFiles/seaweed_core.dir/id_range.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/metadata.cc.o"
+  "CMakeFiles/seaweed_core.dir/metadata.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/node.cc.o"
+  "CMakeFiles/seaweed_core.dir/node.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/query.cc.o"
+  "CMakeFiles/seaweed_core.dir/query.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/simple_sim.cc.o"
+  "CMakeFiles/seaweed_core.dir/simple_sim.cc.o.d"
+  "CMakeFiles/seaweed_core.dir/vertex_function.cc.o"
+  "CMakeFiles/seaweed_core.dir/vertex_function.cc.o.d"
+  "libseaweed_core.a"
+  "libseaweed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_sim.dir/bandwidth_meter.cc.o"
+  "CMakeFiles/seaweed_sim.dir/bandwidth_meter.cc.o.d"
+  "CMakeFiles/seaweed_sim.dir/event_queue.cc.o"
+  "CMakeFiles/seaweed_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/seaweed_sim.dir/network.cc.o"
+  "CMakeFiles/seaweed_sim.dir/network.cc.o.d"
+  "CMakeFiles/seaweed_sim.dir/simulator.cc.o"
+  "CMakeFiles/seaweed_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/seaweed_sim.dir/topology.cc.o"
+  "CMakeFiles/seaweed_sim.dir/topology.cc.o.d"
+  "libseaweed_sim.a"
+  "libseaweed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

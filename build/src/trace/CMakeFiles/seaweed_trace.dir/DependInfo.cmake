@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/availability_trace.cc" "src/trace/CMakeFiles/seaweed_trace.dir/availability_trace.cc.o" "gcc" "src/trace/CMakeFiles/seaweed_trace.dir/availability_trace.cc.o.d"
+  "/root/repo/src/trace/farsite_model.cc" "src/trace/CMakeFiles/seaweed_trace.dir/farsite_model.cc.o" "gcc" "src/trace/CMakeFiles/seaweed_trace.dir/farsite_model.cc.o.d"
+  "/root/repo/src/trace/gnutella_model.cc" "src/trace/CMakeFiles/seaweed_trace.dir/gnutella_model.cc.o" "gcc" "src/trace/CMakeFiles/seaweed_trace.dir/gnutella_model.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/seaweed_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/seaweed_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seaweed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

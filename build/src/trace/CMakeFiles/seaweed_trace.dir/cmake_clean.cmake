@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_trace.dir/availability_trace.cc.o"
+  "CMakeFiles/seaweed_trace.dir/availability_trace.cc.o.d"
+  "CMakeFiles/seaweed_trace.dir/farsite_model.cc.o"
+  "CMakeFiles/seaweed_trace.dir/farsite_model.cc.o.d"
+  "CMakeFiles/seaweed_trace.dir/gnutella_model.cc.o"
+  "CMakeFiles/seaweed_trace.dir/gnutella_model.cc.o.d"
+  "CMakeFiles/seaweed_trace.dir/trace_io.cc.o"
+  "CMakeFiles/seaweed_trace.dir/trace_io.cc.o.d"
+  "libseaweed_trace.a"
+  "libseaweed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

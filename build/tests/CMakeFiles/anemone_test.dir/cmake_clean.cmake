@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anemone_test.dir/anemone_test.cc.o"
+  "CMakeFiles/anemone_test.dir/anemone_test.cc.o.d"
+  "anemone_test"
+  "anemone_test.pdb"
+  "anemone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anemone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_by_test.dir/group_by_test.cc.o"
+  "CMakeFiles/group_by_test.dir/group_by_test.cc.o.d"
+  "group_by_test"
+  "group_by_test.pdb"
+  "group_by_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_by_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_churn_test.dir/overlay_churn_test.cc.o"
+  "CMakeFiles/overlay_churn_test.dir/overlay_churn_test.cc.o.d"
+  "overlay_churn_test"
+  "overlay_churn_test.pdb"
+  "overlay_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_lifecycle_test.dir/query_lifecycle_test.cc.o"
+  "CMakeFiles/query_lifecycle_test.dir/query_lifecycle_test.cc.o.d"
+  "query_lifecycle_test"
+  "query_lifecycle_test.pdb"
+  "query_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

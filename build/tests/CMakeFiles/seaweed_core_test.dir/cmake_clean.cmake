@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seaweed_core_test.dir/seaweed_core_test.cc.o"
+  "CMakeFiles/seaweed_core_test.dir/seaweed_core_test.cc.o.d"
+  "seaweed_core_test"
+  "seaweed_core_test.pdb"
+  "seaweed_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seaweed_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

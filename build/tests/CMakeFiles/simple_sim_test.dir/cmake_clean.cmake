@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_sim_test.dir/simple_sim_test.cc.o"
+  "CMakeFiles/simple_sim_test.dir/simple_sim_test.cc.o.d"
+  "simple_sim_test"
+  "simple_sim_test.pdb"
+  "simple_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
