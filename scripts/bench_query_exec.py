@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Runs the execution-engine benchmarks and writes BENCH_query_exec.json.
+
+Compares the vectorized batch engine (ExecuteAggregate) against the retained
+scalar reference engine (ExecuteAggregateScalar) on three workloads at
+10k/100k/1M rows, reporting ns/row before vs after.
+
+Usage: scripts/bench_query_exec.py [build_dir] [output_json]
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BUILD = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "build"
+OUT = Path(sys.argv[2]) if len(sys.argv) > 2 else REPO / "BENCH_query_exec.json"
+
+WORKLOADS = {
+    "selective": "BM_ExecuteAggregateSelective",
+    "dense": "BM_ExecuteAggregateDense",
+    "group_by": "BM_ExecuteAggregateGroupBy",
+}
+
+
+def main():
+    raw_path = BUILD / "bench_query_exec_raw.json"
+    subprocess.run(
+        [
+            str(BUILD / "bench" / "micro_core"),
+            "--benchmark_filter=BM_ExecuteAggregate",
+            f"--benchmark_out={raw_path}",
+            "--benchmark_out_format=json",
+            "--benchmark_repetitions=1",
+        ],
+        check=True,
+    )
+    raw = json.loads(raw_path.read_text())
+
+    # name -> (ns total, rows): "BM_ExecuteAggregateSelectiveScalar/100000"
+    times = {}
+    for b in raw["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        base, rows = b["name"].rsplit("/", 1)
+        times[(base, int(rows))] = b["real_time"]  # ns (default time unit)
+
+    report = {
+        "benchmark": "query_exec",
+        "description": (
+            "Local aggregate execution: scalar row-at-a-time engine "
+            "(before) vs vectorized batch engine (after), ns/row"
+        ),
+        "context": {
+            "date": raw["context"]["date"],
+            "num_cpus": raw["context"]["num_cpus"],
+            "mhz_per_cpu": raw["context"]["mhz_per_cpu"],
+            "build_type": "RelWithDebInfo",
+        },
+        "workloads": {},
+    }
+    for key, base in WORKLOADS.items():
+        per_size = {}
+        for rows in (10000, 100000, 1000000):
+            batch = times[(base, rows)]
+            scalar = times[(base + "Scalar", rows)]
+            per_size[str(rows)] = {
+                "scalar_ns_per_row": round(scalar / rows, 4),
+                "batch_ns_per_row": round(batch / rows, 4),
+                "speedup": round(scalar / batch, 2),
+            }
+        report["workloads"][key] = per_size
+
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    sel = report["workloads"]["selective"]["100000"]["speedup"]
+    print(f"selective/100k speedup: {sel}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge check: builds the default configuration and the
+# ASan+UBSan configuration, and runs the complete test suite under both.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== default build (RelWithDebInfo) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+
+echo
+echo "=== sanitizer build (ASan + UBSan) ==="
+cmake -B build-asan -S . -DSEAWEED_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
+
+echo
+echo "All checks passed."

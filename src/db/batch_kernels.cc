@@ -1,0 +1,32 @@
+#include "db/batch_kernels.h"
+
+namespace seaweed::db {
+
+void SelAll(uint32_t start, uint32_t len, SelVector* out) {
+  for (uint32_t i = 0; i < len; ++i) out->rows[i] = start + i;
+  out->count = len;
+}
+
+void SelUnion(const SelVector& a, const SelVector& b, SelVector* out) {
+  uint32_t i = 0, j = 0, n = 0;
+  while (i < a.count && j < b.count) {
+    const uint32_t ra = a.rows[i];
+    const uint32_t rb = b.rows[j];
+    if (ra < rb) {
+      out->rows[n++] = ra;
+      ++i;
+    } else if (rb < ra) {
+      out->rows[n++] = rb;
+      ++j;
+    } else {
+      out->rows[n++] = ra;
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.count) out->rows[n++] = a.rows[i++];
+  while (j < b.count) out->rows[n++] = b.rows[j++];
+  out->count = n;
+}
+
+}  // namespace seaweed::db

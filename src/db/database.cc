@@ -151,6 +151,15 @@ Result<AggregateResult> Database::ExecuteAggregate(
   return db::ExecuteAggregate(*table, query);
 }
 
+Result<AggregateResult> Database::ExecuteAggregateCached(
+    const SelectQuery& query, PlanCache* cache, const std::string& key) const {
+  const Table* table = FindTable(query.table);
+  if (!table) return Status::NotFound("no such table: " + query.table);
+  SEAWEED_ASSIGN_OR_RETURN(const CompiledQuery* plan,
+                           cache->GetOrBind(key, *table, query));
+  return plan->Execute(*table);
+}
+
 Result<AggregateResult> Database::ExecuteAggregateSql(
     const std::string& sql, const ParseOptions& options) const {
   SEAWEED_ASSIGN_OR_RETURN(SelectQuery query, ParseSelect(sql, options));

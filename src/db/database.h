@@ -71,6 +71,12 @@ class Database {
   Result<AggregateResult> ExecuteAggregateSql(
       const std::string& sql, const ParseOptions& options = {}) const;
 
+  // Like ExecuteAggregate, but binds through `cache` under `key` so repeated
+  // executions of the same query reuse the compiled plan.
+  Result<AggregateResult> ExecuteAggregateCached(const SelectQuery& query,
+                                                 PlanCache* cache,
+                                                 const std::string& key) const;
+
   // Exact count of rows matching the query (ground truth / available-
   // endsystem row counts).
   Result<int64_t> CountMatching(const SelectQuery& query) const;

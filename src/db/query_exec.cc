@@ -6,6 +6,20 @@
 
 namespace seaweed::db {
 
+namespace {
+
+// GROUP BY on a dictionary column uses dense array-indexed accumulators
+// sized by dict_size(); above this cardinality the executor falls back to
+// the Value-keyed path to bound memory (dict_size * arity * sizeof(AggState)
+// at 64k is a few MiB worst case).
+constexpr size_t kDenseGroupMaxDict = size_t{1} << 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar reference predicate
+// ---------------------------------------------------------------------------
+
 Result<int> CompiledPredicate::BindNode(const PredicatePtr& pred,
                                         const Table& table,
                                         std::vector<Node>* nodes) {
@@ -35,8 +49,6 @@ Result<int> CompiledPredicate::BindNode(const PredicatePtr& pred,
           node.string_code =
               table.column(static_cast<size_t>(col)).DictCode(lit.AsString());
         }
-        // Keep the raw string for the slow path via double_literal? No —
-        // store it in a side table below.
         node.literal_is_int = false;
         node.int_literal = 0;
       } else {
@@ -72,11 +84,9 @@ Result<int> CompiledPredicate::BindNode(const PredicatePtr& pred,
 Result<CompiledPredicate> CompiledPredicate::Bind(const PredicatePtr& pred,
                                                   const Table& table) {
   CompiledPredicate cp;
-  // String range comparisons need the literal text; stash literals in a
-  // parallel pass. To keep Node POD-small we disallow the rare string-range
-  // case instead (Anemone queries never use it).
-  // (A cleaner lift would store std::string in Node; rejected for cache
-  // friendliness on the hot filter loop.)
+  // String range comparisons need the literal text; to keep Node POD-small
+  // we disallow the rare string-range case instead (Anemone queries never
+  // use it).
   std::vector<Node> nodes;
   SEAWEED_ASSIGN_OR_RETURN(int root, BindNode(pred, table, &nodes));
   for (const Node& n : nodes) {
@@ -137,6 +147,189 @@ bool CompiledPredicate::EvalNode(int idx, const Table& table,
 bool CompiledPredicate::Matches(const Table& table, size_t row) const {
   return EvalNode(root_, table, row);
 }
+
+// ---------------------------------------------------------------------------
+// Batch predicate
+// ---------------------------------------------------------------------------
+
+Result<int> BatchPredicate::BindNode(const PredicatePtr& pred,
+                                     const Table& table,
+                                     std::vector<Node>* nodes) {
+  Node node;
+  node.kind = pred->kind;
+  switch (pred->kind) {
+    case Predicate::Kind::kTrue:
+      break;
+    case Predicate::Kind::kCompare: {
+      SEAWEED_ASSIGN_OR_RETURN(int col,
+                               table.schema().RequireColumn(pred->column));
+      node.column_index = col;
+      node.column_type = table.schema().column(static_cast<size_t>(col)).type;
+      node.op = pred->op;
+      const Value& lit = pred->literal;
+      if (node.column_type == ColumnType::kString) {
+        if (!lit.is_string()) {
+          return Status::InvalidArgument(
+              "numeric literal compared against string column " +
+              pred->column);
+        }
+        if (pred->op != CompareOp::kEq && pred->op != CompareOp::kNe) {
+          return Status::NotImplemented(
+              "range comparison on string column is not supported");
+        }
+        node.string_literal = lit.AsString();
+        node.string_code =
+            table.column(static_cast<size_t>(col)).DictCode(node.string_literal);
+        node.literal_is_int = false;
+      } else {
+        if (lit.is_string()) {
+          return Status::InvalidArgument(
+              "string literal compared against numeric column " +
+              pred->column);
+        }
+        if (lit.is_int64()) {
+          node.int_literal = lit.AsInt64();
+          node.double_literal = static_cast<double>(lit.AsInt64());
+          node.literal_is_int = true;
+        } else {
+          node.double_literal = lit.AsDouble();
+          node.literal_is_int = false;
+        }
+      }
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      SEAWEED_ASSIGN_OR_RETURN(int l, BindNode(pred->left, table, nodes));
+      SEAWEED_ASSIGN_OR_RETURN(int r, BindNode(pred->right, table, nodes));
+      node.left = l;
+      node.right = r;
+      break;
+    }
+  }
+  nodes->push_back(node);
+  return static_cast<int>(nodes->size()) - 1;
+}
+
+Result<BatchPredicate> BatchPredicate::Bind(const PredicatePtr& pred,
+                                            const Table& table) {
+  BatchPredicate bp;
+  std::vector<Node> nodes;
+  SEAWEED_ASSIGN_OR_RETURN(int root, BindNode(pred, table, &nodes));
+  bp.nodes_ = std::move(nodes);
+  bp.root_ = root;
+  return bp;
+}
+
+void BatchPredicate::EvalNode(int idx, const Table& table, uint32_t start,
+                              uint32_t len, const SelVector* in,
+                              SelVector* out) const {
+  out->Clear();
+  const Node& n = nodes_[static_cast<size_t>(idx)];
+  switch (n.kind) {
+    case Predicate::Kind::kTrue: {
+      if (in == nullptr) {
+        SelAll(start, len, out);
+      } else {
+        *out = *in;
+      }
+      return;
+    }
+    case Predicate::Kind::kAnd: {
+      // Conjunction = kernel composition: the right side only ever touches
+      // rows the left side selected.
+      SelVector tmp;
+      EvalNode(n.left, table, start, len, in, &tmp);
+      EvalNode(n.right, table, start, len, &tmp, out);
+      return;
+    }
+    case Predicate::Kind::kOr: {
+      SelVector a, b;
+      EvalNode(n.left, table, start, len, in, &a);
+      EvalNode(n.right, table, start, len, in, &b);
+      SelUnion(a, b, out);
+      return;
+    }
+    case Predicate::Kind::kCompare: {
+      const Column& col = table.column(static_cast<size_t>(n.column_index));
+      switch (n.column_type) {
+        case ColumnType::kInt64: {
+          const int64_t* p = col.ints().data();
+          if (n.literal_is_int) {
+            if (in == nullptr) {
+              FilterDenseOp(p, start, len, n.int_literal, n.op, out);
+            } else {
+              FilterSelOp(p, *in, n.int_literal, n.op, out);
+            }
+          } else {
+            if (in == nullptr) {
+              FilterDenseOp(p, start, len, n.double_literal, n.op, out);
+            } else {
+              FilterSelOp(p, *in, n.double_literal, n.op, out);
+            }
+          }
+          return;
+        }
+        case ColumnType::kDouble: {
+          const double* p = col.doubles().data();
+          if (in == nullptr) {
+            FilterDenseOp(p, start, len, n.double_literal, n.op, out);
+          } else {
+            FilterSelOp(p, *in, n.double_literal, n.op, out);
+          }
+          return;
+        }
+        case ColumnType::kString: {
+          // Dictionary-coded equality: a uint32_t compare. A literal absent
+          // from the dictionary matches nothing (=) or everything (!=).
+          if (n.string_code < 0) {
+            if (n.op == CompareOp::kNe) {
+              if (in == nullptr) {
+                SelAll(start, len, out);
+              } else {
+                *out = *in;
+              }
+            }
+            return;  // kEq: empty selection
+          }
+          const uint32_t* p = col.codes().data();
+          const uint32_t code = static_cast<uint32_t>(n.string_code);
+          if (in == nullptr) {
+            FilterDenseOp(p, start, len, code, n.op, out);
+          } else {
+            FilterSelOp(p, *in, code, n.op, out);
+          }
+          return;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void BatchPredicate::FilterBatch(const Table& table, uint32_t start,
+                                 uint32_t len, SelVector* out) const {
+  SEAWEED_DCHECK(len <= kBatchSize);
+  EvalNode(root_, table, start, len, nullptr, out);
+}
+
+bool BatchPredicate::CompatibleWith(const Table& table) const {
+  for (const Node& n : nodes_) {
+    if (n.kind != Predicate::Kind::kCompare) continue;
+    const size_t ci = static_cast<size_t>(n.column_index);
+    if (ci >= table.num_columns()) return false;
+    if (table.schema().column(ci).type != n.column_type) return false;
+    if (n.column_type == ColumnType::kString &&
+        table.column(ci).DictCode(n.string_literal) != n.string_code) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate states and results
+// ---------------------------------------------------------------------------
 
 void AggState::Merge(const AggState& other) {
   sum += other.sum;
@@ -271,8 +464,276 @@ size_t AggregateResult::SerializedBytes() const {
   return w.size();
 }
 
+// ---------------------------------------------------------------------------
+// Compiled query (batch engine)
+// ---------------------------------------------------------------------------
+
+Result<CompiledQuery> CompiledQuery::Bind(const Table& table,
+                                          const SelectQuery& query) {
+  if (!query.IsAggregateOnly()) {
+    return Status::InvalidArgument(
+        "distributed execution requires aggregate-only select list");
+  }
+  CompiledQuery cq;
+  SEAWEED_ASSIGN_OR_RETURN(cq.pred_, BatchPredicate::Bind(query.where, table));
+
+  cq.inputs_.reserve(query.items.size());
+  for (const auto& item : query.items) {
+    AggInput in;
+    in.func = item.func;
+    if (!item.is_aggregate) {
+      // IsAggregateOnly() guarantees this is the GROUP BY column.
+      in.is_group_column = true;
+      cq.inputs_.push_back(in);
+      continue;
+    }
+    if (!item.column.empty()) {
+      SEAWEED_ASSIGN_OR_RETURN(in.column,
+                               table.schema().RequireColumn(item.column));
+      in.type = table.schema().column(static_cast<size_t>(in.column)).type;
+      if (in.type == ColumnType::kString && item.func != AggFunc::kCount) {
+        return Status::InvalidArgument("cannot " +
+                                       std::string(AggFuncName(item.func)) +
+                                       " a string column");
+      }
+    } else if (item.func != AggFunc::kCount) {
+      return Status::InvalidArgument("only COUNT may take '*'");
+    }
+    cq.inputs_.push_back(in);
+  }
+
+  if (!query.group_by.empty()) {
+    SEAWEED_ASSIGN_OR_RETURN(cq.group_column_,
+                             table.schema().RequireColumn(query.group_by));
+    cq.group_type_ =
+        table.schema().column(static_cast<size_t>(cq.group_column_)).type;
+  }
+  cq.num_columns_ = table.num_columns();
+  return cq;
+}
+
+bool CompiledQuery::CompatibleWith(const Table& table) const {
+  if (table.num_columns() != num_columns_) return false;
+  if (!pred_.CompatibleWith(table)) return false;
+  for (const AggInput& in : inputs_) {
+    if (in.column < 0) continue;
+    const size_t ci = static_cast<size_t>(in.column);
+    if (ci >= table.num_columns()) return false;
+    if (table.schema().column(ci).type != in.type) return false;
+  }
+  if (group_column_ >= 0) {
+    const size_t gi = static_cast<size_t>(group_column_);
+    if (gi >= table.num_columns()) return false;
+    if (table.schema().column(gi).type != group_type_) return false;
+  }
+  return true;
+}
+
+void CompiledQuery::AccumulateUngrouped(const Table& table,
+                                        const SelVector& sel,
+                                        AggregateResult* result) const {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& in = inputs_[i];
+    AggState& state = result->states[i];
+    if (in.column < 0 || in.type == ColumnType::kString) {
+      state.count += sel.count;  // COUNT(*) / COUNT(string col)
+      continue;
+    }
+    const Column& col = table.column(static_cast<size_t>(in.column));
+    if (in.type == ColumnType::kInt64) {
+      AccumulateSel(col.ints().data(), sel, &state);
+    } else {
+      AccumulateSel(col.doubles().data(), sel, &state);
+    }
+  }
+}
+
+void CompiledQuery::AccumulateUngroupedDense(const Table& table,
+                                             uint32_t start, uint32_t len,
+                                             AggregateResult* result) const {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& in = inputs_[i];
+    AggState& state = result->states[i];
+    if (in.column < 0 || in.type == ColumnType::kString) {
+      state.count += len;
+      continue;
+    }
+    const Column& col = table.column(static_cast<size_t>(in.column));
+    if (in.type == ColumnType::kInt64) {
+      AccumulateDense(col.ints().data(), start, len, &state);
+    } else {
+      AccumulateDense(col.doubles().data(), start, len, &state);
+    }
+  }
+}
+
+Result<AggregateResult> CompiledQuery::Execute(const Table& table) const {
+  AggregateResult result;
+  result.states.resize(inputs_.size());
+  result.endsystems = 1;
+  const size_t n = table.num_rows();
+  const size_t arity = inputs_.size();
+
+  const Column* group_col =
+      group_column_ >= 0 ? &table.column(static_cast<size_t>(group_column_))
+                         : nullptr;
+  const bool dense_group = group_col != nullptr &&
+                           group_type_ == ColumnType::kString &&
+                           group_col->dict_size() <= kDenseGroupMaxDict;
+  // Dense GROUP BY accumulators: one AggState per (dict code, select item)
+  // plus a per-code matched-row count deciding which groups exist.
+  std::vector<AggState> dense_states;
+  std::vector<int64_t> dense_rows;
+  const uint32_t* group_codes = nullptr;
+  if (dense_group) {
+    dense_states.resize(group_col->dict_size() * arity);
+    dense_rows.resize(group_col->dict_size(), 0);
+    group_codes = group_col->codes().data();
+  }
+
+  const bool no_filter = pred_.always_true();
+  SelVector sel;
+  for (size_t batch = 0; batch < n; batch += kBatchSize) {
+    const uint32_t start = static_cast<uint32_t>(batch);
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<size_t>(kBatchSize, n - batch));
+    if (no_filter && group_col == nullptr) {
+      result.rows_matched += len;
+      AccumulateUngroupedDense(table, start, len, &result);
+      continue;
+    }
+    if (no_filter) {
+      SelAll(start, len, &sel);
+    } else {
+      pred_.FilterBatch(table, start, len, &sel);
+    }
+    result.rows_matched += sel.count;
+    if (sel.count == 0) continue;
+
+    if (group_col == nullptr) {
+      AccumulateUngrouped(table, sel, &result);
+      continue;
+    }
+
+    if (dense_group) {
+      for (uint32_t i = 0; i < sel.count; ++i) {
+        ++dense_rows[group_codes[sel.rows[i]]];
+      }
+      for (size_t item = 0; item < arity; ++item) {
+        const AggInput& in = inputs_[item];
+        if (in.is_group_column) continue;  // rendered from the group key
+        if (in.column < 0 || in.type == ColumnType::kString) {
+          for (uint32_t i = 0; i < sel.count; ++i) {
+            dense_states[group_codes[sel.rows[i]] * arity + item]
+                .AddCountOnly();
+          }
+          result.states[item].count += sel.count;
+          continue;
+        }
+        const Column& col = table.column(static_cast<size_t>(in.column));
+        AggState* global = &result.states[item];
+        if (in.type == ColumnType::kInt64) {
+          const int64_t* p = col.ints().data();
+          for (uint32_t i = 0; i < sel.count; ++i) {
+            const uint32_t row = sel.rows[i];
+            const double v = static_cast<double>(p[row]);
+            dense_states[group_codes[row] * arity + item].Add(v);
+            global->Add(v);
+          }
+        } else {
+          const double* p = col.doubles().data();
+          for (uint32_t i = 0; i < sel.count; ++i) {
+            const uint32_t row = sel.rows[i];
+            const double v = p[row];
+            dense_states[group_codes[row] * arity + item].Add(v);
+            global->Add(v);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Fallback grouping (numeric or very-high-cardinality group keys):
+    // Value-keyed sorted groups over the selection vector.
+    for (uint32_t i = 0; i < sel.count; ++i) {
+      const uint32_t row = sel.rows[i];
+      Value key = group_col->ValueAt(row);
+      std::vector<AggState>& gstates = result.GroupStates(key, arity);
+      for (size_t item = 0; item < arity; ++item) {
+        const AggInput& in = inputs_[item];
+        if (in.is_group_column) continue;
+        if (in.column < 0 || in.type == ColumnType::kString) {
+          gstates[item].AddCountOnly();
+          result.states[item].AddCountOnly();
+          continue;
+        }
+        const Column& col = table.column(static_cast<size_t>(in.column));
+        const double v = in.type == ColumnType::kInt64
+                             ? static_cast<double>(col.Int64At(row))
+                             : col.DoubleAt(row);
+        gstates[item].Add(v);
+        result.states[item].Add(v);
+      }
+    }
+  }
+
+  if (dense_group) {
+    // Emit only codes with matching rows, sorted by key (dictionary order
+    // is insertion order, not value order).
+    std::vector<uint32_t> present;
+    for (uint32_t code = 0; code < dense_rows.size(); ++code) {
+      if (dense_rows[code] > 0) present.push_back(code);
+    }
+    std::sort(present.begin(), present.end(),
+              [group_col](uint32_t a, uint32_t b) {
+                return group_col->DictEntry(a) < group_col->DictEntry(b);
+              });
+    result.groups.reserve(present.size());
+    for (uint32_t code : present) {
+      result.groups.emplace_back(
+          Value(group_col->DictEntry(code)),
+          std::vector<AggState>(
+              dense_states.begin() + static_cast<ptrdiff_t>(code * arity),
+              dense_states.begin() + static_cast<ptrdiff_t>((code + 1) * arity)));
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+Result<const CompiledQuery*> PlanCache::GetOrBind(const std::string& key,
+                                                  const Table& table,
+                                                  const SelectQuery& query) {
+  std::string fingerprint = query.ToString();
+  auto it = plans_.find(key);
+  if (it != plans_.end() && it->second.fingerprint == fingerprint &&
+      it->second.plan.CompatibleWith(table)) {
+    ++hits_;
+    return &it->second.plan;
+  }
+  SEAWEED_ASSIGN_OR_RETURN(CompiledQuery plan, CompiledQuery::Bind(table, query));
+  ++binds_;
+  Entry& entry = plans_[key];
+  entry.fingerprint = std::move(fingerprint);
+  entry.plan = std::move(plan);
+  return &entry.plan;
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
 Result<AggregateResult> ExecuteAggregate(const Table& table,
                                          const SelectQuery& query) {
+  SEAWEED_ASSIGN_OR_RETURN(CompiledQuery plan, CompiledQuery::Bind(table, query));
+  return plan.Execute(table);
+}
+
+Result<AggregateResult> ExecuteAggregateScalar(const Table& table,
+                                               const SelectQuery& query) {
   if (!query.IsAggregateOnly()) {
     return Status::InvalidArgument(
         "distributed execution requires aggregate-only select list");
@@ -354,20 +815,25 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
 }
 
 Result<int64_t> CountMatching(const Table& table, const SelectQuery& query) {
-  SEAWEED_ASSIGN_OR_RETURN(CompiledPredicate pred,
-                           CompiledPredicate::Bind(query.where, table));
-  int64_t n = 0;
-  const size_t rows = table.num_rows();
-  for (size_t row = 0; row < rows; ++row) {
-    if (pred.Matches(table, row)) ++n;
+  SEAWEED_ASSIGN_OR_RETURN(BatchPredicate pred,
+                           BatchPredicate::Bind(query.where, table));
+  const size_t n = table.num_rows();
+  if (pred.always_true()) return static_cast<int64_t>(n);
+  int64_t matched = 0;
+  SelVector sel;
+  for (size_t batch = 0; batch < n; batch += kBatchSize) {
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<size_t>(kBatchSize, n - batch));
+    pred.FilterBatch(table, static_cast<uint32_t>(batch), len, &sel);
+    matched += sel.count;
   }
-  return n;
+  return matched;
 }
 
 Result<RowSet> ExecuteSelect(const Table& table, const SelectQuery& query,
                              size_t limit) {
-  SEAWEED_ASSIGN_OR_RETURN(CompiledPredicate pred,
-                           CompiledPredicate::Bind(query.where, table));
+  SEAWEED_ASSIGN_OR_RETURN(BatchPredicate pred,
+                           BatchPredicate::Bind(query.where, table));
   RowSet out;
   std::vector<int> cols;
   bool star = false;
@@ -394,14 +860,22 @@ Result<RowSet> ExecuteSelect(const Table& table, const SelectQuery& query,
     out.column_names.push_back(table.schema().column(static_cast<size_t>(c)).name);
   }
   const size_t n = table.num_rows();
-  for (size_t row = 0; row < n && out.rows.size() < limit; ++row) {
-    if (!pred.Matches(table, row)) continue;
-    std::vector<Value> vals;
-    vals.reserve(cols.size());
-    for (int c : cols) {
-      vals.push_back(table.column(static_cast<size_t>(c)).ValueAt(row));
+  SelVector sel;
+  for (size_t batch = 0; batch < n && out.rows.size() < limit;
+       batch += kBatchSize) {
+    const uint32_t start = static_cast<uint32_t>(batch);
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<size_t>(kBatchSize, n - batch));
+    pred.FilterBatch(table, start, len, &sel);
+    for (uint32_t i = 0; i < sel.count && out.rows.size() < limit; ++i) {
+      const size_t row = sel.rows[i];
+      std::vector<Value> vals;
+      vals.reserve(cols.size());
+      for (int c : cols) {
+        vals.push_back(table.column(static_cast<size_t>(c)).ValueAt(row));
+      }
+      out.rows.push_back(std::move(vals));
     }
-    out.rows.push_back(std::move(vals));
   }
   return out;
 }

@@ -45,6 +45,16 @@ Result<db::AggregateResult> AnemoneDataProvider::Execute(
   return database->ExecuteAggregate(query);
 }
 
+Result<db::AggregateResult> AnemoneDataProvider::ExecuteCached(
+    int endsystem, const db::SelectQuery& query, db::PlanCache* cache,
+    const std::string& key) {
+  std::unique_ptr<db::Database> tmp;
+  db::Database* database = GetOrBuild(endsystem, &tmp);
+  // Regenerated tables are deterministic, so a cached plan re-validates
+  // against them (same schema, same dictionary codes) and is reused.
+  return database->ExecuteAggregateCached(query, cache, key);
+}
+
 Result<int64_t> AnemoneDataProvider::CountMatching(
     int endsystem, const db::SelectQuery& query) {
   std::unique_ptr<db::Database> tmp;
@@ -72,6 +82,13 @@ const db::DatabaseSummary& StaticDataProvider::Summary(int endsystem) {
 Result<db::AggregateResult> StaticDataProvider::Execute(
     int endsystem, const db::SelectQuery& query) {
   return dbs_[static_cast<size_t>(endsystem)]->ExecuteAggregate(query);
+}
+
+Result<db::AggregateResult> StaticDataProvider::ExecuteCached(
+    int endsystem, const db::SelectQuery& query, db::PlanCache* cache,
+    const std::string& key) {
+  return dbs_[static_cast<size_t>(endsystem)]->ExecuteAggregateCached(
+      query, cache, key);
 }
 
 uint32_t StaticDataProvider::SummaryWireBytes(int endsystem) {

@@ -29,6 +29,18 @@ class DataProvider {
   virtual Result<db::AggregateResult> Execute(int endsystem,
                                               const db::SelectQuery& query) = 0;
 
+  // Like Execute, but binds through `cache` under `key` so repeated
+  // executions of the same query (incremental result refinement as
+  // endsystems come online) reuse the compiled plan. The default forwards
+  // to Execute; providers backed by a db::Database override it.
+  virtual Result<db::AggregateResult> ExecuteCached(
+      int endsystem, const db::SelectQuery& query, db::PlanCache* cache,
+      const std::string& key) {
+    (void)cache;
+    (void)key;
+    return Execute(endsystem, query);
+  }
+
   // Bytes charged on the wire when this endsystem's summary is pushed. May
   // be overridden to a calibrated constant (Table 1: h = 6,473 bytes)
   // when simulations run with scaled-down tables.
@@ -44,6 +56,10 @@ class AnemoneDataProvider : public DataProvider {
   const db::DatabaseSummary& Summary(int endsystem) override;
   Result<db::AggregateResult> Execute(int endsystem,
                                       const db::SelectQuery& query) override;
+  Result<db::AggregateResult> ExecuteCached(int endsystem,
+                                            const db::SelectQuery& query,
+                                            db::PlanCache* cache,
+                                            const std::string& key) override;
   uint32_t SummaryWireBytes(int endsystem) override;
 
   // Ground truth helper for experiments: exact matching row count.
@@ -67,6 +83,10 @@ class StaticDataProvider : public DataProvider {
   const db::DatabaseSummary& Summary(int endsystem) override;
   Result<db::AggregateResult> Execute(int endsystem,
                                       const db::SelectQuery& query) override;
+  Result<db::AggregateResult> ExecuteCached(int endsystem,
+                                            const db::SelectQuery& query,
+                                            db::PlanCache* cache,
+                                            const std::string& key) override;
   uint32_t SummaryWireBytes(int endsystem) override;
 
   db::Database* database(int endsystem) { return dbs_[static_cast<size_t>(endsystem)].get(); }

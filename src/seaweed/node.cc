@@ -76,6 +76,7 @@ void SeaweedNode::OnStopping() {
   ++generation_;
   metadata_.Clear();
   active_.clear();
+  plan_cache_.Clear();
   last_pushed_summary_.reset();
   replicas_with_summary_.clear();
 }
@@ -321,6 +322,7 @@ void SeaweedNode::CancelQuery(const NodeId& query_id) {
     active_.erase(it);
   }
   persisted_leaf_vertex_.erase(query_id);
+  plan_cache_.Erase(query_id.ToHex());
   cancelled_[query_id] = tombstone_until;
   // Seed the epidemic: notify all leafset members; each recipient forwards
   // once (dedup via its own tombstone).
@@ -406,7 +408,8 @@ void SeaweedNode::ExecuteAndSubmit(const NodeId& query_id) {
   if (it == active_.end() || it->second.query.sql.empty()) return;
   ActiveQuery& aq = it->second;
   if (aq.query.ExpiredAt(sim()->Now())) return;
-  auto result = data_->Execute(index(), aq.query.parsed);
+  auto result = data_->ExecuteCached(index(), aq.query.parsed, &plan_cache_,
+                                     query_id.ToHex());
   if (!result.ok()) {
     SEAWEED_LOG(kWarn) << "local execution failed: "
                        << result.status().ToString();
@@ -447,6 +450,7 @@ void SeaweedNode::SweepExpiredTick(uint64_t generation) {
                        : q.ExpiredAt(now);
     if (expired) {
       persisted_leaf_vertex_.erase(it->first);
+      plan_cache_.Erase(it->first.ToHex());
       it = active_.erase(it);
     } else {
       ++it;

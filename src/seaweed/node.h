@@ -240,6 +240,12 @@ class SeaweedNode : public overlay::PastryApp {
   DataProvider* data_;
   SeaweedConfig config_;
 
+  // Compiled plans keyed by query id: a long-running query re-executes
+  // against local data every time the endsystem's contribution changes, and
+  // re-binding the predicate each time would dominate small tables. Views
+  // are NOT cached (their SQL re-parses with a fresh NOW() each push).
+  db::PlanCache plan_cache_;
+
   // Persistent across down periods (§3.2.1: persisted at the endsystem).
   AvailabilityModel own_model_;
   SimTime went_down_at_ = -1;

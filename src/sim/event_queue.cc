@@ -7,50 +7,35 @@ namespace seaweed {
 EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
   EventId id = next_id_++;
   heap_.push(Entry{when, id, std::move(fn)});
-  ++live_count_;
+  pending_.insert(id);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return false;
-  // We cannot cheaply tell whether the event already fired; callers hold ids
-  // only for pending events, so a double-insert just wastes a set slot until
-  // the tombstone is consumed.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted && live_count_ > 0) {
-    --live_count_;
-    return true;
-  }
-  return false;
+  // pending_ distinguishes "scheduled but not fired" from everything else,
+  // so cancelling a fired (or bogus, or already-cancelled) id is a clean
+  // no-op instead of corrupting the live count.
+  if (pending_.erase(id) == 0) return false;
+  Prune();
+  return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+void EventQueue::Prune() {
+  while (!heap_.empty() && !pending_.count(heap_.top().id)) {
     heap_.pop();
   }
 }
 
-SimTime EventQueue::PeekTime() const {
-  // const_cast-free variant: scan without mutating. We accept that cancelled
-  // heads make this O(k); Pop() consumes them promptly.
-  auto* self = const_cast<EventQueue*>(this);
-  self->SkipCancelled();
-  return heap_.empty() ? kSimTimeMax : heap_.top().when;
-}
-
 std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
-  SkipCancelled();
   SEAWEED_CHECK_MSG(!heap_.empty(), "Pop on empty EventQueue");
-  // priority_queue::top() is const; we need to move the callback out.
+  // The invariant guarantees the top is live; priority_queue::top() is
+  // const, so move the callback out before popping.
   Entry& top = const_cast<Entry&>(heap_.top());
   SimTime when = top.when;
   std::function<void()> fn = std::move(top.fn);
+  pending_.erase(top.id);
   heap_.pop();
-  --live_count_;
+  Prune();
   return {when, std::move(fn)};
 }
 

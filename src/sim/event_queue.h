@@ -1,9 +1,11 @@
 // Discrete-event queue: a binary heap of (time, sequence, callback).
 //
 // Events with equal timestamps fire in scheduling order (FIFO), which keeps
-// simulations deterministic. Cancellation is supported through tombstoning:
-// cancelled events stay in the heap but are skipped on pop, which is O(1)
-// amortized and avoids heap surgery.
+// simulations deterministic. Cancellation is supported through lazy deletion:
+// `pending_` tracks the ids of live events, and cancelled entries stay in the
+// heap until pruned. The queue maintains the invariant that the heap top is
+// always a live event (pruning eagerly after Cancel and Pop), so empty(),
+// size(), and PeekTime() are O(1) reads and genuinely const.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +28,17 @@ class EventQueue {
   // the last popped event.
   EventId Schedule(SimTime when, std::function<void()> fn);
 
-  // Cancels a pending event. Returns false if already fired or cancelled.
+  // Cancels a pending event. Returns false (and changes nothing) if the
+  // event already fired or was already cancelled.
   bool Cancel(EventId id);
 
-  bool empty() const { return live_count_ == 0; }
-  size_t size() const { return live_count_; }
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
 
   // Time of the earliest pending event; kSimTimeMax when empty.
-  SimTime PeekTime() const;
+  SimTime PeekTime() const {
+    return heap_.empty() ? kSimTimeMax : heap_.top().when;
+  }
 
   // Pops and returns the earliest event. Must not be called when empty.
   // The caller runs the callback (so the queue can be re-entered from it).
@@ -55,11 +60,12 @@ class EventQueue {
     }
   };
 
-  void SkipCancelled();
+  // Discards cancelled entries until the heap top is live (or the heap is
+  // empty), restoring the class invariant.
+  void Prune();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  size_t live_count_ = 0;
+  std::unordered_set<EventId> pending_;  // ids scheduled but not yet fired
   EventId next_id_ = 1;
 };
 

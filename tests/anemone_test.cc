@@ -48,7 +48,10 @@ TEST(AnemoneTest, DeterministicPerIndex) {
 TEST(AnemoneTest, FiveIndexedColumns) {
   // The paper: 5 histograms per endsystem.
   int indexed = 0;
-  for (const auto& col : FlowSchema().columns()) {
+  // Bind the temporary schema first: ranging over FlowSchema().columns()
+  // directly dangles once the Schema temporary dies.
+  const db::Schema schema = FlowSchema();
+  for (const auto& col : schema.columns()) {
     if (col.indexed) ++indexed;
   }
   EXPECT_EQ(indexed, 5);

@@ -40,6 +40,49 @@ TEST(EventQueueTest, PeekSkipsCancelled) {
   EXPECT_EQ(q.PeekTime(), 2);
 }
 
+// Regression: cancelling an id that already fired must be a no-op. The old
+// tombstone-count implementation decremented the live count anyway, making
+// empty() report true while a live event was still queued.
+TEST(EventQueueTest, CancelAfterFireDoesNotCorruptSize) {
+  EventQueue q;
+  EventId fired = q.Schedule(1, [] {});
+  q.Pop().second();
+  bool ran = false;
+  q.Schedule(2, [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(fired));  // already fired: clean no-op
+  ASSERT_FALSE(q.empty());        // the old bug reported empty here
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.PeekTime(), 2);
+  q.Pop().second();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+// Cancelling a never-issued id must not disturb accounting either.
+TEST(EventQueueTest, CancelBogusIdIsNoop) {
+  EventQueue q;
+  q.Schedule(5, [] {});
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(12345));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.PeekTime(), 5);
+}
+
+// PeekTime on a const reference (compile-time check that it is genuinely
+// read-only) and after cancelling every event.
+TEST(EventQueueTest, PeekTimeConstAndEmptyAfterCancelAll) {
+  EventQueue q;
+  EventId a = q.Schedule(3, [] {});
+  EventId b = q.Schedule(7, [] {});
+  const EventQueue& cq = q;
+  EXPECT_EQ(cq.PeekTime(), 3);
+  q.Cancel(a);
+  EXPECT_EQ(cq.PeekTime(), 7);
+  q.Cancel(b);
+  EXPECT_TRUE(cq.empty());
+  EXPECT_EQ(cq.PeekTime(), kSimTimeMax);
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator sim;
   std::vector<SimTime> seen;
