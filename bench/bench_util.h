@@ -3,9 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/status.h"
 #include "common/time_types.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "sim/bandwidth_meter.h"
 
 namespace seaweed::bench {
 
@@ -47,6 +54,170 @@ inline std::string Rate(double bytes_per_sec) {
     std::snprintf(buf, sizeof(buf), "%.1f B/s", bytes_per_sec);
   }
   return buf;
+}
+
+// Prints an hourly breakdown table: column 0 of each row is the hour, the
+// remaining columns line up under `value_cols`. Shared by the benches that
+// report per-hour bandwidth components (fig9, fig10).
+inline void HourlyTable(const std::vector<const char*>& value_cols,
+                        const std::vector<std::vector<double>>& rows) {
+  std::printf("%6s", "hour");
+  for (const char* c : value_cols) std::printf(" %12s", c);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%6.0f", row[0]);
+    for (size_t i = 1; i < row.size(); ++i) std::printf(" %12.3f", row[i]);
+    std::printf("\n");
+  }
+}
+
+// Prints the standard percentile table the figure benches share.
+inline void PercentileTable(const std::vector<double>& samples,
+                            const char* value_name) {
+  std::printf("%12s %14s\n", "percentile", value_name);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    std::printf("%11.1f%% %14.2f\n", p, Percentile(samples, p));
+  }
+}
+
+// Collects named scalars and tables from one bench run and writes them to a
+// machine-readable file, replacing the per-figure emitters the benches used
+// to hand-roll. The output path comes from SEAWEED_BENCH_OUT; a ".csv"
+// suffix selects CSV (long format), anything else JSON. Env var unset = no
+// file written, the bench only prints its usual tables.
+class ResultWriter {
+ public:
+  explicit ResultWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Scalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+  }
+  void Table(std::string name, std::vector<std::string> columns,
+             std::vector<std::vector<double>> rows) {
+    tables_.push_back({std::move(name), std::move(columns), std::move(rows)});
+  }
+
+  Status WriteJson(const std::string& path) const {
+    std::string out = "{\"bench\":";
+    Quote(&out, bench_);
+    out += ",\"scalars\":{";
+    for (size_t i = 0; i < scalars_.size(); ++i) {
+      if (i) out += ',';
+      Quote(&out, scalars_[i].first);
+      out += ':';
+      Num(&out, scalars_[i].second);
+    }
+    out += "},\"tables\":{";
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      if (t) out += ',';
+      Quote(&out, tables_[t].name);
+      out += ":{\"columns\":[";
+      for (size_t c = 0; c < tables_[t].columns.size(); ++c) {
+        if (c) out += ',';
+        Quote(&out, tables_[t].columns[c]);
+      }
+      out += "],\"rows\":[";
+      for (size_t r = 0; r < tables_[t].rows.size(); ++r) {
+        if (r) out += ',';
+        out += '[';
+        for (size_t c = 0; c < tables_[t].rows[r].size(); ++c) {
+          if (c) out += ',';
+          Num(&out, tables_[t].rows[r][c]);
+        }
+        out += ']';
+      }
+      out += "]}";
+    }
+    out += "}}\n";
+    return WriteAll(path, out);
+  }
+
+  // Long format: one value per line, so any spreadsheet/plotting tool can
+  // pivot it without knowing the per-figure schema.
+  Status WriteCsv(const std::string& path) const {
+    std::string out = "bench,table,row,column,value\n";
+    for (const auto& [name, value] : scalars_) {
+      out += bench_ + ",scalars,0," + name + ',';
+      Num(&out, value);
+      out += '\n';
+    }
+    for (const auto& table : tables_) {
+      for (size_t r = 0; r < table.rows.size(); ++r) {
+        for (size_t c = 0; c < table.rows[r].size(); ++c) {
+          out += bench_ + ',' + table.name + ',' + std::to_string(r) + ',' +
+                 (c < table.columns.size() ? table.columns[c]
+                                           : std::to_string(c)) +
+                 ',';
+          Num(&out, table.rows[r][c]);
+          out += '\n';
+        }
+      }
+    }
+    return WriteAll(path, out);
+  }
+
+  // Writes to $SEAWEED_BENCH_OUT if set; failures warn but never abort the
+  // bench (the printed tables are the primary output).
+  void WriteFromEnv() const {
+    const char* path = std::getenv("SEAWEED_BENCH_OUT");
+    if (path == nullptr || *path == '\0') return;
+    std::string p(path);
+    bool csv = p.size() >= 4 && p.compare(p.size() - 4, 4, ".csv") == 0;
+    Status st = csv ? WriteCsv(p) : WriteJson(p);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: bench result write failed: %s\n",
+                   std::string(st.message()).c_str());
+    } else {
+      std::printf("# machine-readable results written to %s\n", p.c_str());
+    }
+  }
+
+ private:
+  struct TableData {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+  };
+
+  static void Quote(std::string* out, const std::string& s) {
+    *out += '"';
+    obs::AppendJsonEscaped(out, s);
+    *out += '"';
+  }
+  static void Num(std::string* out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    *out += buf;
+  }
+  static Status WriteAll(const std::string& path, const std::string& body) {
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) return Status::IoError("cannot open " + path);
+    f << body;
+    f.flush();
+    if (!f) return Status::IoError("write failed: " + path);
+    return Status::OK();
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<TableData> tables_;
+};
+
+// Dumps a run's metrics registry + trace spans to a JSONL file readable by
+// tools/obs_report. The path comes from $SEAWEED_OBS_DUMP when set, else
+// `default_path`; pass nullptr to dump only when the env var is set.
+inline void DumpObs(const obs::Observability& o, const char* default_path) {
+  const char* path = std::getenv("SEAWEED_OBS_DUMP");
+  if (path == nullptr || *path == '\0') path = default_path;
+  if (path == nullptr) return;
+  Status st = obs::DumpToFile(&o.metrics, &o.trace, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: obs dump failed: %s\n",
+                 std::string(st.message()).c_str());
+    return;
+  }
+  std::printf("# obs dump written to %s (inspect with tools/obs_report)\n",
+              path);
 }
 
 }  // namespace seaweed::bench

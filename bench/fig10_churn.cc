@@ -19,7 +19,7 @@ namespace {
 struct ChurnRun {
   double mean = 0;
   double p99 = 0;
-  std::vector<std::array<double, 2>> hourly;  // hour, B/s per online
+  std::vector<std::vector<double>> hourly;  // hour, B/s per online
 };
 
 ChurnRun Run(SeaweedCluster& cluster, const AvailabilityTrace& trace,
@@ -73,10 +73,7 @@ int main() {
   ChurnRun gnutella = Run(gnutella_cluster, gtrace, duration);
 
   std::printf("\n(a) total overhead per online endsystem over time:\n");
-  std::printf("%6s %14s\n", "hour", "tx B/s/online");
-  for (const auto& [h, v] : gnutella.hourly) {
-    std::printf("%6.0f %14.2f\n", h, v);
-  }
+  seaweed::bench::HourlyTable({"tx B/s/online"}, gnutella.hourly);
 
   std::printf("\n(b) per-endsystem-hour tx distribution: mean %.1f B/s, "
               "99th pct %.1f B/s\n", gnutella.mean, gnutella.p99);
@@ -99,5 +96,13 @@ int main() {
               gnutella.mean / std::max(1e-9, farsite.mean), churn_ratio);
   Note("shape check: overhead grows sublinearly in churn because the "
        "periodic summary pushes dominate and are churn-independent");
+
+  seaweed::bench::ResultWriter results("fig10");
+  results.Scalar("gnutella_mean", gnutella.mean);
+  results.Scalar("gnutella_p99", gnutella.p99);
+  results.Scalar("farsite_mean", farsite.mean);
+  results.Scalar("churn_ratio", churn_ratio);
+  results.Table("hourly", {"hour", "tx_per_online"}, gnutella.hourly);
+  results.WriteFromEnv();
   return 0;
 }

@@ -53,11 +53,20 @@ struct RunResult {
   double predictor_coverage = 0;  // endsystems in predictor / N
   double dissemination_bytes_per_endsystem = 0;
   double predictor_bytes_per_endsystem = 0;
-  std::vector<std::array<double, 4>> hourly;  // t, pastry, maint, query
+  std::vector<std::vector<double>> hourly;  // t, pastry, maint, query
+  // Cross-check of the two obs paths (see below): sum of the per-category
+  // "bw.tx.*" registry timeseries vs the independent total-bytes counter.
+  uint64_t registry_category_tx_bytes = 0;
+  uint64_t meter_total_tx_bytes = 0;
 };
 
+// The per-category breakdown is read from the observability registry
+// ("bw.tx.<category>" timeseries), not from private meter state: the
+// BandwidthMeter publishes its category accounting as registry timeseries,
+// so this bench, tools/obs_report, and any test all see the same bytes.
 RunResult RunSeaweed(int n, SimDuration duration, uint64_t seed,
-                     bool print_progress = false) {
+                     bool print_progress = false,
+                     const char* obs_dump = nullptr) {
   ClusterConfig cfg = MakeConfig(n, seed);
   SeaweedCluster cluster(cfg);
   FarsiteModelConfig fcfg;
@@ -104,6 +113,10 @@ RunResult RunSeaweed(int n, SimDuration duration, uint64_t seed,
   }
 
   RunResult out;
+  const obs::MetricsRegistry& reg = cluster.obs().metrics;
+  auto cat_series = [&reg](TrafficCategory c) {
+    return reg.FindTimeseries(std::string("bw.tx.") + TrafficCategoryName(c));
+  };
   int64_t h0 = 1, h1 = duration / kHour - 1;
   out.mean_tx_per_online = cluster.MeanTxPerOnline(h0, h1);
   out.pastry_per_online = cluster.MeanTxPerOnline(
@@ -136,17 +149,16 @@ RunResult RunSeaweed(int n, SimDuration duration, uint64_t seed,
             : 0;
   }
   out.dissemination_bytes_per_endsystem =
-      static_cast<double>(cluster.meter().CategoryTxBytes(
-          TrafficCategory::kDissemination)) / n;
+      static_cast<double>(cat_series(TrafficCategory::kDissemination)->total())
+      / n;
   out.predictor_bytes_per_endsystem =
-      static_cast<double>(
-          cluster.meter().CategoryTxBytes(TrafficCategory::kPredictor)) / n;
+      static_cast<double>(cat_series(TrafficCategory::kPredictor)->total()) / n;
 
   for (int64_t h = h0; h <= h1; ++h) {
     double online = cluster.OnlineSecondsInHour(h);
     if (online <= 0) continue;
     auto cat = [&](TrafficCategory c) {
-      const auto& tl = cluster.meter().CategoryTimeline(c);
+      const auto& tl = cat_series(c)->buckets();
       return static_cast<size_t>(h) < tl.size()
                  ? static_cast<double>(tl[static_cast<size_t>(h)]) / online
                  : 0.0;
@@ -157,6 +169,18 @@ RunResult RunSeaweed(int n, SimDuration duration, uint64_t seed,
          cat(TrafficCategory::kDissemination) +
              cat(TrafficCategory::kPredictor) +
              cat(TrafficCategory::kResult)});
+  }
+
+  // The five category timeseries and the total-bytes counter are distinct
+  // instruments fed from the same RecordTx calls; equal sums mean neither
+  // path dropped bytes.
+  for (int c = 0; c < kNumTrafficCategories; ++c) {
+    out.registry_category_tx_bytes +=
+        cat_series(static_cast<TrafficCategory>(c))->total();
+  }
+  out.meter_total_tx_bytes = cluster.meter().total_tx_bytes();
+  if (obs_dump != nullptr) {
+    seaweed::bench::DumpObs(cluster.obs(), obs_dump);
   }
   return out;
 }
@@ -172,28 +196,36 @@ int main() {
   std::printf("\nrunning main configuration: N=%d over %s "
               "(paper: N=20,000 over 4 weeks)...\n",
               n_main, FormatDuration(dur_main).c_str());
-  RunResult main_run = RunSeaweed(n_main, dur_main, /*seed=*/1, true);
+  RunResult main_run = RunSeaweed(n_main, dur_main, /*seed=*/1, true,
+                                  /*obs_dump=*/"fig9_obs.jsonl");
 
   std::printf("\n(a) overhead per online endsystem by component "
               "(bytes/s, hourly):\n");
-  std::printf("%6s %10s %12s %10s %10s\n", "hour", "pastry", "maintenance",
-              "query", "total");
+  std::vector<std::vector<double>> hourly_with_total;
   for (const auto& row : main_run.hourly) {
-    std::printf("%6.0f %10.2f %12.2f %10.3f %10.2f\n", row[0], row[1],
-                row[2], row[3], row[1] + row[2] + row[3]);
+    hourly_with_total.push_back(
+        {row[0], row[1], row[2], row[3], row[1] + row[2] + row[3]});
   }
+  seaweed::bench::HourlyTable({"pastry", "maintenance", "query", "total"},
+                              hourly_with_total);
   std::printf("\nmean total: %.1f B/s per online endsystem (paper: 69 B/s)\n",
               main_run.mean_tx_per_online);
   std::printf("  pastry %.1f | maintenance %.1f | query %.3f  B/s "
               "(paper: maintenance dominant, query ~3 orders below)\n",
               main_run.pastry_per_online, main_run.maintenance_per_online,
               main_run.query_per_online);
+  std::printf("  obs cross-check: category timeseries sum %llu B, meter "
+              "total counter %llu B (%s)\n",
+              static_cast<unsigned long long>(
+                  main_run.registry_category_tx_bytes),
+              static_cast<unsigned long long>(main_run.meter_total_tx_bytes),
+              main_run.registry_category_tx_bytes ==
+                      main_run.meter_total_tx_bytes
+                  ? "match"
+                  : "MISMATCH");
 
   std::printf("\n(b) per-endsystem per-hour tx bandwidth distribution:\n");
-  std::printf("%12s %14s\n", "percentile", "tx B/s");
-  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
-    std::printf("%11.1f%% %14.2f\n", p, Percentile(main_run.tx_rates, p));
-  }
+  seaweed::bench::PercentileTable(main_run.tx_rates, "tx B/s");
   std::printf("  99th pct: tx %.1f B/s, rx %.1f B/s "
               "(paper: 178 / 195 B/s at its h push rate)\n",
               main_run.tx_p99, main_run.rx_p99);
@@ -245,5 +277,18 @@ int main() {
        "predictor latency seconds-scale, growing with N (paper: 3.1 s at "
        "2,000); dissemination ~1 KB per endsystem per query (paper: 1,043 "
        "B), predictor aggregation smaller (paper: 776 B)");
+
+  seaweed::bench::ResultWriter results("fig9");
+  results.Scalar("mean_tx_per_online", main_run.mean_tx_per_online);
+  results.Scalar("pastry_per_online", main_run.pastry_per_online);
+  results.Scalar("maintenance_per_online", main_run.maintenance_per_online);
+  results.Scalar("query_per_online", main_run.query_per_online);
+  results.Scalar("tx_p99", main_run.tx_p99);
+  results.Scalar("rx_p99", main_run.rx_p99);
+  results.Scalar("predictor_latency_s", main_run.predictor_latency_s);
+  results.Scalar("predictor_coverage", main_run.predictor_coverage);
+  results.Table("hourly", {"hour", "pastry", "maintenance", "query"},
+                main_run.hourly);
+  results.WriteFromEnv();
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "anemone/anemone.h"
 #include "common/sha1.h"
 #include "db/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "db/query_exec.h"
 #include "db/sql_parser.h"
 #include "seaweed/availability_model.h"
@@ -16,6 +18,40 @@
 
 namespace seaweed {
 namespace {
+
+// Guard for the obs hot path: recording through a pre-resolved handle must
+// stay O(ns) — it sits on every message send in the packet simulator.
+void BM_MetricsRecord(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter* counter = reg.GetCounter("bench.counter");
+  obs::Histogram* hist = reg.GetHistogram("bench.hist");
+  obs::Timeseries* series = reg.GetTimeseries("bench.series");
+  uint64_t v = 1;
+  SimTime t = 0;
+  for (auto _ : state) {
+    counter->Add(v);
+    hist->Record(v);
+    series->Record(t, v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG
+    t += kSecond;
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);  // 3 records per iter
+}
+BENCHMARK(BM_MetricsRecord);
+
+void BM_TraceSpanStartEnd(benchmark::State& state) {
+  obs::TraceSink sink(1 << 12);
+  SimTime now = 0;
+  uint64_t trace = 1;
+  for (auto _ : state) {
+    obs::SpanId id = sink.StartSpan("bench", trace, now);
+    sink.EndSpan(id, now + 10);
+    now += 20;
+    trace = (trace + 1) & 1023;  // bounded key set keeps the root map small
+  }
+}
+BENCHMARK(BM_TraceSpanStartEnd);
 
 void BM_NodeIdRingDistance(benchmark::State& state) {
   Rng rng(1);

@@ -1,6 +1,9 @@
 #include "common/logging.h"
 
+#include <cctype>
 #include <cstdio>
+
+#include "common/time_types.h"
 
 namespace seaweed {
 
@@ -8,11 +11,25 @@ namespace {
 
 LogLevel g_level = [] {
   if (const char* env = std::getenv("SEAWEED_LOG_LEVEL")) {
-    int v = std::atoi(env);
-    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) return parsed;
+    std::fprintf(stderr,
+                 "[WARN logging] ignoring invalid SEAWEED_LOG_LEVEL=\"%s\" "
+                 "(want an integer 0..4)\n",
+                 env);
   }
   return LogLevel::kWarn;
 }();
+
+LogSink& GlobalSink() {
+  static LogSink sink;
+  return sink;
+}
+
+LogClock& GlobalClock() {
+  static LogClock clock;
+  return clock;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,6 +52,33 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  size_t begin = 0, end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (begin == end) return false;
+  // Bounded accumulation: anything longer than one digit is out of range
+  // anyway, so overflow cannot occur.
+  int value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > static_cast<int>(LogLevel::kOff)) return false;
+  }
+  *out = static_cast<LogLevel>(value);
+  return true;
+}
+
+void SetLogSink(LogSink sink) { GlobalSink() = std::move(sink); }
+void SetLogClock(LogClock clock) { GlobalClock() = std::move(clock); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -44,10 +88,18 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level_);
+  if (const LogClock& clock = GlobalClock()) {
+    stream_ << " t=" << FormatSimTime(clock());
+  }
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  if (const LogSink& sink = GlobalSink()) {
+    sink(level_, stream_.str());
+    return;
+  }
   stream_ << "\n";
   std::cerr << stream_.str();
 }

@@ -5,10 +5,13 @@
 // (0=debug 1=info 2=warn 3=error 4=off).
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace seaweed {
 
@@ -17,6 +20,25 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 // Global minimum level; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Strictly parses a SEAWEED_LOG_LEVEL value: optional surrounding
+// whitespace around a bare integer in [0, 4]. Returns false (leaving *out
+// untouched) for anything else — empty, non-numeric, trailing garbage, or
+// out-of-range values are rejected rather than silently mapped.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+// Redirects formatted log messages (no trailing newline) away from stderr;
+// an empty function restores the default stderr sink. Single-threaded, like
+// the simulator itself.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSink(LogSink sink);
+
+// Registers a simulated-time source; while set, every log line is prefixed
+// with the clock's current time (e.g. "[INFO t=2h30m0s node.cc:42]"). Pass
+// an empty function to unregister — callers must do so before the object
+// the clock captures is destroyed.
+using LogClock = std::function<int64_t()>;
+void SetLogClock(LogClock clock);
 
 namespace internal {
 

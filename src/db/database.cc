@@ -157,7 +157,12 @@ Result<AggregateResult> Database::ExecuteAggregateCached(
   if (!table) return Status::NotFound("no such table: " + query.table);
   SEAWEED_ASSIGN_OR_RETURN(const CompiledQuery* plan,
                            cache->GetOrBind(key, *table, query));
-  return plan->Execute(*table);
+  Result<AggregateResult> result = plan->Execute(*table);
+  if (result.ok()) {
+    cache->RecordExecution(table->num_rows(),
+                           static_cast<uint64_t>(result->rows_matched));
+  }
+  return result;
 }
 
 Result<AggregateResult> Database::ExecuteAggregateSql(

@@ -704,6 +704,20 @@ Result<AggregateResult> CompiledQuery::Execute(const Table& table) const {
 // Plan cache
 // ---------------------------------------------------------------------------
 
+void PlanCache::AttachMetrics(obs::MetricsRegistry* registry) {
+  hits_metric_ = registry->GetCounter("db.plan_cache.hits");
+  binds_metric_ = registry->GetCounter("db.plan_cache.binds");
+  rows_scanned_ = registry->GetHistogram("db.rows_scanned");
+  rows_selected_ = registry->GetHistogram("db.rows_selected");
+}
+
+void PlanCache::RecordExecution(uint64_t rows_scanned,
+                                uint64_t rows_selected) {
+  if (rows_scanned_ == nullptr) return;
+  rows_scanned_->Record(rows_scanned);
+  rows_selected_->Record(rows_selected);
+}
+
 Result<const CompiledQuery*> PlanCache::GetOrBind(const std::string& key,
                                                   const Table& table,
                                                   const SelectQuery& query) {
@@ -712,10 +726,12 @@ Result<const CompiledQuery*> PlanCache::GetOrBind(const std::string& key,
   if (it != plans_.end() && it->second.fingerprint == fingerprint &&
       it->second.plan.CompatibleWith(table)) {
     ++hits_;
+    if (hits_metric_ != nullptr) hits_metric_->Add();
     return &it->second.plan;
   }
   SEAWEED_ASSIGN_OR_RETURN(CompiledQuery plan, CompiledQuery::Bind(table, query));
   ++binds_;
+  if (binds_metric_ != nullptr) binds_metric_->Add();
   Entry& entry = plans_[key];
   entry.fingerprint = std::move(fingerprint);
   entry.plan = std::move(plan);

@@ -29,6 +29,7 @@
 #include "db/ast.h"
 #include "db/batch_kernels.h"
 #include "db/table.h"
+#include "obs/metrics.h"
 
 namespace seaweed::db {
 
@@ -220,6 +221,12 @@ class CompiledQuery {
 // silently re-bound when stale.
 class PlanCache {
  public:
+  // Publishes cache behavior to `registry`: "db.plan_cache.hits"/".binds"
+  // counters and "db.rows_scanned"/"db.rows_selected" histograms (recorded
+  // by Database::ExecuteAggregateCached per execution).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+  void RecordExecution(uint64_t rows_scanned, uint64_t rows_selected);
+
   // Returns a plan valid for (table, query), binding on miss/staleness.
   // The pointer is owned by the cache and invalidated by the next
   // GetOrBind/Erase/Clear for the same key.
@@ -241,6 +248,10 @@ class PlanCache {
   std::unordered_map<std::string, Entry> plans_;
   uint64_t hits_ = 0;
   uint64_t binds_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* binds_metric_ = nullptr;
+  obs::Histogram* rows_scanned_ = nullptr;
+  obs::Histogram* rows_selected_ = nullptr;
 };
 
 // Executes an aggregate-only query against a local table (batch engine).

@@ -1,0 +1,263 @@
+#include "obs/jsonl_reader.h"
+
+#include <cstdlib>
+
+namespace seaweed::obs {
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t Json::AsInt(int64_t def) const {
+  return kind == Kind::kNumber ? static_cast<int64_t>(num) : def;
+}
+uint64_t Json::AsUint(uint64_t def) const {
+  return kind == Kind::kNumber && num >= 0 ? static_cast<uint64_t>(num) : def;
+}
+double Json::AsDouble(double def) const {
+  return kind == Kind::kNumber ? num : def;
+}
+const std::string& Json::AsString() const {
+  static const std::string kEmpty;
+  return kind == Kind::kString ? str : kEmpty;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    Json v;
+    Status s = ParseValue(&v);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return Error("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Json::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        out->kind = Json::Kind::kBool;
+        out->b = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        out->kind = Json::Kind::kBool;
+        out->b = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        out->kind = Json::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    ++pos_;  // '{'
+    out->kind = Json::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      Json value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    ++pos_;  // '['
+    out->kind = Json::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      Json value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += e;
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // export.cc only emits \u for control characters).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    double v = std::strtod(num.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') return Error("bad number");
+    out->kind = Json::Kind::kNumber;
+    out->num = v;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+Result<std::vector<Json>> ParseJsonLines(std::istream& in) {
+  std::vector<Json> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    Result<Json> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                                parsed.status().message());
+    }
+    out.push_back(std::move(parsed).value());
+  }
+  return out;
+}
+
+}  // namespace seaweed::obs

@@ -1,0 +1,46 @@
+// Minimal JSON / JSONL reader for obs dumps.
+//
+// Just enough JSON to round-trip what export.cc writes (objects, arrays,
+// strings with the common escapes, int/double numbers, true/false/null);
+// not a general-purpose parser. Used by tools/obs_report and tests.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seaweed::obs {
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> items;                        // kArray
+  std::vector<std::pair<std::string, Json>> fields;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+
+  // Object field lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  // Typed accessors with defaults (also applied on kind mismatch).
+  int64_t AsInt(int64_t def = 0) const;
+  uint64_t AsUint(uint64_t def = 0) const;
+  double AsDouble(double def = 0) const;
+  const std::string& AsString() const;  // empty string on mismatch
+};
+
+Result<Json> ParseJson(std::string_view text);
+
+// Parses one JSON value per non-empty line; stops at the first bad line.
+Result<std::vector<Json>> ParseJsonLines(std::istream& in);
+
+}  // namespace seaweed::obs

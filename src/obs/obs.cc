@@ -1,0 +1,10 @@
+#include "obs/obs.h"
+
+namespace seaweed::obs {
+
+Observability* FallbackObservability() {
+  static Observability* fallback = new Observability;
+  return fallback;
+}
+
+}  // namespace seaweed::obs

@@ -1,0 +1,23 @@
+// Observability domain: the metrics registry and trace sink one simulation
+// records into and exports from together. SeaweedCluster owns one; layers
+// below reach it through their wiring (Network carries the pointer for the
+// sim/overlay/seaweed stack).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace seaweed::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceSink trace;
+};
+
+// Process-wide scratch domain for components constructed without explicit
+// wiring (unit tests building a single layer). Recording into it is valid
+// and cheap; nothing reads it back. Keeps pre-resolved handles never-null so
+// hot paths stay branch-free.
+Observability* FallbackObservability();
+
+}  // namespace seaweed::obs

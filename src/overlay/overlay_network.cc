@@ -6,7 +6,15 @@ namespace seaweed::overlay {
 
 OverlayNetwork::OverlayNetwork(Simulator* sim, Network* network,
                                const PastryConfig& config, uint64_t seed)
-    : sim_(sim), network_(network), config_(config), rng_(seed) {}
+    : sim_(sim), network_(network), config_(config), rng_(seed) {
+  obs::MetricsRegistry* reg = &network_->obs()->metrics;
+  metrics_.heartbeats = reg->GetCounter("overlay.heartbeats");
+  metrics_.joins = reg->GetCounter("overlay.joins");
+  metrics_.leafset_repairs = reg->GetCounter("overlay.leafset_repairs");
+  metrics_.hop_limit_drops = reg->GetCounter("overlay.hop_limit_drops");
+  metrics_.routed_delivered = reg->GetCounter("overlay.routed_delivered");
+  metrics_.route_hops = reg->GetHistogram("overlay.route_hops");
+}
 
 void OverlayNetwork::CreateNodes(const std::vector<NodeId>& ids) {
   SEAWEED_CHECK_MSG(nodes_.empty(), "CreateNodes called twice");
@@ -60,6 +68,7 @@ void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
   constexpr uint32_t kHeartbeatBytes = 1 + kNodeHandleBytes +
                                        kMessageHeaderBytes;
   ++heartbeats_sent_;
+  metrics_.heartbeats->Add();
   BandwidthMeter* meter = network_->meter();
   meter->RecordTx(from.address, TrafficCategory::kPastry, sim_->Now(),
                   kHeartbeatBytes);

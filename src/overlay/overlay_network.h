@@ -16,6 +16,17 @@
 
 namespace seaweed::overlay {
 
+// Pre-resolved obs handles shared by every PastryNode of one overlay
+// (instruments are system-wide, resolved once in the OverlayNetwork ctor).
+struct OverlayMetrics {
+  obs::Counter* heartbeats = nullptr;
+  obs::Counter* joins = nullptr;
+  obs::Counter* leafset_repairs = nullptr;
+  obs::Counter* hop_limit_drops = nullptr;
+  obs::Counter* routed_delivered = nullptr;
+  obs::Histogram* route_hops = nullptr;
+};
+
 class OverlayNetwork {
  public:
   OverlayNetwork(Simulator* sim, Network* network, const PastryConfig& config,
@@ -32,6 +43,8 @@ class OverlayNetwork {
   Simulator* simulator() const { return sim_; }
   Network* network() const { return network_; }
   const PastryConfig& config() const { return config_; }
+  obs::Observability* obs() const { return network_->obs(); }
+  const OverlayMetrics& metrics() const { return metrics_; }
 
   // --- Lifecycle ---
   void BringUp(EndsystemIndex e);
@@ -63,6 +76,7 @@ class OverlayNetwork {
   Network* network_;
   PastryConfig config_;
   Rng rng_;
+  OverlayMetrics metrics_;
   std::vector<std::unique_ptr<PastryNode>> nodes_;
   uint64_t heartbeats_sent_ = 0;
 };

@@ -38,6 +38,7 @@ void PastryNode::Start(std::optional<NodeHandle> bootstrap) {
   if (!bootstrap.has_value()) {
     // First node in the overlay: trivially joined.
     joined_ = true;
+    net_->metrics().joins->Add();
     if (app_) app_->OnJoined();
   } else {
     Learn(*bootstrap);
@@ -82,6 +83,7 @@ void PastryNode::JoinTimeout(uint64_t generation, int attempt) {
   } else {
     // Nobody else is up: we are the whole overlay.
     joined_ = true;
+    net_->metrics().joins->Add();
     if (app_) app_->OnJoined();
     return;
   }
@@ -163,6 +165,7 @@ void PastryNode::Learn(const NodeHandle& node) {
 
 void PastryNode::RouteOrDeliver(const std::shared_ptr<Packet>& pkt) {
   if (pkt->hops >= static_cast<uint32_t>(config_.max_route_hops)) {
+    net_->metrics().hop_limit_drops->Add();
     SEAWEED_LOG(kWarn) << "dropping packet: hop limit reached (key "
                        << pkt->key.ToShortString() << ")";
     return;
@@ -212,6 +215,10 @@ void PastryNode::DeliverLocally(const std::shared_ptr<Packet>& pkt) {
       break;
     }
     case Packet::Kind::kApp:
+      if (pkt->app_routed) {
+        net_->metrics().routed_delivered->Add();
+        net_->metrics().route_hops->Record(pkt->hops);
+      }
       if (app_) {
         app_->OnAppMessage(pkt->src, pkt->app_routed, pkt->key,
                            pkt->app_payload, pkt->app_bytes);
@@ -257,6 +264,7 @@ void PastryNode::HandlePacket(EndsystemIndex from,
       Learn(pkt->src);
       if (!joined_) {
         joined_ = true;
+        net_->metrics().joins->Add();
         // Announce ourselves to everyone we now believe is a neighbor.
         auto announce = std::make_shared<Packet>();
         announce->kind = Packet::Kind::kNodeAnnounce;
@@ -388,6 +396,7 @@ void PastryNode::CheckFailures() {
 }
 
 void PastryNode::HandleNeighborFailure(const NodeHandle& failed) {
+  net_->metrics().leafset_repairs->Add();
   bool was_cw =
       self_.id.ClockwiseDistanceTo(failed.id) <=
       failed.id.ClockwiseDistanceTo(self_.id);

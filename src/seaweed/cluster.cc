@@ -7,9 +7,9 @@ namespace seaweed {
 SeaweedCluster::SeaweedCluster(const ClusterConfig& config)
     : config_(config),
       topology_(config.topology, config.num_endsystems),
-      meter_(config.num_endsystems),
+      meter_(config.num_endsystems, &obs_.metrics),
       network_(&sim_, &topology_, &meter_, config.message_loss_rate,
-               config.seed ^ 0xbeef) {
+               config.seed ^ 0xbeef, &obs_) {
   Construct(std::make_shared<AnemoneDataProvider>(
       config.anemone, config.num_endsystems, config.keep_tables,
       config.summary_wire_bytes));
@@ -19,13 +19,15 @@ SeaweedCluster::SeaweedCluster(const ClusterConfig& config,
                                std::shared_ptr<DataProvider> data)
     : config_(config),
       topology_(config.topology, config.num_endsystems),
-      meter_(config.num_endsystems),
+      meter_(config.num_endsystems, &obs_.metrics),
       network_(&sim_, &topology_, &meter_, config.message_loss_rate,
-               config.seed ^ 0xbeef) {
+               config.seed ^ 0xbeef, &obs_) {
   Construct(std::move(data));
 }
 
 void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
+  queue_depth_gauge_ = obs_.metrics.GetGauge("sim.event_queue_depth");
+  online_gauge_ = obs_.metrics.GetGauge("sim.online_endsystems");
   data_ = std::move(data);
   overlay_ = std::make_unique<overlay::OverlayNetwork>(
       &sim_, &network_, config_.pastry, config_.seed ^ 0xfeed);
@@ -46,6 +48,10 @@ void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
 }
 
 void SeaweedCluster::AccumulateOnline(SimTime now) {
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<int64_t>(sim_.pending_events()));
+    online_gauge_->Set(current_up_);
+  }
   if (now <= last_population_change_) {
     last_population_change_ = now;
     return;

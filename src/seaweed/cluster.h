@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "seaweed/node.h"
 #include "trace/availability_trace.h"
 
@@ -40,6 +41,8 @@ class SeaweedCluster {
 
   Simulator& sim() { return sim_; }
   BandwidthMeter& meter() { return meter_; }
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
   overlay::OverlayNetwork& overlay() { return *overlay_; }
   Network& network() { return network_; }
   const ClusterConfig& config() const { return config_; }
@@ -79,6 +82,8 @@ class SeaweedCluster {
 
   ClusterConfig config_;
   Simulator sim_;
+  // Declared before meter_/network_: both publish into it at construction.
+  obs::Observability obs_;
   Topology topology_;
   BandwidthMeter meter_;
   Network network_;
@@ -90,6 +95,9 @@ class SeaweedCluster {
   std::vector<double> online_seconds_by_hour_;
   SimTime last_population_change_ = 0;
   int current_up_ = 0;
+  // Sampled at population changes (churn cadence, not per event).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* online_gauge_ = nullptr;
 
   void AccumulateOnline(SimTime until_now);
 };

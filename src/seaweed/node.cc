@@ -18,6 +18,46 @@ SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
       config_(config),
       rng_(pastry->id().lo() ^ 0xc0ffee) {
   pastry_->set_app(this);
+  obs::Observability* o = overlay_->obs();
+  tracer_ = &o->trace;
+  obs::MetricsRegistry* reg = &o->metrics;
+  metrics_.queries_injected = reg->GetCounter("seaweed.queries_injected");
+  metrics_.metadata_pushes = reg->GetCounter("seaweed.metadata_pushes");
+  metrics_.metadata_rereplications =
+      reg->GetCounter("seaweed.metadata_rereplications");
+  metrics_.predictor_merges = reg->GetCounter("seaweed.predictor_merges");
+  metrics_.dissem_reissues = reg->GetCounter("seaweed.dissem_reissues");
+  metrics_.vertex_updates = reg->GetCounter("seaweed.vertex_updates");
+  metrics_.vertex_handovers = reg->GetCounter("seaweed.vertex_handovers");
+  metrics_.vertex_repropagations =
+      reg->GetCounter("seaweed.vertex_repropagations");
+  metrics_.vertex_fn_invocations =
+      reg->GetCounter("seaweed.vertex_fn_invocations");
+  metrics_.leaf_retries = reg->GetCounter("seaweed.leaf_retries");
+  metrics_.dissem_fanout = reg->GetHistogram("seaweed.dissem_fanout");
+  metrics_.predictor_latency_us =
+      reg->GetHistogram("seaweed.predictor_latency_us");
+  metrics_.result_latency_us = reg->GetHistogram("seaweed.result_latency_us");
+  plan_cache_.AttachMetrics(reg);
+}
+
+void SeaweedNode::StartQueryTrace(ActiveQuery& aq, const char* kind) {
+  metrics_.queries_injected->Add();
+  const SimTime now = sim()->Now();
+  const uint64_t key = obs::TraceKey(aq.query.query_id);
+  aq.root_span = tracer_->StartSpan("query", key, now);
+  tracer_->AddAttr(aq.root_span, "query",
+                   aq.query.query_id.ToShortString());
+  tracer_->AddAttr(aq.root_span, "kind", std::string(kind));
+  tracer_->AddAttr(aq.root_span, "origin", static_cast<int64_t>(index()));
+  if (!aq.query.sql.empty()) {
+    tracer_->AddAttr(aq.root_span, "sql", aq.query.sql);
+  }
+  aq.dissem_span = tracer_->StartSpan("disseminate", key, now, aq.root_span);
+  tracer_->AddAttr(aq.dissem_span, "query",
+                   aq.query.query_id.ToShortString());
+  aq.result_span =
+      tracer_->StartSpan("result_delivery", key, now, aq.root_span);
 }
 
 void SeaweedNode::SendSeaweed(const NodeHandle& to, const SeaweedMessagePtr& msg,
@@ -110,6 +150,7 @@ void SeaweedNode::OnNeighborFailed(const NodeHandle& neighbor) {
       msg->kind = SeaweedMessage::Kind::kMetadataPush;
       msg->metadata = rec->metadata;
       msg->metadata_wire_bytes = data_->SummaryWireBytes(index());
+      metrics_.metadata_rereplications->Add();
       SendSeaweed(*target, msg, TrafficCategory::kMetadata);
     }
   }
@@ -229,6 +270,7 @@ void SeaweedNode::PushMetadataTo(const NodeHandle& to, bool allow_delta) {
         db::SummaryDeltaBytes(*last_pushed_summary_, msg->metadata.summary));
   }
   replicas_with_summary_.insert(to.id);
+  metrics_.metadata_pushes->Add();
   SendSeaweed(to, msg, TrafficCategory::kMetadata);
 }
 
@@ -272,6 +314,7 @@ Result<NodeId> SeaweedNode::InjectQuery(const std::string& sql,
   auto& aq = active_[qid];
   aq.is_origin = true;
   aq.observer = std::move(observer);
+  StartQueryTrace(aq, "oneshot");
 
   // Kick off dissemination: the tree root is the node closest to queryId.
   auto msg = std::make_shared<SeaweedMessage>();
@@ -303,6 +346,7 @@ Result<NodeId> SeaweedNode::InjectContinuousQuery(const std::string& sql,
   auto& aq = active_[qid];
   aq.is_origin = true;
   aq.observer = std::move(observer);
+  StartQueryTrace(aq, "continuous");
 
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kBroadcast;
@@ -358,6 +402,7 @@ Result<NodeId> SeaweedNode::QueryViewSnapshot(const std::string& view_name,
   auto& aq = active_[qid];
   aq.is_origin = true;
   aq.observer = std::move(observer);
+  StartQueryTrace(aq, "view_snapshot");
 
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kBroadcast;
@@ -408,8 +453,12 @@ void SeaweedNode::ExecuteAndSubmit(const NodeId& query_id) {
   if (it == active_.end() || it->second.query.sql.empty()) return;
   ActiveQuery& aq = it->second;
   if (aq.query.ExpiredAt(sim()->Now())) return;
+  obs::SpanId span = tracer_->StartSpan(
+      "local_exec", obs::TraceKey(query_id), sim()->Now());
+  tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));
   auto result = data_->ExecuteCached(index(), aq.query.parsed, &plan_cache_,
                                      query_id.ToHex());
+  tracer_->EndSpan(span, sim()->Now());
   if (!result.ok()) {
     SEAWEED_LOG(kWarn) << "local execution failed: "
                        << result.status().ToString();
@@ -632,15 +681,23 @@ void SeaweedNode::ProcessRange(ActiveQuery& aq, const IdRange& range,
   }
 
   RangeTask& final_task = aq.tasks[token];
+  metrics_.dissem_fanout->Record(final_task.children.size());
+  obs::SpanId span = tracer_->StartSpan(
+      "disseminate_range", obs::TraceKey(aq.query.query_id), sim()->Now());
+  tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));
+  tracer_->AddAttr(span, "fanout",
+                   static_cast<int64_t>(final_task.children.size()));
   for (auto& [child_token, child] : final_task.children) {
     DispatchChild(aq, final_task, child);
   }
   FinishTaskIfDone(aq, final_task);
+  tracer_->EndSpan(span, sim()->Now());
 }
 
 void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
                                 ChildRange& child) {
   ++child.tries;
+  if (child.tries > 1) metrics_.dissem_reissues->Add();
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kBroadcast;
   msg->queries.push_back(aq.query);
@@ -683,6 +740,9 @@ void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
                                        CompletenessPredictor* out) {
   const SimTime now = sim()->Now();
   const SimTime injected = aq.query.injected_at;
+  obs::SpanId span = tracer_->StartSpan(
+      "metadata_lookup", obs::TraceKey(aq.query.query_id), now);
+  int64_t records = 0;
   if (range.Contains(id())) {
     // Our own contribution: row-count estimate from the local DBMS.
     double rows = data_->Summary(index()).EstimateRows(aq.query.parsed);
@@ -705,6 +765,7 @@ void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
     double rows = rec->metadata.summary.EstimateRows(aq.query.parsed);
     if (rows <= 0) {
       out->AddEndsystems(1);
+      ++records;
       continue;
     }
     const AvailabilityModel& model = rec->metadata.availability;
@@ -713,7 +774,11 @@ void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
           return model.ProbUpBy(now, down_since, injected + edge);
         });
     out->AddEndsystems(1);
+    ++records;
   }
+  tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));
+  tracer_->AddAttr(span, "replica_records", records);
+  tracer_->EndSpan(span, now);
 }
 
 void SeaweedNode::GenerateViewFor(ActiveQuery& aq, const IdRange& range,
@@ -758,6 +823,16 @@ void SeaweedNode::ReportTask(ActiveQuery& aq, RangeTask& task) {
   if (task.report_to_origin) {
     if (aq.query.IsViewSnapshot() && aq.is_origin && aq.observer.on_result) {
       // Origin is itself the tree root.
+      if (aq.result_span != obs::kNoSpan) {
+        tracer_->EndSpan(aq.result_span, sim()->Now());
+        metrics_.result_latency_us->Record(static_cast<uint64_t>(
+            sim()->Now() - aq.query.injected_at));
+        aq.result_span = obs::kNoSpan;
+      }
+      if (aq.dissem_span != obs::kNoSpan) {
+        tracer_->EndSpan(aq.dissem_span, sim()->Now());
+        aq.dissem_span = obs::kNoSpan;
+      }
       aq.observer.on_result(aq.query.query_id, task.view_acc);
       return;
     }
@@ -781,6 +856,11 @@ void SeaweedNode::HandlePredictorReport(const SeaweedMessagePtr& msg) {
     if (c == task.children.end()) continue;
     if (!c->second.done) {
       c->second.done = true;
+      metrics_.predictor_merges->Add();
+      obs::SpanId span = tracer_->StartSpan(
+          "predictor_merge", obs::TraceKey(msg->query_id), sim()->Now());
+      tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));
+      tracer_->EndSpan(span, sim()->Now());
       task.acc.Merge(msg->predictor);
       task.view_acc.Merge(msg->result);
     }
@@ -874,6 +954,7 @@ void SeaweedNode::RetryLeafSubmit(const NodeId& query_id, uint64_t version) {
   ActiveQuery& aq = it->second;
   if (aq.leaf.acked || aq.leaf.version != version) return;
   if (aq.query.ExpiredAt(sim()->Now())) return;
+  metrics_.leaf_retries->Add();
   // Re-route; the primary may have changed.
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kResultSubmit;
@@ -906,6 +987,7 @@ void SeaweedNode::HandleResultSubmit(const NodeHandle& from,
   if (!IsLikelyRootFor(vertex)) {
     auto closer = pastry_->leafset().CloserMemberThanOwner(vertex);
     if (closer.has_value()) {
+      metrics_.vertex_handovers->Add();
       SendSeaweed(*closer, msg, TrafficCategory::kResult);
       return;
     }
@@ -927,6 +1009,7 @@ void SeaweedNode::HandleResultSubmit(const NodeHandle& from,
   if (child == state.children.end() || child->second.first < msg->version) {
     state.children[msg->child_key] = {msg->version, msg->result};
     updated = true;
+    metrics_.vertex_updates->Add();
   }
   // Ack the submitter (exactly-once hinges on ack-after-replicate).
   if (from.id != id()) {
@@ -1019,6 +1102,7 @@ void SeaweedNode::ScheduleVertexRepropagation(const NodeId& query_id,
     vit->second.repropagate_scheduled = false;
     // Only the current primary speaks for the vertex.
     if (IsLikelyRootFor(vertex_id)) {
+      metrics_.vertex_repropagations->Add();
       PropagateVertex(query_id, vertex_id);
     }
     ScheduleVertexRepropagation(query_id, vertex_id);
@@ -1035,10 +1119,23 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
   VertexState& state = vit->second;
   state.send_scheduled = false;
   db::AggregateResult merged = MergedVertexResult(state);
+  obs::SpanId span = tracer_->StartSpan(
+      "aggregation_round", obs::TraceKey(query_id), sim()->Now());
+  tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));
+  tracer_->AddAttr(span, "vertex_children",
+                   static_cast<int64_t>(state.children.size()));
+  tracer_->AddAttr(span, "root", vertex_id == query_id ? 1 : 0);
+  tracer_->EndSpan(span, sim()->Now());
 
   if (vertex_id == query_id) {
     // Root vertex: deliver the incremental result to the query origin.
     if (aq.is_origin && aq.observer.on_result) {
+      if (aq.result_span != obs::kNoSpan) {
+        tracer_->EndSpan(aq.result_span, sim()->Now());
+        metrics_.result_latency_us->Record(static_cast<uint64_t>(
+            sim()->Now() - aq.query.injected_at));
+        aq.result_span = obs::kNoSpan;
+      }
       aq.observer.on_result(query_id, merged);
       return;
     }
@@ -1054,9 +1151,11 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
   }
 
   const int b = pastry_->config().b;
+  metrics_.vertex_fn_invocations->Add();
   NodeId parent = VertexParent(query_id, vertex_id, b);
   // Skip self-primary parents (fold locally without network traffic).
   while (parent != query_id && IsLikelyRootFor(parent)) {
+    metrics_.vertex_fn_invocations->Add();
     parent = VertexParent(query_id, parent, b);
   }
   auto msg = std::make_shared<SeaweedMessage>();
@@ -1105,9 +1204,17 @@ void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
       break;
     case SeaweedMessage::Kind::kPredictorDeliver: {
       auto it = active_.find(msg->query_id);
-      if (it != active_.end() && it->second.is_origin &&
-          it->second.observer.on_predictor) {
-        it->second.observer.on_predictor(msg->query_id, msg->predictor);
+      if (it != active_.end() && it->second.is_origin) {
+        ActiveQuery& origin_aq = it->second;
+        if (origin_aq.dissem_span != obs::kNoSpan) {
+          tracer_->EndSpan(origin_aq.dissem_span, sim()->Now());
+          metrics_.predictor_latency_us->Record(static_cast<uint64_t>(
+              sim()->Now() - origin_aq.query.injected_at));
+          origin_aq.dissem_span = obs::kNoSpan;
+        }
+        if (origin_aq.observer.on_predictor) {
+          origin_aq.observer.on_predictor(msg->query_id, msg->predictor);
+        }
       }
       break;
     }
@@ -1142,9 +1249,17 @@ void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
     }
     case SeaweedMessage::Kind::kResultDeliver: {
       auto it = active_.find(msg->query_id);
-      if (it != active_.end() && it->second.is_origin &&
-          it->second.observer.on_result) {
-        it->second.observer.on_result(msg->query_id, msg->result);
+      if (it != active_.end() && it->second.is_origin) {
+        ActiveQuery& origin_aq = it->second;
+        if (origin_aq.result_span != obs::kNoSpan) {
+          tracer_->EndSpan(origin_aq.result_span, sim()->Now());
+          metrics_.result_latency_us->Record(static_cast<uint64_t>(
+              sim()->Now() - origin_aq.query.injected_at));
+          origin_aq.result_span = obs::kNoSpan;
+        }
+        if (origin_aq.observer.on_result) {
+          origin_aq.observer.on_result(msg->query_id, msg->result);
+        }
       }
       break;
     }

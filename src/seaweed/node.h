@@ -27,6 +27,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "overlay/overlay_network.h"
 #include "seaweed/data_provider.h"
 #include "seaweed/metadata.h"
@@ -174,6 +175,11 @@ class SeaweedNode : public overlay::PastryApp {
     // Origin-side state (only on the injecting endsystem).
     bool is_origin = false;
     QueryObserver observer;
+    // Origin-side lifecycle spans: the query root, injection -> first
+    // aggregated predictor, and injection -> first delivered result.
+    obs::SpanId root_span = obs::kNoSpan;
+    obs::SpanId dissem_span = obs::kNoSpan;
+    obs::SpanId result_span = obs::kNoSpan;
   };
 
   Simulator* sim() const { return overlay_->simulator(); }
@@ -235,10 +241,33 @@ class SeaweedNode : public overlay::PastryApp {
   void RouteSeaweed(const NodeId& key, const SeaweedMessagePtr& msg,
                     TrafficCategory category);
 
+  // Opens the origin-side lifecycle spans and bumps injection metrics.
+  void StartQueryTrace(ActiveQuery& aq, const char* kind);
+
   overlay::OverlayNetwork* overlay_;
   overlay::PastryNode* pastry_;
   DataProvider* data_;
   SeaweedConfig config_;
+
+  // Pre-resolved observability handles (system-wide instruments; each node
+  // holds its own copies of the same pointers).
+  struct Metrics {
+    obs::Counter* queries_injected;
+    obs::Counter* metadata_pushes;
+    obs::Counter* metadata_rereplications;
+    obs::Counter* predictor_merges;
+    obs::Counter* dissem_reissues;
+    obs::Counter* vertex_updates;
+    obs::Counter* vertex_handovers;
+    obs::Counter* vertex_repropagations;
+    obs::Counter* vertex_fn_invocations;
+    obs::Counter* leaf_retries;
+    obs::Histogram* dissem_fanout;
+    obs::Histogram* predictor_latency_us;
+    obs::Histogram* result_latency_us;
+  };
+  Metrics metrics_;
+  obs::TraceSink* tracer_;
 
   // Compiled plans keyed by query id: a long-running query re-executes
   // against local data every time the endsystem's contribution changes, and

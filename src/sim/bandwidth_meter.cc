@@ -23,6 +23,23 @@ const char* TrafficCategoryName(TrafficCategory c) {
   return "?";
 }
 
+BandwidthMeter::BandwidthMeter(int num_endsystems,
+                               obs::MetricsRegistry* registry)
+    : per_endsystem_(static_cast<size_t>(num_endsystems)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  for (int c = 0; c < kNumTrafficCategories; ++c) {
+    std::string name = TrafficCategoryName(static_cast<TrafficCategory>(c));
+    tx_series_[c] = registry->GetTimeseries("bw.tx." + name, kHour);
+    rx_series_[c] = registry->GetTimeseries("bw.rx." + name, kHour);
+  }
+  total_tx_ = registry->GetCounter("bw.tx.total_bytes");
+  total_rx_ = registry->GetCounter("bw.rx.total_bytes");
+}
+
 void BandwidthMeter::Bump(std::vector<uint32_t>& v, int64_t hour,
                           uint32_t bytes) {
   if (hour < 0) hour = 0;
@@ -38,23 +55,18 @@ void BandwidthMeter::RecordTx(uint32_t endsystem, TrafficCategory cat,
   int64_t hour = t / kHour;
   max_hour_ = std::max(max_hour_, hour);
   Bump(per_endsystem_[endsystem].tx_by_hour, hour, bytes);
-  total_tx_ += bytes;
-  category_tx_[static_cast<int>(cat)] += bytes;
-  auto& tl = category_timeline_[static_cast<int>(cat)];
-  if (static_cast<size_t>(hour) >= tl.size()) {
-    tl.resize(static_cast<size_t>(hour) + 1, 0);
-  }
-  tl[static_cast<size_t>(hour)] += bytes;
+  total_tx_->Add(bytes);
+  tx_series_[static_cast<int>(cat)]->Record(t, bytes);
 }
 
 void BandwidthMeter::RecordRx(uint32_t endsystem, TrafficCategory cat,
                               SimTime t, uint32_t bytes) {
-  (void)cat;
   SEAWEED_DCHECK(endsystem < per_endsystem_.size());
   int64_t hour = t / kHour;
   max_hour_ = std::max(max_hour_, hour);
   Bump(per_endsystem_[endsystem].rx_by_hour, hour, bytes);
-  total_rx_ += bytes;
+  total_rx_->Add(bytes);
+  rx_series_[static_cast<int>(cat)]->Record(t, bytes);
 }
 
 uint64_t BandwidthMeter::TxInHour(uint32_t endsystem, int64_t hour) const {

@@ -8,10 +8,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/time_types.h"
+#include "obs/metrics.h"
 
 namespace seaweed {
 
@@ -26,10 +28,17 @@ inline constexpr int kNumTrafficCategories = 5;
 
 const char* TrafficCategoryName(TrafficCategory c);
 
+// Byte accounting is stored in obs instruments ("bw.tx.<category>" hourly
+// timeseries plus "bw.tx.total_bytes"/"bw.rx.total_bytes" counters) so the
+// paper-figure breakdowns and the observability export share one snapshot
+// path. Pass the cluster's registry to publish there; with no registry the
+// meter owns a private one and behaves exactly as before. The per-endsystem
+// per-hour matrices stay local: they are O(N * hours) sample grids, not
+// named metrics.
 class BandwidthMeter {
  public:
-  explicit BandwidthMeter(int num_endsystems)
-      : per_endsystem_(static_cast<size_t>(num_endsystems)) {}
+  explicit BandwidthMeter(int num_endsystems,
+                          obs::MetricsRegistry* registry = nullptr);
 
   // Charges `bytes` transmitted by `from` and (on delivery) received by `to`.
   void RecordTx(uint32_t endsystem, TrafficCategory cat, SimTime t,
@@ -38,17 +47,23 @@ class BandwidthMeter {
                 uint32_t bytes);
 
   // --- Totals ---
-  uint64_t total_tx_bytes() const { return total_tx_; }
-  uint64_t total_rx_bytes() const { return total_rx_; }
+  uint64_t total_tx_bytes() const { return total_tx_->value(); }
+  uint64_t total_rx_bytes() const { return total_rx_->value(); }
   uint64_t CategoryTxBytes(TrafficCategory cat) const {
-    return category_tx_[static_cast<int>(cat)];
+    return tx_series_[static_cast<int>(cat)]->total();
+  }
+  uint64_t CategoryRxBytes(TrafficCategory cat) const {
+    return rx_series_[static_cast<int>(cat)]->total();
   }
 
   // --- Timelines (per hour, system-wide, per category, tx bytes) ---
   // hour -> bytes transmitted in that hour by all endsystems in `cat`.
   const std::vector<uint64_t>& CategoryTimeline(TrafficCategory cat) const {
-    return category_timeline_[static_cast<int>(cat)];
+    return tx_series_[static_cast<int>(cat)]->buckets();
   }
+
+  // The registry byte accounting is published to (owned or external).
+  const obs::MetricsRegistry& registry() const { return *registry_; }
 
   // --- Per-endsystem per-hour samples ---
   // Bytes transmitted (resp. received) by endsystem e during hour h;
@@ -77,10 +92,12 @@ class BandwidthMeter {
   static void Bump(std::vector<uint32_t>& v, int64_t hour, uint32_t bytes);
 
   std::vector<PerEndsystem> per_endsystem_;
-  std::array<uint64_t, kNumTrafficCategories> category_tx_{};
-  std::array<std::vector<uint64_t>, kNumTrafficCategories> category_timeline_;
-  uint64_t total_tx_ = 0;
-  uint64_t total_rx_ = 0;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  std::array<obs::Timeseries*, kNumTrafficCategories> tx_series_;
+  std::array<obs::Timeseries*, kNumTrafficCategories> rx_series_;
+  obs::Counter* total_tx_;
+  obs::Counter* total_rx_;
   int64_t max_hour_ = -1;
 };
 

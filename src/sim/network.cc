@@ -5,14 +5,20 @@
 namespace seaweed {
 
 Network::Network(Simulator* sim, const Topology* topology,
-                 BandwidthMeter* meter, double loss_rate, uint64_t seed)
+                 BandwidthMeter* meter, double loss_rate, uint64_t seed,
+                 obs::Observability* obs)
     : sim_(sim),
       topology_(topology),
       meter_(meter),
+      obs_(obs != nullptr ? obs : obs::FallbackObservability()),
       loss_rate_(loss_rate),
       rng_(seed),
       handlers_(static_cast<size_t>(topology->num_endsystems())),
-      up_(static_cast<size_t>(topology->num_endsystems()), false) {}
+      up_(static_cast<size_t>(topology->num_endsystems()), false) {
+  msgs_sent_metric_ = obs_->metrics.GetCounter("sim.msgs_sent");
+  msgs_delivered_metric_ = obs_->metrics.GetCounter("sim.msgs_delivered");
+  msgs_lost_metric_ = obs_->metrics.GetCounter("sim.msgs_lost");
+}
 
 void Network::SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) {
   handlers_[e] = std::move(handler);
@@ -27,9 +33,11 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
   const uint32_t wire_bytes = payload_bytes + kMessageHeaderBytes;
   meter_->RecordTx(from, cat, sim_->Now(), wire_bytes);
   ++messages_sent_;
+  msgs_sent_metric_->Add();
 
   if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
     ++messages_lost_;
+    msgs_lost_metric_->Add();
     return true;  // sent, but the network ate it
   }
 
@@ -38,6 +46,7 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
                       payload = std::move(payload), payload_bytes]() mutable {
     if (!up_[to]) {
       ++messages_lost_;
+      msgs_lost_metric_->Add();
       if (drop_handler_ && up_[from]) {
         // Per-hop failure detection: the sender's retransmission timeout
         // fires and it learns the next hop is dead.
@@ -52,6 +61,7 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
     }
     meter_->RecordRx(to, cat, sim_->Now(), wire_bytes);
     ++messages_delivered_;
+    msgs_delivered_metric_->Add();
     if (handlers_[to]) {
       handlers_[to](from, std::move(payload), payload_bytes);
     }

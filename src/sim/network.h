@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "sim/bandwidth_meter.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
@@ -27,8 +28,10 @@ class Network {
       std::function<void(EndsystemIndex from, std::shared_ptr<void> payload,
                          uint32_t payload_bytes)>;
 
+  // `obs` is the observability domain the whole stack above this network
+  // records into (nullptr -> process-wide scratch domain).
   Network(Simulator* sim, const Topology* topology, BandwidthMeter* meter,
-          double loss_rate, uint64_t seed);
+          double loss_rate, uint64_t seed, obs::Observability* obs = nullptr);
 
   // Registers the receive upcall for an endsystem. Must be set before any
   // message can be delivered to it.
@@ -63,11 +66,17 @@ class Network {
   const Topology& topology() const { return *topology_; }
   Simulator* simulator() const { return sim_; }
   BandwidthMeter* meter() const { return meter_; }
+  // Never null: the observability domain shared by the stack above.
+  obs::Observability* obs() const { return obs_; }
 
  private:
   Simulator* sim_;
   const Topology* topology_;
   BandwidthMeter* meter_;
+  obs::Observability* obs_;
+  obs::Counter* msgs_sent_metric_;
+  obs::Counter* msgs_delivered_metric_;
+  obs::Counter* msgs_lost_metric_;
   double loss_rate_;
   Rng rng_;
   std::vector<DeliveryHandler> handlers_;

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/node_id.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -398,6 +402,57 @@ TEST(TimeTest, Formatting) {
   EXPECT_EQ(FormatSimTime(0), "d0 00:00:00.000");
   EXPECT_EQ(FormatDuration(90 * kMinute), "1h30m");
   EXPECT_EQ(FormatDuration(500 * kMillisecond), "500ms");
+}
+
+// --- Logging ---
+
+TEST(LoggingTest, ParseLogLevelAcceptsOnlyStrictIntegers) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(ParseLogLevel(" 2 \t", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+
+  level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("   ", &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  EXPECT_FALSE(ParseLogLevel("2x", &level));
+  EXPECT_FALSE(ParseLogLevel("debug", &level));
+  EXPECT_FALSE(ParseLogLevel("1 2", &level));
+  EXPECT_FALSE(ParseLogLevel("999999999999999999999", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // failures leave *out untouched
+}
+
+TEST(LoggingTest, SinkCapturesMessagesAndClockPrefixesSimTime) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+
+  SEAWEED_LOG(kInfo) << "plain message";
+  int64_t fake_now = 90 * kMinute;
+  SetLogClock([&] { return fake_now; });
+  SEAWEED_LOG(kWarn) << "timed message";
+  SEAWEED_LOG(kDebug) << "below threshold, never reaches the sink";
+
+  SetLogClock(nullptr);
+  SetLogSink(nullptr);
+  SetLogLevel(saved);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("plain message"), std::string::npos);
+  EXPECT_EQ(captured[0].second.find("t="), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_NE(captured[1].second.find("t=d0 01:30:00.000"), std::string::npos)
+      << captured[1].second;
+  EXPECT_NE(captured[1].second.find("timed message"), std::string::npos);
 }
 
 }  // namespace

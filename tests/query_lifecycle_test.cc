@@ -2,6 +2,8 @@
 // grouped aggregates executed end-to-end over the simulated cluster.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "seaweed/cluster.h"
 
 namespace seaweed {
@@ -206,6 +208,72 @@ TEST(QueryLifecycleTest, OriginDownQueryStillAggregates) {
     if (cluster.seaweed_node(e)->HasActiveQuery(*qid)) ++active;
   }
   EXPECT_GT(active, n / 2);
+}
+
+TEST(QueryLifecycleTest, TraceSpansFormConsistentTree) {
+  const int n = 20;
+  SeaweedCluster cluster(Cfg(n), MakeData(n));
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(5 * kMinute);
+
+  int results = 0;
+  QueryObserver observer;
+  observer.on_result = [&](const NodeId&, const db::AggregateResult&) {
+    ++results;
+  };
+  auto qid = cluster.InjectQuery(0, "SELECT COUNT(*) FROM Flow",
+                                 std::move(observer));
+  ASSERT_TRUE(qid.ok());
+  cluster.sim().RunUntil(cluster.sim().Now() + 5 * kMinute);
+  ASSERT_GT(results, 0);
+
+  const obs::TraceSink& trace = cluster.obs().trace;
+  ASSERT_EQ(trace.dropped(), 0u);
+  const uint64_t key = obs::TraceKey(*qid);
+  const obs::SpanId root = trace.RootOf(key);
+  ASSERT_NE(root, obs::kNoSpan);
+
+  std::unordered_map<obs::SpanId, obs::SpanRecord> by_id;
+  trace.ForEach(
+      [&](const obs::SpanRecord& rec) { by_id.emplace(rec.id, rec); });
+  ASSERT_TRUE(by_id.count(root));
+  EXPECT_STREQ(by_id.at(root).name, "query");
+  EXPECT_EQ(by_id.at(root).parent, obs::kNoSpan);
+
+  bool saw_disseminate = false, saw_result = false, saw_lookup = false;
+  for (const auto& [id, rec] : by_id) {
+    if (rec.trace != key) continue;
+    // Parent links stay within the trace, point at an earlier-started span,
+    // and only the root lacks one.
+    if (id == root) {
+      EXPECT_EQ(rec.parent, obs::kNoSpan);
+    } else {
+      ASSERT_TRUE(by_id.count(rec.parent)) << rec.name;
+      const obs::SpanRecord& parent = by_id.at(rec.parent);
+      EXPECT_EQ(parent.trace, key) << rec.name;
+      EXPECT_LE(parent.start, rec.start) << rec.name;
+    }
+    if (rec.end != obs::kOpenSpan) EXPECT_GE(rec.end, rec.start) << rec.name;
+    std::string name = rec.name;
+    if (name == "disseminate") {
+      saw_disseminate = true;
+      EXPECT_NE(rec.end, obs::kOpenSpan);  // closed by predictor delivery
+    } else if (name == "result_delivery") {
+      saw_result = true;
+      EXPECT_NE(rec.end, obs::kOpenSpan);  // closed by first result
+    } else if (name == "metadata_lookup") {
+      saw_lookup = true;
+    }
+  }
+  EXPECT_TRUE(saw_disseminate);
+  EXPECT_TRUE(saw_result);
+  EXPECT_TRUE(saw_lookup);
+
+  // The latency histograms recorded alongside the span closures.
+  const obs::Histogram* lat =
+      cluster.obs().metrics.FindHistogram("seaweed.result_latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GE(lat->count(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+// obs_report: renders the JSONL observability dump written by
+// obs::DumpToFile (e.g. by bench/fig9_overheads, or any SeaweedCluster user
+// via bench::DumpObs / SEAWEED_OBS_DUMP) as a human-readable run report:
+//
+//   - run summary (messages, peak population, event-queue depth)
+//   - per-category bandwidth breakdown (from the "bw.tx.*" / "bw.rx.*"
+//     timeseries — the same storage BandwidthMeter accounts into, so the
+//     totals here equal the meter's byte-for-byte)
+//   - top queries by delivery latency (from "disseminate" /
+//     "result_delivery" trace spans)
+//   - repair / recovery counters (leafset repairs, metadata re-replication,
+//     aggregation-tree handovers and re-propagations)
+//   - latency and size histograms
+//
+// Usage: obs_report <dump.jsonl>
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_types.h"
+#include "obs/jsonl_reader.h"
+
+namespace {
+
+using seaweed::FormatDuration;
+using seaweed::SimTime;
+using seaweed::obs::Json;
+
+struct HistData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<std::pair<int, uint64_t>> buckets;  // (bit_width, count)
+};
+
+struct TsData {
+  int64_t bucket_us = 0;
+  uint64_t total = 0;
+  std::vector<uint64_t> buckets;
+};
+
+struct SpanData {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string trace;
+  std::string name;
+  SimTime start = 0;
+  SimTime end = -1;  // -1 = still open in the dump
+  std::string query;  // "query" attr when present
+  std::string kind;
+  std::string sql;
+};
+
+struct Dump {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, std::pair<int64_t, int64_t>> gauges;  // value, max
+  std::map<std::string, HistData> histograms;
+  std::map<std::string, TsData> timeseries;
+  std::vector<SpanData> spans;
+};
+
+uint64_t CounterOr0(const Dump& d, const std::string& name) {
+  auto it = d.counters.find(name);
+  return it != d.counters.end() ? it->second : 0;
+}
+
+// Approximate quantile from the log2 buckets, mirroring
+// obs::Histogram::ApproxQuantile (upper bound of the covering bucket,
+// clamped to the observed max).
+uint64_t HistQuantile(const HistData& h, double q) {
+  if (h.count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(h.count));
+  if (rank >= h.count) rank = h.count - 1;
+  uint64_t seen = 0;
+  for (const auto& [bit_width, count] : h.buckets) {
+    seen += count;
+    if (seen > rank) {
+      uint64_t upper =
+          bit_width >= 64 ? ~0ULL : (1ULL << bit_width) - 1;
+      return std::min(upper, h.max);
+    }
+  }
+  return h.max;
+}
+
+bool LoadDump(const char* path, Dump* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "obs_report: cannot open %s\n", path);
+    return false;
+  }
+  auto lines = seaweed::obs::ParseJsonLines(in);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "obs_report: %s: %s\n", path,
+                 std::string(lines.status().message()).c_str());
+    return false;
+  }
+  for (const Json& j : lines.value()) {
+    const Json* kind = j.Find("kind");
+    const Json* name = j.Find("name");
+    if (kind == nullptr || name == nullptr) continue;
+    const std::string& k = kind->AsString();
+    if (k == "counter") {
+      const Json* v = j.Find("value");
+      out->counters[name->AsString()] = v != nullptr ? v->AsUint() : 0;
+    } else if (k == "gauge") {
+      const Json* v = j.Find("value");
+      const Json* m = j.Find("max");
+      out->gauges[name->AsString()] = {v != nullptr ? v->AsInt() : 0,
+                                       m != nullptr ? m->AsInt() : 0};
+    } else if (k == "histogram") {
+      HistData h;
+      if (const Json* f = j.Find("count")) h.count = f->AsUint();
+      if (const Json* f = j.Find("sum")) h.sum = f->AsUint();
+      if (const Json* f = j.Find("min")) h.min = f->AsUint();
+      if (const Json* f = j.Find("max")) h.max = f->AsUint();
+      if (const Json* f = j.Find("buckets")) {
+        for (const Json& b : f->items) {
+          if (b.items.size() == 2) {
+            h.buckets.emplace_back(static_cast<int>(b.items[0].AsInt()),
+                                   b.items[1].AsUint());
+          }
+        }
+      }
+      out->histograms[name->AsString()] = std::move(h);
+    } else if (k == "timeseries") {
+      TsData ts;
+      if (const Json* f = j.Find("bucket_us")) ts.bucket_us = f->AsInt();
+      if (const Json* f = j.Find("total")) ts.total = f->AsUint();
+      if (const Json* f = j.Find("buckets")) {
+        for (const Json& b : f->items) ts.buckets.push_back(b.AsUint());
+      }
+      out->timeseries[name->AsString()] = std::move(ts);
+    } else if (k == "span") {
+      SpanData s;
+      if (const Json* f = j.Find("id")) s.id = f->AsUint();
+      if (const Json* f = j.Find("parent")) s.parent = f->AsUint();
+      if (const Json* f = j.Find("trace")) s.trace = f->AsString();
+      s.name = name->AsString();
+      if (const Json* f = j.Find("start")) s.start = f->AsInt();
+      const Json* end = j.Find("end");
+      s.end = (end != nullptr && !end->is_null()) ? end->AsInt() : -1;
+      if (const Json* attrs = j.Find("attrs")) {
+        if (const Json* q = attrs->Find("query")) s.query = q->AsString();
+        if (const Json* q = attrs->Find("kind")) s.kind = q->AsString();
+        if (const Json* q = attrs->Find("sql")) s.sql = q->AsString();
+      }
+      out->spans.push_back(std::move(s));
+    }
+  }
+  return true;
+}
+
+void PrintRunSummary(const Dump& d) {
+  std::printf("== run summary ==\n");
+  std::printf("  messages: %" PRIu64 " sent, %" PRIu64 " delivered, %" PRIu64
+              " lost\n",
+              CounterOr0(d, "sim.msgs_sent"),
+              CounterOr0(d, "sim.msgs_delivered"),
+              CounterOr0(d, "sim.msgs_lost"));
+  if (auto it = d.gauges.find("sim.online_endsystems"); it != d.gauges.end()) {
+    std::printf("  online endsystems: %" PRId64 " at dump, peak %" PRId64 "\n",
+                it->second.first, it->second.second);
+  }
+  if (auto it = d.gauges.find("sim.event_queue_depth");
+      it != d.gauges.end()) {
+    std::printf("  event queue depth: %" PRId64 " at dump, peak %" PRId64 "\n",
+                it->second.first, it->second.second);
+  }
+  std::printf("  overlay: %" PRIu64 " joins, %" PRIu64 " heartbeats, %" PRIu64
+              " routed deliveries\n",
+              CounterOr0(d, "overlay.joins"),
+              CounterOr0(d, "overlay.heartbeats"),
+              CounterOr0(d, "overlay.routed_delivered"));
+  std::printf("  queries injected: %" PRIu64 "\n",
+              CounterOr0(d, "seaweed.queries_injected"));
+}
+
+// The category rows come from the "bw.tx.<cat>" / "bw.rx.<cat>" timeseries.
+// BandwidthMeter records into these same instruments, so the per-category
+// bytes and the totals printed here match the meter exactly; the
+// "total_bytes" counters are independent instruments and serve as the
+// cross-check.
+void PrintBandwidth(const Dump& d) {
+  std::printf("\n== bandwidth by category ==\n");
+  std::printf("  %-14s %16s %16s %8s\n", "category", "tx bytes", "rx bytes",
+              "tx %");
+  uint64_t tx_sum = 0, rx_sum = 0;
+  std::vector<std::pair<std::string, std::pair<uint64_t, uint64_t>>> rows;
+  for (const auto& [name, ts] : d.timeseries) {
+    if (name.rfind("bw.tx.", 0) != 0) continue;
+    std::string cat = name.substr(6);
+    uint64_t rx = 0;
+    if (auto it = d.timeseries.find("bw.rx." + cat);
+        it != d.timeseries.end()) {
+      rx = it->second.total;
+    }
+    rows.push_back({cat, {ts.total, rx}});
+    tx_sum += ts.total;
+    rx_sum += rx;
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.first > b.second.first;
+  });
+  for (const auto& [cat, bytes] : rows) {
+    std::printf("  %-14s %16" PRIu64 " %16" PRIu64 " %7.2f%%\n", cat.c_str(),
+                bytes.first, bytes.second,
+                tx_sum > 0 ? 100.0 * static_cast<double>(bytes.first) /
+                                 static_cast<double>(tx_sum)
+                           : 0.0);
+  }
+  std::printf("  %-14s %16" PRIu64 " %16" PRIu64 "\n", "total", tx_sum,
+              rx_sum);
+  uint64_t tx_counter = CounterOr0(d, "bw.tx.total_bytes");
+  uint64_t rx_counter = CounterOr0(d, "bw.rx.total_bytes");
+  bool ok = tx_sum == tx_counter && rx_sum == rx_counter;
+  std::printf("  cross-check vs meter counters: tx %" PRIu64 ", rx %" PRIu64
+              " -> %s\n",
+              tx_counter, rx_counter, ok ? "match" : "MISMATCH");
+}
+
+void PrintTopQueries(const Dump& d, size_t top_n) {
+  // Per trace: query label from the root "query" span, latencies from the
+  // closed "disseminate" (injection -> first aggregated predictor) and
+  // "result_delivery" (injection -> first delivered result) child spans.
+  struct QueryInfo {
+    std::string query;
+    std::string kind;
+    std::string sql;
+    SimTime dissem = -1;
+    SimTime result = -1;
+    int aggregation_rounds = 0;
+    int predictor_merges = 0;
+  };
+  std::unordered_map<std::string, QueryInfo> by_trace;
+  for (const SpanData& s : d.spans) {
+    QueryInfo& q = by_trace[s.trace];
+    if (s.name == "query") {
+      if (!s.query.empty()) q.query = s.query;
+      q.kind = s.kind;
+      q.sql = s.sql;
+    } else if (s.name == "disseminate" && s.end >= 0) {
+      q.dissem = s.end - s.start;
+    } else if (s.name == "result_delivery" && s.end >= 0) {
+      q.result = s.end - s.start;
+    } else if (s.name == "aggregation_round") {
+      ++q.aggregation_rounds;
+    } else if (s.name == "predictor_merge") {
+      ++q.predictor_merges;
+    }
+  }
+  std::vector<QueryInfo> queries;
+  for (auto& [trace, q] : by_trace) {
+    if (q.query.empty()) q.query = trace.substr(0, 8);
+    if (q.dissem >= 0 || q.result >= 0) queries.push_back(std::move(q));
+  }
+  std::printf("\n== top queries by latency ==\n");
+  if (queries.empty()) {
+    std::printf("  (no closed query-lifecycle spans in dump)\n");
+    return;
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const QueryInfo& a, const QueryInfo& b) {
+              return std::max(a.result, a.dissem) >
+                     std::max(b.result, b.dissem);
+            });
+  std::printf("  %-10s %-14s %14s %14s %8s %8s\n", "query", "kind",
+              "predictor", "result", "rounds", "merges");
+  for (size_t i = 0; i < queries.size() && i < top_n; ++i) {
+    const QueryInfo& q = queries[i];
+    std::printf("  %-10s %-14s %14s %14s %8d %8d\n", q.query.c_str(),
+                q.kind.c_str(),
+                q.dissem >= 0 ? FormatDuration(q.dissem).c_str() : "-",
+                q.result >= 0 ? FormatDuration(q.result).c_str() : "-",
+                q.aggregation_rounds, q.predictor_merges);
+    if (!q.sql.empty()) std::printf("      sql: %s\n", q.sql.c_str());
+  }
+}
+
+void PrintRepairs(const Dump& d) {
+  std::printf("\n== repairs and recovery ==\n");
+  const std::pair<const char*, const char*> kRepairs[] = {
+      {"overlay.leafset_repairs", "leafset repairs"},
+      {"seaweed.metadata_rereplications", "metadata re-replications"},
+      {"seaweed.vertex_handovers", "aggregation-tree vertex handovers"},
+      {"seaweed.vertex_repropagations", "aggregation-tree re-propagations"},
+      {"seaweed.dissem_reissues", "dissemination re-issues"},
+      {"seaweed.leaf_retries", "leaf-result retries"},
+      {"overlay.hop_limit_drops", "hop-limit drops"},
+  };
+  for (const auto& [name, label] : kRepairs) {
+    std::printf("  %-36s %12" PRIu64 "\n", label, CounterOr0(d, name));
+  }
+}
+
+void PrintHistograms(const Dump& d) {
+  if (d.histograms.empty()) return;
+  std::printf("\n== histograms ==\n");
+  std::printf("  %-30s %10s %12s %10s %10s %10s\n", "name", "count", "mean",
+              "p50", "p99", "max");
+  for (const auto& [name, h] : d.histograms) {
+    if (h.count == 0) continue;
+    std::printf("  %-30s %10" PRIu64 " %12.1f %10" PRIu64 " %10" PRIu64
+                " %10" PRIu64 "\n",
+                name.c_str(), h.count,
+                static_cast<double>(h.sum) / static_cast<double>(h.count),
+                HistQuantile(h, 0.5), HistQuantile(h, 0.99), h.max);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr,
+                 "usage: obs_report <dump.jsonl>\n"
+                 "  dump.jsonl: written by bench/fig9_overheads (or any run "
+                 "with SEAWEED_OBS_DUMP set)\n");
+    return argc == 2 ? 0 : 2;
+  }
+  Dump dump;
+  if (!LoadDump(argv[1], &dump)) return 1;
+  std::printf("obs_report: %s\n\n", argv[1]);
+  PrintRunSummary(dump);
+  PrintBandwidth(dump);
+  PrintTopQueries(dump, /*top_n=*/10);
+  PrintRepairs(dump);
+  PrintHistograms(dump);
+  return 0;
+}
