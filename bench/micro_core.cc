@@ -5,16 +5,20 @@
 #include <benchmark/benchmark.h>
 
 #include "anemone/anemone.h"
+#include "bench/bench_util.h"
 #include "common/sha1.h"
+#include "common/wire.h"
 #include "db/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "db/query_exec.h"
 #include "db/sql_parser.h"
+#include "overlay/packet.h"
 #include "seaweed/availability_model.h"
 #include "seaweed/completeness.h"
 #include "seaweed/id_range.h"
 #include "seaweed/vertex_function.h"
+#include "seaweed/wire.h"
 
 namespace seaweed {
 namespace {
@@ -274,6 +278,130 @@ void BM_PartitionByClosestMember(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionByClosestMember);
 
+// --- Wire codec: full message encode -> decode per kind ---
+//
+// One benchmark per message kind, each round-tripping a representatively
+// populated message through the typed codec (tag dispatch included). These
+// bound the per-message CPU cost the serializing transport adds.
+
+db::AggregateResult CodecBenchResult() {
+  db::AggregateResult r;
+  r.states.resize(2);
+  for (int i = 0; i < 100; ++i) {
+    r.states[0].Add(i * 1.5);
+    r.states[1].AddCountOnly();
+  }
+  r.rows_matched = 100;
+  r.endsystems = 4;
+  return r;
+}
+
+SeaweedMessagePtr CodecBenchMessage(SeaweedMessage::Kind kind) {
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = kind;
+  msg->query_id = NodeId(0x1234, 0x5678);
+  msg->vertex_id = NodeId(0x9abc, 0xdef0);
+  msg->child_key = NodeId(0x1111, 0x2222);
+  msg->version = 42;
+  msg->range = IdRange{NodeId(1, 0), NodeId(2, 0), false};
+  msg->parent = overlay::NodeHandle{NodeId(3, 3), 7};
+  switch (kind) {
+    case SeaweedMessage::Kind::kMetadataPush: {
+      msg->metadata.owner = NodeId(5, 5);
+      msg->metadata.version = 3;
+      db::TableSummary t;
+      t.table_name = "Flow";
+      t.total_rows = 100000;
+      msg->metadata.summary.tables.push_back(t);
+      msg->metadata.availability.RecordDownPeriod(kHour, 9 * kHour);
+      msg->metadata_wire_bytes = 6473;
+      break;
+    }
+    case SeaweedMessage::Kind::kBroadcast:
+    case SeaweedMessage::Kind::kQueryList: {
+      auto q = Query::Create("SELECT SUM(Bytes), COUNT(*) FROM Flow", kHour,
+                             msg->parent);
+      SEAWEED_CHECK(q.ok());
+      msg->queries.push_back(std::move(q).value());
+      break;
+    }
+    case SeaweedMessage::Kind::kPredictorReport:
+    case SeaweedMessage::Kind::kPredictorDeliver:
+      for (int i = 0; i < 40; ++i) {
+        msg->predictor.AddRowsAt(i * kHour, 25.0);
+      }
+      break;
+    case SeaweedMessage::Kind::kResultSubmit:
+    case SeaweedMessage::Kind::kResultDeliver:
+      msg->result = CodecBenchResult();
+      break;
+    case SeaweedMessage::Kind::kVertexReplicate:
+      for (int i = 0; i < 4; ++i) {
+        msg->vertex_state.emplace_back(NodeId(7, static_cast<uint64_t>(i)),
+                                       static_cast<uint64_t>(i),
+                                       CodecBenchResult());
+      }
+      break;
+    case SeaweedMessage::Kind::kResultAck:
+    case SeaweedMessage::Kind::kQueryListRequest:
+    case SeaweedMessage::Kind::kQueryCancel:
+      break;
+  }
+  return msg;
+}
+
+void EncodeDecodeLoop(benchmark::State& state, const WireMessage& msg) {
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Writer w;
+    msg.Encode(w);
+    Reader r(w.bytes());
+    auto decoded = DecodeWireMessage(r);
+    SEAWEED_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded);
+    bytes += w.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+void RegisterEncodeDecodeBenches() {
+  struct KindName {
+    SeaweedMessage::Kind kind;
+    const char* name;
+  };
+  static constexpr KindName kKinds[] = {
+      {SeaweedMessage::Kind::kMetadataPush, "MetadataPush"},
+      {SeaweedMessage::Kind::kBroadcast, "Broadcast"},
+      {SeaweedMessage::Kind::kPredictorReport, "PredictorReport"},
+      {SeaweedMessage::Kind::kPredictorDeliver, "PredictorDeliver"},
+      {SeaweedMessage::Kind::kResultSubmit, "ResultSubmit"},
+      {SeaweedMessage::Kind::kResultAck, "ResultAck"},
+      {SeaweedMessage::Kind::kVertexReplicate, "VertexReplicate"},
+      {SeaweedMessage::Kind::kResultDeliver, "ResultDeliver"},
+      {SeaweedMessage::Kind::kQueryListRequest, "QueryListRequest"},
+      {SeaweedMessage::Kind::kQueryList, "QueryList"},
+      {SeaweedMessage::Kind::kQueryCancel, "QueryCancel"},
+  };
+  for (const auto& k : kKinds) {
+    SeaweedMessagePtr msg = CodecBenchMessage(k.kind);
+    std::string name = std::string("BM_EncodeDecode/") + k.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [msg](benchmark::State& state) { EncodeDecodeLoop(state, *msg); });
+  }
+  // An overlay packet carrying an app payload — the outermost frame the
+  // serializing transport round-trips.
+  auto pkt = std::make_shared<overlay::Packet>();
+  pkt->kind = overlay::Packet::Kind::kApp;
+  pkt->src = overlay::NodeHandle{NodeId(1, 1), 2};
+  pkt->key = NodeId(2, 2);
+  pkt->category = TrafficCategory::kResult;
+  pkt->app_payload = CodecBenchMessage(SeaweedMessage::Kind::kResultSubmit);
+  benchmark::RegisterBenchmark(
+      "BM_EncodeDecode/AppPacket",
+      [pkt](benchmark::State& state) { EncodeDecodeLoop(state, *pkt); });
+}
+
 void BM_AggregateResultSerialize(benchmark::State& state) {
   db::AggregateResult r;
   r.states.resize(3);
@@ -293,7 +421,38 @@ void BM_AggregateResultSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregateResultSerialize);
 
+// Console reporter that also captures (name, real time) per run so the
+// results can be exported through the standard SEAWEED_BENCH_OUT channel.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 }  // namespace seaweed
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  seaweed::RegisterEncodeDecodeBenches();
+  seaweed::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  seaweed::bench::ResultWriter writer("micro_core");
+  for (const auto& [name, real_time_ns] : reporter.results()) {
+    writer.Scalar(name + "/real_time_ns", real_time_ns);
+  }
+  writer.WriteFromEnv();
+  benchmark::Shutdown();
+  return 0;
+}

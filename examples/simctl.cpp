@@ -10,6 +10,9 @@
 //     --inject-hour H       injection time                (default H/4)
 //     --continuous MIN      make queries continuous with this period
 //     --seed S              master seed                   (default 1)
+//     --serializing-transport  round-trip every message through the wire
+//                           codec in flight (debug mode; stdout is
+//                           bit-identical to the in-memory transport)
 //
 // Prints the completeness predictor, incremental results, and the final
 // bandwidth accounting. Example:
@@ -40,6 +43,7 @@ struct Args {
   double inject_hour = -1;
   double continuous_minutes = 0;
   uint64_t seed = 1;
+  bool serializing_transport = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -71,6 +75,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->continuous_minutes = std::atof(v);
     } else if (flag == "--seed" && (v = need_value())) {
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--serializing-transport") {
+      args->serializing_transport = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
   config.keep_tables = args.endsystems <= 500;
   config.anemone.days = 7;
   config.anemone.workstation_flows_per_day = 40;
+  config.serializing_transport = args.serializing_transport;
   SeaweedCluster cluster(config);
   cluster.DriveFromTrace(trace, duration);
 
@@ -204,5 +211,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cluster.sim().events_executed()),
               static_cast<unsigned long long>(
                   cluster.network().messages_sent()));
+  // Debug-mode stats go to stderr so stdout stays bit-identical to the
+  // in-memory transport and can be diffed (scripts/check.sh relies on this).
+  if (const auto* st = cluster.serializing_transport()) {
+    std::fprintf(stderr,
+                 "serializing transport: %llu messages round-tripped, "
+                 "%llu bytes\n",
+                 static_cast<unsigned long long>(st->messages_roundtripped()),
+                 static_cast<unsigned long long>(st->bytes_roundtripped()));
+  }
   return 0;
 }

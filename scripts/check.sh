@@ -1,22 +1,45 @@
 #!/usr/bin/env bash
 # Full pre-merge check: builds the default configuration and the
-# ASan+UBSan configuration, and runs the complete test suite under both.
+# ASan+UBSan configuration, runs the complete test suite under both, and
+# runs the serializing-transport differential under both.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Runs one simulation twice within the SAME build tree — once over the
+# in-memory transport, once with every message encoded to bytes and decoded
+# back in flight — and asserts bit-identical stdout. Comparing across build
+# trees would be invalid (floating-point results differ by optimization
+# level), so each build checks against itself.
+differential() {
+  local build="$1"
+  local simbin="$build/examples/simctl"
+  local flags=(--endsystems 60 --hours 2 --seed 7
+               --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
+  echo "--- serializing-transport differential ($build) ---"
+  "$simbin" "${flags[@]}" > "$build/sim_mem.out"
+  "$simbin" "${flags[@]}" --serializing-transport > "$build/sim_ser.out"
+  if ! diff -u "$build/sim_mem.out" "$build/sim_ser.out"; then
+    echo "FAIL: serializing transport changed simulation output" >&2
+    exit 1
+  fi
+  echo "outputs bit-identical"
+}
+
 echo "=== default build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+differential build
 
 echo
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DSEAWEED_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
+differential build-asan
 
 echo
 echo "All checks passed."

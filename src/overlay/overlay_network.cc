@@ -4,7 +4,7 @@
 
 namespace seaweed::overlay {
 
-OverlayNetwork::OverlayNetwork(Simulator* sim, Network* network,
+OverlayNetwork::OverlayNetwork(Simulator* sim, Transport* network,
                                const PastryConfig& config, uint64_t seed)
     : sim_(sim), network_(network), config_(config), rng_(seed) {
   obs::MetricsRegistry* reg = &network_->obs()->metrics;
@@ -23,10 +23,9 @@ void OverlayNetwork::CreateNodes(const std::vector<NodeId>& ids) {
   // Per-hop failure detection: a sender whose packet hit a dead node learns
   // about it after a retransmission timeout and can repair + re-route.
   network_->SetDropHandler(
-      [this](EndsystemIndex from, EndsystemIndex to,
-             std::shared_ptr<void> payload) {
-        auto pkt = std::static_pointer_cast<Packet>(payload);
-        if (pkt) nodes_[from]->OnSendFailed(nodes_[to]->handle(), pkt);
+      [this](EndsystemIndex from, EndsystemIndex to, WireMessagePtr payload) {
+        auto pkt = WireMessageCast<Packet>(payload);
+        nodes_[from]->OnSendFailed(nodes_[to]->handle(), pkt);
       },
       /*drop_notice_delay=*/kSecond);
   nodes_.reserve(ids.size());
@@ -35,9 +34,7 @@ void OverlayNetwork::CreateNodes(const std::vector<NodeId>& ids) {
     nodes_.push_back(std::make_unique<PastryNode>(this, h, config_));
     EndsystemIndex e = static_cast<EndsystemIndex>(i);
     network_->SetDeliveryHandler(
-        e, [this, e](EndsystemIndex from, std::shared_ptr<void> payload,
-                     uint32_t bytes) {
-          (void)bytes;
+        e, [this, e](EndsystemIndex from, WireMessagePtr payload) {
           OnDelivery(e, from, std::move(payload));
         });
   }
@@ -59,7 +56,7 @@ void OverlayNetwork::BringDown(EndsystemIndex e) {
 
 void OverlayNetwork::SendPacket(EndsystemIndex from, EndsystemIndex to,
                                 const std::shared_ptr<Packet>& pkt) {
-  network_->Send(from, to, pkt->category, pkt, pkt->WireBytes());
+  network_->Send(from, to, pkt->category, pkt);
 }
 
 void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
@@ -124,8 +121,8 @@ int OverlayNetwork::CountJoined() const {
 }
 
 void OverlayNetwork::OnDelivery(EndsystemIndex to, EndsystemIndex from,
-                                std::shared_ptr<void> payload) {
-  auto pkt = std::static_pointer_cast<Packet>(payload);
+                                WireMessagePtr payload) {
+  auto pkt = WireMessageCast<Packet>(payload);
   nodes_[to]->HandlePacket(from, pkt);
 }
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "overlay/pastry_node.h"
-#include "sim/network.h"
+#include "sim/transport.h"
 
 namespace seaweed::overlay {
 
@@ -29,7 +29,7 @@ struct OverlayMetrics {
 
 class OverlayNetwork {
  public:
-  OverlayNetwork(Simulator* sim, Network* network, const PastryConfig& config,
+  OverlayNetwork(Simulator* sim, Transport* network, const PastryConfig& config,
                  uint64_t seed);
 
   // Creates one PastryNode per endsystem with the given ids (index i gets
@@ -41,7 +41,7 @@ class OverlayNetwork {
   const PastryNode* node(EndsystemIndex e) const { return nodes_[e].get(); }
 
   Simulator* simulator() const { return sim_; }
-  Network* network() const { return network_; }
+  Transport* network() const { return network_; }
   const PastryConfig& config() const { return config_; }
   obs::Observability* obs() const { return network_->obs(); }
   const OverlayMetrics& metrics() const { return metrics_; }
@@ -70,10 +70,10 @@ class OverlayNetwork {
 
  private:
   void OnDelivery(EndsystemIndex to, EndsystemIndex from,
-                  std::shared_ptr<void> payload);
+                  WireMessagePtr payload);
 
   Simulator* sim_;
-  Network* network_;
+  Transport* network_;
   PastryConfig config_;
   Rng rng_;
   OverlayMetrics metrics_;

@@ -1,0 +1,98 @@
+#include "overlay/packet.h"
+
+#include <string>
+#include <utility>
+
+namespace seaweed::overlay {
+
+namespace {
+
+[[maybe_unused]] const bool kPacketRegistered = [] {
+  RegisterWireDecoder(Packet::kWireType, &Packet::Decode);
+  return true;
+}();
+
+}  // namespace
+
+void EncodeNodeHandle(Writer& w, const NodeHandle& h) {
+  w.PutNodeId(h.id);
+  w.PutU32(h.address);
+}
+
+Result<NodeHandle> DecodeNodeHandle(Reader& r) {
+  NodeHandle h;
+  SEAWEED_ASSIGN_OR_RETURN(h.id, r.GetNodeId());
+  SEAWEED_ASSIGN_OR_RETURN(h.address, r.GetU32());
+  return h;
+}
+
+void Packet::EncodeBody(Writer& w) const {
+  w.PutU8(static_cast<uint8_t>(kind));
+  EncodeNodeHandle(w, src);
+  w.PutNodeId(key);
+  w.PutU8(row);
+  w.PutU16(hops);
+  uint8_t flags = 0;
+  if (app_routed) flags |= 0x01;
+  w.PutU8(flags);
+  w.PutU8(static_cast<uint8_t>(category));
+  w.PutVarint(entries.size());
+  for (const NodeHandle& e : entries) EncodeNodeHandle(w, e);
+  if (app_payload) {
+    app_payload->Encode(w);  // nested frame: payload tag + body
+  } else {
+    w.PutU8(0);  // tag 0 = no payload
+  }
+}
+
+Result<WireMessagePtr> Packet::Decode(Reader& r) {
+  auto pkt = std::make_shared<Packet>();
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t kind_raw, r.GetU8());
+  if (kind_raw > static_cast<uint8_t>(Kind::kApp)) {
+    return Status::ParseError("bad packet kind " + std::to_string(kind_raw));
+  }
+  pkt->kind = static_cast<Kind>(kind_raw);
+  SEAWEED_ASSIGN_OR_RETURN(pkt->src, DecodeNodeHandle(r));
+  SEAWEED_ASSIGN_OR_RETURN(pkt->key, r.GetNodeId());
+  SEAWEED_ASSIGN_OR_RETURN(pkt->row, r.GetU8());
+  SEAWEED_ASSIGN_OR_RETURN(pkt->hops, r.GetU16());
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  if (flags & ~0x01) {
+    return Status::ParseError("bad packet flags " + std::to_string(flags));
+  }
+  pkt->app_routed = (flags & 0x01) != 0;
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t cat_raw, r.GetU8());
+  if (cat_raw >= static_cast<uint8_t>(kNumTrafficCategories)) {
+    return Status::ParseError("bad traffic category " +
+                              std::to_string(cat_raw));
+  }
+  pkt->category = static_cast<TrafficCategory>(cat_raw);
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  // Entries are ≥20 wire bytes each; reject counts the buffer cannot hold
+  // before allocating.
+  if (n > r.remaining() / kNodeHandleBytes) {
+    return Status::ParseError("packet entry count exceeds buffer");
+  }
+  pkt->entries.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    SEAWEED_ASSIGN_OR_RETURN(NodeHandle e, DecodeNodeHandle(r));
+    pkt->entries.push_back(e);
+  }
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t payload_tag, r.GetU8());
+  if (payload_tag != 0) {
+    SEAWEED_ASSIGN_OR_RETURN(pkt->app_payload, DecodeWireBody(payload_tag, r));
+  }
+  return WireMessagePtr(std::move(pkt));
+}
+
+uint32_t Packet::WireBytes() const {
+  uint32_t n = EncodedBytes();
+  if (app_payload) {
+    // Substitute the payload's charge override for its encoded size; the
+    // payload's frame is encoded inside `n`, so this never underflows.
+    n = n - app_payload->EncodedBytes() + app_payload->WireBytes();
+  }
+  return n;
+}
+
+}  // namespace seaweed::overlay

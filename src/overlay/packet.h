@@ -1,16 +1,17 @@
 // Overlay wire messages.
 //
 // One packet struct covers the Pastry control plane (join, leafset exchange,
-// probes, announcements) and the application envelope used by Seaweed. Wire
-// size is computed from the fields so the bandwidth meter sees realistic
-// byte counts without serializing every simulated message.
+// probes, announcements) and the application envelope used by Seaweed. The
+// packet is a WireMessage: its serialized form is the single source of truth
+// for the byte counts the bandwidth meter charges, and any transport can
+// round-trip it through the codec.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/node_id.h"
+#include "common/wire.h"
 #include "sim/bandwidth_meter.h"
 #include "sim/topology.h"
 
@@ -27,7 +28,12 @@ struct NodeHandle {
 // Wire size of one NodeHandle: 16-byte id + 4-byte address.
 inline constexpr uint32_t kNodeHandleBytes = 20;
 
-struct Packet {
+void EncodeNodeHandle(Writer& w, const NodeHandle& h);
+Result<NodeHandle> DecodeNodeHandle(Reader& r);
+
+struct Packet : WireMessage {
+  static constexpr uint8_t kWireType = wire_type::kOverlayPacket;
+
   enum class Kind : uint8_t {
     kJoinRequest,     // routed toward the joiner's id
     kJoinRow,         // routing-table row from a node on the join path
@@ -44,25 +50,27 @@ struct Packet {
   NodeHandle src;          // originator of this packet
   NodeId key;              // routing key (kJoinRequest, routed kApp)
   uint8_t row = 0;         // kJoinRow: which routing-table row
-  uint32_t hops = 0;       // hops taken so far (loop guard, stats)
+  // Hops taken so far (loop guard, stats). Fixed-width on the wire because
+  // routing increments it after the encoded size is cached.
+  uint16_t hops = 0;
   std::vector<NodeHandle> entries;  // rows / leafsets
 
-  // kApp payload: opaque to the overlay. `app_bytes` is the serialized size
-  // used for bandwidth accounting; `category` attributes the traffic.
-  std::shared_ptr<void> app_payload;
-  uint32_t app_bytes = 0;
+  // kApp payload, framed inside the packet by its own wire type (a null
+  // payload encodes as tag 0); `category` attributes the traffic.
+  WireMessagePtr app_payload;
   bool app_routed = false;  // delivered via key routing (vs direct send)
   TrafficCategory category = TrafficCategory::kPastry;
 
-  // Approximate serialized size of this packet (excluding the fixed
-  // network-layer header charged by sim::Network).
-  uint32_t WireBytes() const {
-    // kind + src handle + key + row/hops.
-    uint32_t bytes = 1 + kNodeHandleBytes + 16 + 2;
-    bytes += static_cast<uint32_t>(entries.size()) * kNodeHandleBytes + 2;
-    bytes += app_bytes;
-    return bytes;
-  }
+  uint8_t wire_type() const override { return kWireType; }
+
+  // Meter charge: the encoded size, with the payload's own charge override
+  // (if any) substituted for its encoded size.
+  uint32_t WireBytes() const override;
+
+  static Result<WireMessagePtr> Decode(Reader& r);
+
+ protected:
+  void EncodeBody(Writer& w) const override;
 };
 
 }  // namespace seaweed::overlay

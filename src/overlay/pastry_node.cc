@@ -93,26 +93,24 @@ void PastryNode::JoinTimeout(uint64_t generation, int attempt) {
   });
 }
 
-void PastryNode::RouteApp(const NodeId& key, std::shared_ptr<void> payload,
-                          uint32_t bytes, TrafficCategory category) {
+void PastryNode::RouteApp(const NodeId& key, WireMessagePtr payload,
+                          TrafficCategory category) {
   auto pkt = std::make_shared<Packet>();
   pkt->kind = Packet::Kind::kApp;
   pkt->src = self_;
   pkt->key = key;
   pkt->app_payload = std::move(payload);
-  pkt->app_bytes = bytes;
   pkt->app_routed = true;
   pkt->category = category;
   RouteOrDeliver(pkt);
 }
 
-void PastryNode::SendApp(const NodeHandle& to, std::shared_ptr<void> payload,
-                         uint32_t bytes, TrafficCategory category) {
+void PastryNode::SendApp(const NodeHandle& to, WireMessagePtr payload,
+                         TrafficCategory category) {
   auto pkt = std::make_shared<Packet>();
   pkt->kind = Packet::Kind::kApp;
   pkt->src = self_;
   pkt->app_payload = std::move(payload);
-  pkt->app_bytes = bytes;
   pkt->app_routed = false;
   pkt->category = category;
   if (to.id == self_.id) {
@@ -164,7 +162,7 @@ void PastryNode::Learn(const NodeHandle& node) {
 }
 
 void PastryNode::RouteOrDeliver(const std::shared_ptr<Packet>& pkt) {
-  if (pkt->hops >= static_cast<uint32_t>(config_.max_route_hops)) {
+  if (pkt->hops >= static_cast<uint16_t>(config_.max_route_hops)) {
     net_->metrics().hop_limit_drops->Add();
     SEAWEED_LOG(kWarn) << "dropping packet: hop limit reached (key "
                        << pkt->key.ToShortString() << ")";
@@ -221,7 +219,7 @@ void PastryNode::DeliverLocally(const std::shared_ptr<Packet>& pkt) {
       }
       if (app_) {
         app_->OnAppMessage(pkt->src, pkt->app_routed, pkt->key,
-                           pkt->app_payload, pkt->app_bytes);
+                           pkt->app_payload);
       }
       break;
     default:

@@ -29,10 +29,9 @@ class PastryApp {
   virtual ~PastryApp() = default;
 
   // An application message arrived (routed to a key we are root for, or
-  // sent directly to us).
+  // sent directly to us). `payload` may be null (control-only packets).
   virtual void OnAppMessage(const NodeHandle& from, bool routed,
-                            const NodeId& key, std::shared_ptr<void> payload,
-                            uint32_t bytes) = 0;
+                            const NodeId& key, WireMessagePtr payload) = 0;
 
   // This node completed its join and is a functioning overlay member.
   virtual void OnJoined() {}
@@ -83,12 +82,12 @@ class PastryNode {
 
   // --- Application API ---
   // Routes an application payload to the live node numerically closest to
-  // `key`. Payload bytes are charged to `category`.
-  void RouteApp(const NodeId& key, std::shared_ptr<void> payload,
-                uint32_t bytes, TrafficCategory category);
+  // `key`. The payload's encoded size is charged to `category`.
+  void RouteApp(const NodeId& key, WireMessagePtr payload,
+                TrafficCategory category);
   // Sends an application payload directly to a known node (one hop).
-  void SendApp(const NodeHandle& to, std::shared_ptr<void> payload,
-               uint32_t bytes, TrafficCategory category);
+  void SendApp(const NodeHandle& to, WireMessagePtr payload,
+               TrafficCategory category);
 
   // --- Invoked by OverlayNetwork ---
   void HandlePacket(EndsystemIndex from, const std::shared_ptr<Packet>& pkt);

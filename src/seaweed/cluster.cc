@@ -29,8 +29,11 @@ void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
   queue_depth_gauge_ = obs_.metrics.GetGauge("sim.event_queue_depth");
   online_gauge_ = obs_.metrics.GetGauge("sim.online_endsystems");
   data_ = std::move(data);
+  if (config_.serializing_transport) {
+    serializing_ = std::make_unique<SerializingTransport>(&network_);
+  }
   overlay_ = std::make_unique<overlay::OverlayNetwork>(
-      &sim_, &network_, config_.pastry, config_.seed ^ 0xfeed);
+      &sim_, &transport(), config_.pastry, config_.seed ^ 0xfeed);
 
   Rng id_rng(config_.seed);
   ids_.reserve(static_cast<size_t>(config_.num_endsystems));

@@ -12,6 +12,8 @@
 
 #include "obs/obs.h"
 #include "seaweed/node.h"
+#include "sim/network.h"
+#include "sim/serializing_transport.h"
 #include "trace/availability_trace.h"
 
 namespace seaweed {
@@ -29,6 +31,10 @@ struct ClusterConfig {
   // Wire size charged per summary push; 0 = actual serialized size. The
   // default reproduces the paper's measured h (Table 1: 6,473 bytes).
   uint32_t summary_wire_bytes = 6473;
+  // Debug mode: round-trip every message through the wire codec
+  // (encode -> bytes -> decode) in flight. Behaviourally identical to the
+  // in-memory transport; any codec gap CHECK-fails at the offending message.
+  bool serializing_transport = false;
   uint64_t seed = 1;
 };
 
@@ -45,6 +51,14 @@ class SeaweedCluster {
   const obs::Observability& obs() const { return obs_; }
   overlay::OverlayNetwork& overlay() { return *overlay_; }
   Network& network() { return network_; }
+  // The transport the overlay actually sends through (the network itself,
+  // or the serializing wrapper in debug mode).
+  Transport& transport() {
+    return serializing_ ? static_cast<Transport&>(*serializing_) : network_;
+  }
+  const SerializingTransport* serializing_transport() const {
+    return serializing_.get();
+  }
   const ClusterConfig& config() const { return config_; }
 
   SeaweedNode* seaweed_node(int e) { return seaweed_[static_cast<size_t>(e)].get(); }
@@ -87,6 +101,7 @@ class SeaweedCluster {
   Topology topology_;
   BandwidthMeter meter_;
   Network network_;
+  std::unique_ptr<SerializingTransport> serializing_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;
   std::shared_ptr<DataProvider> data_;
   std::vector<std::unique_ptr<SeaweedNode>> seaweed_;

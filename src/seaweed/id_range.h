@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/node_id.h"
+#include "common/result.h"
+#include "common/serialize.h"
 
 namespace seaweed {
 
@@ -82,6 +84,21 @@ struct IdRange {
   // Stable token for matching child reports to pending ranges.
   std::string Token() const {
     return lo.ToHex() + ":" + hi.ToHex() + (full ? ":F" : "");
+  }
+
+  // Wire form: lo + hi + full flag (33 bytes).
+  void Encode(Writer& w) const {
+    w.PutNodeId(lo);
+    w.PutNodeId(hi);
+    w.PutBool(full);
+  }
+
+  static Result<IdRange> Decode(Reader& r) {
+    IdRange range;
+    SEAWEED_ASSIGN_OR_RETURN(range.lo, r.GetNodeId());
+    SEAWEED_ASSIGN_OR_RETURN(range.hi, r.GetNodeId());
+    SEAWEED_ASSIGN_OR_RETURN(range.full, r.GetBool());
+    return range;
   }
 
   bool operator==(const IdRange&) const = default;

@@ -33,15 +33,16 @@ struct Metadata {
     return nullptr;
   }
 
-  // Serialized size: summary + availability model (h + a of Table 1) plus
-  // replicated view values.
+  // Wire form: owner + version + summary + availability + views.
+  void Encode(Writer& w) const;
+  static Result<Metadata> Decode(Reader& r);
+
+  // Serialized size (h + a of Table 1 plus replicated view values),
+  // derived from the encoder.
   size_t SerializedBytes() const {
-    size_t bytes =
-        summary.SerializedBytes() + availability.SerializedBytes() + 24;
-    for (const auto& [name, result] : views) {
-      bytes += name.size() + 2 + result.SerializedBytes();
-    }
-    return bytes;
+    Writer w;
+    Encode(w);
+    return w.size();
   }
 };
 

@@ -62,12 +62,12 @@ void SeaweedNode::StartQueryTrace(ActiveQuery& aq, const char* kind) {
 
 void SeaweedNode::SendSeaweed(const NodeHandle& to, const SeaweedMessagePtr& msg,
                               TrafficCategory category) {
-  pastry_->SendApp(to, msg, msg->WireBytes(), category);
+  pastry_->SendApp(to, msg, category);
 }
 
 void SeaweedNode::RouteSeaweed(const NodeId& key, const SeaweedMessagePtr& msg,
                                TrafficCategory category) {
-  pastry_->RouteApp(key, msg, msg->WireBytes(), category);
+  pastry_->RouteApp(key, msg, category);
 }
 
 // ---------------------------------------------------------------------------
@@ -1177,12 +1177,10 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
 // ---------------------------------------------------------------------------
 
 void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
-                               const NodeId& key, std::shared_ptr<void> payload,
-                               uint32_t bytes) {
+                               const NodeId& key, WireMessagePtr payload) {
   (void)routed;
   (void)key;
-  (void)bytes;
-  auto msg = std::static_pointer_cast<SeaweedMessage>(payload);
+  auto msg = WireMessageCast<SeaweedMessage>(payload);
   switch (msg->kind) {
     case SeaweedMessage::Kind::kMetadataPush: {
       metadata_.SetNow(sim()->Now());

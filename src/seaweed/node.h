@@ -112,8 +112,7 @@ class SeaweedNode : public overlay::PastryApp {
 
   // --- PastryApp ---
   void OnAppMessage(const overlay::NodeHandle& from, bool routed,
-                    const NodeId& key, std::shared_ptr<void> payload,
-                    uint32_t bytes) override;
+                    const NodeId& key, WireMessagePtr payload) override;
   void OnJoined() override;
   void OnStopping() override;
   void OnNeighborFailed(const overlay::NodeHandle& neighbor) override;

@@ -24,4 +24,49 @@ Result<Query> Query::Create(const std::string& sql, SimTime injected_at,
   return q;
 }
 
+void Query::Encode(Writer& w) const {
+  w.PutString(sql);
+  w.PutNodeId(query_id);
+  w.PutI64(injected_at);
+  w.PutI64(ttl);
+  overlay::EncodeNodeHandle(w, origin);
+  uint8_t flags = 0;
+  if (continuous) flags |= 0x01;
+  if (!view_name.empty()) flags |= 0x02;
+  w.PutU8(flags);
+  if (continuous) w.PutI64(reexec_period);
+  if (!view_name.empty()) w.PutString(view_name);
+}
+
+Result<Query> Query::Decode(Reader& r) {
+  Query q;
+  SEAWEED_ASSIGN_OR_RETURN(q.sql, r.GetString());
+  SEAWEED_ASSIGN_OR_RETURN(q.query_id, r.GetNodeId());
+  SEAWEED_ASSIGN_OR_RETURN(q.injected_at, r.GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(q.ttl, r.GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(q.origin, overlay::DecodeNodeHandle(r));
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  if (flags & ~0x03) {
+    return Status::ParseError("bad query flags " + std::to_string(flags));
+  }
+  q.continuous = (flags & 0x01) != 0;
+  if (q.continuous) {
+    SEAWEED_ASSIGN_OR_RETURN(q.reexec_period, r.GetI64());
+  }
+  if (flags & 0x02) {
+    SEAWEED_ASSIGN_OR_RETURN(q.view_name, r.GetString());
+    if (q.view_name.empty()) {
+      return Status::ParseError("view-snapshot query with empty view name");
+    }
+  }
+  // Rebuild the parsed form exactly as Create does. Vertex-only query
+  // entries travel with empty sql and skip parsing.
+  if (!q.sql.empty()) {
+    db::ParseOptions options;
+    options.now_unix_seconds = q.injected_at / kSecond;
+    SEAWEED_ASSIGN_OR_RETURN(q.parsed, db::ParseSelect(q.sql, options));
+  }
+  return q;
+}
+
 }  // namespace seaweed

@@ -41,13 +41,12 @@ struct Query {
 
   bool ExpiredAt(SimTime now) const { return now > injected_at + ttl; }
 
-  // Wire size of the query descriptor inside broadcast / query-list
-  // messages.
-  uint32_t WireBytes() const {
-    return static_cast<uint32_t>(sql.size() + view_name.size()) +
-           16 /*queryId*/ + 8 /*injected_at*/ + 8 /*ttl*/ + 2 /*flags*/ +
-           overlay::kNodeHandleBytes;
-  }
+  // Wire form of the query descriptor inside broadcast / query-list
+  // messages. Decode re-parses `sql` (same NOW() substitution as Create) to
+  // reconstruct `parsed`; the queryId travels explicitly because view
+  // snapshots override the derived id.
+  void Encode(Writer& w) const;
+  static Result<Query> Decode(Reader& r);
 };
 
 }  // namespace seaweed

@@ -1,0 +1,196 @@
+#include "seaweed/wire.h"
+
+#include <string>
+#include <utility>
+
+namespace seaweed {
+
+namespace {
+
+[[maybe_unused]] const bool kSeaweedMessageRegistered = [] {
+  RegisterWireDecoder(SeaweedMessage::kWireType, &SeaweedMessage::Decode);
+  return true;
+}();
+
+}  // namespace
+
+void SeaweedMessage::EncodeBody(Writer& w) const {
+  w.PutU8(static_cast<uint8_t>(kind));
+  switch (kind) {
+    case Kind::kMetadataPush:
+      metadata.Encode(w);
+      w.PutVarint(metadata_wire_bytes);
+      break;
+    case Kind::kBroadcast:
+      w.PutNodeId(query_id);
+      range.Encode(w);
+      overlay::EncodeNodeHandle(w, parent);
+      w.PutVarint(queries.size());
+      for (const Query& q : queries) q.Encode(w);
+      break;
+    case Kind::kPredictorReport:
+    case Kind::kPredictorDeliver: {
+      w.PutNodeId(query_id);
+      range.Encode(w);
+      predictor.Serialize(&w);
+      // View-snapshot runs carry an aggregate instead of (empty) predictor
+      // mass; it rides along only when present.
+      bool has_result = !result.states.empty() || !result.groups.empty();
+      w.PutBool(has_result);
+      if (has_result) result.Serialize(&w);
+      break;
+    }
+    case Kind::kResultSubmit:
+    case Kind::kResultDeliver:
+      w.PutNodeId(query_id);
+      w.PutNodeId(vertex_id);
+      w.PutNodeId(child_key);
+      w.PutU64(version);
+      result.Serialize(&w);
+      break;
+    case Kind::kResultAck:
+      w.PutNodeId(query_id);
+      w.PutNodeId(vertex_id);
+      w.PutNodeId(child_key);
+      w.PutU64(version);
+      break;
+    case Kind::kVertexReplicate:
+      w.PutNodeId(query_id);
+      w.PutNodeId(vertex_id);
+      w.PutVarint(vertex_state.size());
+      for (const auto& [child, ver, res] : vertex_state) {
+        w.PutNodeId(child);
+        w.PutU64(ver);
+        res.Serialize(&w);
+      }
+      break;
+    case Kind::kQueryListRequest:
+      break;
+    case Kind::kQueryList:
+      w.PutVarint(queries.size());
+      for (const Query& q : queries) q.Encode(w);
+      break;
+    case Kind::kQueryCancel:
+      w.PutNodeId(query_id);
+      break;
+  }
+}
+
+Result<WireMessagePtr> SeaweedMessage::Decode(Reader& r) {
+  auto msg = std::make_shared<SeaweedMessage>();
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t kind_raw, r.GetU8());
+  if (kind_raw > static_cast<uint8_t>(Kind::kQueryCancel)) {
+    return Status::ParseError("bad seaweed message kind " +
+                              std::to_string(kind_raw));
+  }
+  msg->kind = static_cast<Kind>(kind_raw);
+  switch (msg->kind) {
+    case Kind::kMetadataPush: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->metadata, Metadata::Decode(r));
+      SEAWEED_ASSIGN_OR_RETURN(uint64_t mwb, r.GetVarint());
+      if (mwb > UINT32_MAX) {
+        return Status::ParseError("metadata wire bytes overflow uint32");
+      }
+      msg->metadata_wire_bytes = static_cast<uint32_t>(mwb);
+      break;
+    }
+    case Kind::kBroadcast: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->range, IdRange::Decode(r));
+      SEAWEED_ASSIGN_OR_RETURN(msg->parent, overlay::DecodeNodeHandle(r));
+      SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      if (n > r.remaining()) {
+        return Status::ParseError("broadcast query count exceeds buffer");
+      }
+      msg->queries.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        SEAWEED_ASSIGN_OR_RETURN(Query q, Query::Decode(r));
+        msg->queries.push_back(std::move(q));
+      }
+      break;
+    }
+    case Kind::kPredictorReport:
+    case Kind::kPredictorDeliver: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->range, IdRange::Decode(r));
+      SEAWEED_ASSIGN_OR_RETURN(msg->predictor,
+                               CompletenessPredictor::Deserialize(&r));
+      SEAWEED_ASSIGN_OR_RETURN(bool has_result, r.GetBool());
+      if (has_result) {
+        SEAWEED_ASSIGN_OR_RETURN(msg->result,
+                                 db::AggregateResult::Deserialize(&r));
+      }
+      break;
+    }
+    case Kind::kResultSubmit:
+    case Kind::kResultDeliver: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->vertex_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->child_key, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->version, r.GetU64());
+      SEAWEED_ASSIGN_OR_RETURN(msg->result,
+                               db::AggregateResult::Deserialize(&r));
+      break;
+    }
+    case Kind::kResultAck: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->vertex_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->child_key, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->version, r.GetU64());
+      break;
+    }
+    case Kind::kVertexReplicate: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(msg->vertex_id, r.GetNodeId());
+      SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      // Entries are ≥24 wire bytes each (child id + version).
+      if (n > r.remaining() / 24) {
+        return Status::ParseError("vertex state count exceeds buffer");
+      }
+      msg->vertex_state.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        SEAWEED_ASSIGN_OR_RETURN(NodeId child, r.GetNodeId());
+        SEAWEED_ASSIGN_OR_RETURN(uint64_t ver, r.GetU64());
+        SEAWEED_ASSIGN_OR_RETURN(db::AggregateResult res,
+                                 db::AggregateResult::Deserialize(&r));
+        msg->vertex_state.emplace_back(child, ver, std::move(res));
+      }
+      break;
+    }
+    case Kind::kQueryListRequest:
+      break;
+    case Kind::kQueryList: {
+      SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      if (n > r.remaining()) {
+        return Status::ParseError("query list count exceeds buffer");
+      }
+      msg->queries.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        SEAWEED_ASSIGN_OR_RETURN(Query q, Query::Decode(r));
+        msg->queries.push_back(std::move(q));
+      }
+      break;
+    }
+    case Kind::kQueryCancel: {
+      SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
+      break;
+    }
+  }
+  return WireMessagePtr(std::move(msg));
+}
+
+uint32_t SeaweedMessage::WireBytes() const {
+  if (charged_bytes_ == 0) {
+    uint32_t n = EncodedBytes();
+    if (kind == Kind::kMetadataPush && metadata_wire_bytes != 0) {
+      // Charge the calibrated / delta-encoded summary size instead of the
+      // encoded one; the summary is encoded inside `n`, so no underflow.
+      n = n - static_cast<uint32_t>(metadata.summary.SerializedBytes()) +
+          metadata_wire_bytes;
+    }
+    charged_bytes_ = n;
+  }
+  return charged_bytes_;
+}
+
+}  // namespace seaweed

@@ -1,11 +1,14 @@
 // Seaweed protocol messages, carried as application payloads over the
-// Pastry overlay. WireBytes() feeds the bandwidth meter per message kind.
+// Pastry overlay. Each message is a WireMessage: its encoder defines both
+// the byte layout and (via WireBytes) the bandwidth-meter charge.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/wire.h"
 #include "db/query_exec.h"
 #include "overlay/packet.h"
 #include "seaweed/completeness.h"
@@ -15,7 +18,9 @@
 
 namespace seaweed {
 
-struct SeaweedMessage {
+struct SeaweedMessage : WireMessage {
+  static constexpr uint8_t kWireType = wire_type::kSeaweedMessage;
+
   enum class Kind : uint8_t {
     kMetadataPush,      // owner (or anti-entropy peer) -> replica holder
     kBroadcast,         // query dissemination: handle this namespace range
@@ -30,11 +35,14 @@ struct SeaweedMessage {
     kQueryCancel,       // epidemic cancellation notice
   };
 
-  Kind kind;
+  Kind kind = Kind::kQueryListRequest;
 
   // kMetadataPush
   Metadata metadata;
-  uint32_t metadata_wire_bytes = 0;  // summary wire size (possibly overridden)
+  // Meter charge for the summary part, when it differs from the encoded
+  // size (paper-calibrated summaries, delta-encoded pushes). Travels on the
+  // wire so the charge survives decode.
+  uint32_t metadata_wire_bytes = 0;
 
   // Query-scoped fields.
   NodeId query_id;
@@ -55,53 +63,19 @@ struct SeaweedMessage {
   // kVertexReplicate: full vertex state.
   std::vector<std::tuple<NodeId, uint64_t, db::AggregateResult>> vertex_state;
 
-  uint32_t WireBytes() const {
-    uint32_t bytes = 1;
-    switch (kind) {
-      case Kind::kMetadataPush:
-        bytes += 16 + 8 + metadata_wire_bytes +
-                 static_cast<uint32_t>(metadata.availability.SerializedBytes());
-        break;
-      case Kind::kBroadcast:
-        bytes += 16 + 33 /*range*/ + overlay::kNodeHandleBytes;
-        for (const auto& q : queries) bytes += q.WireBytes();
-        break;
-      case Kind::kPredictorReport:
-      case Kind::kPredictorDeliver:
-        bytes += 16 + 33 +
-                 static_cast<uint32_t>(predictor.SerializedBytes());
-        // View-snapshot runs carry an aggregate instead of (empty)
-        // predictor mass; charge it when present.
-        if (!result.states.empty() || !result.groups.empty()) {
-          bytes += static_cast<uint32_t>(result.SerializedBytes());
-        }
-        break;
-      case Kind::kResultSubmit:
-      case Kind::kResultDeliver:
-        bytes += 16 + 16 + 16 + 8 +
-                 static_cast<uint32_t>(result.SerializedBytes());
-        break;
-      case Kind::kResultAck:
-        bytes += 16 + 16 + 16 + 8;
-        break;
-      case Kind::kVertexReplicate: {
-        bytes += 16 + 16;
-        for (const auto& [key, ver, res] : vertex_state) {
-          (void)key;
-          (void)ver;
-          bytes += 16 + 8 + static_cast<uint32_t>(res.SerializedBytes());
-        }
-        break;
-      }
-      case Kind::kQueryListRequest:
-      case Kind::kQueryCancel:
-        break;
-      case Kind::kQueryList:
-        for (const auto& q : queries) bytes += q.WireBytes();
-        break;
-    }
-    return bytes;
-  }
+  uint8_t wire_type() const override { return kWireType; }
+
+  // Meter charge: the encoded size, with the calibrated summary charge (if
+  // set) substituted for the summary's encoded size on metadata pushes.
+  uint32_t WireBytes() const override;
+
+  static Result<WireMessagePtr> Decode(Reader& r);
+
+ protected:
+  void EncodeBody(Writer& w) const override;
+
+ private:
+  mutable uint32_t charged_bytes_ = 0;  // 0 = not yet computed
 };
 
 using SeaweedMessagePtr = std::shared_ptr<SeaweedMessage>;

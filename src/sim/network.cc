@@ -27,10 +27,10 @@ void Network::SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) {
 void Network::SetUp(EndsystemIndex e, bool up) { up_[e] = up; }
 
 bool Network::Send(EndsystemIndex from, EndsystemIndex to,
-                   TrafficCategory cat, std::shared_ptr<void> payload,
-                   uint32_t payload_bytes) {
+                   TrafficCategory cat, WireMessagePtr msg) {
+  SEAWEED_CHECK_MSG(msg != nullptr, "Network::Send requires a message");
   if (!up_[from]) return false;
-  const uint32_t wire_bytes = payload_bytes + kMessageHeaderBytes;
+  const uint32_t wire_bytes = msg->WireBytes() + kMessageHeaderBytes;
   meter_->RecordTx(from, cat, sim_->Now(), wire_bytes);
   ++messages_sent_;
   msgs_sent_metric_->Add();
@@ -43,7 +43,7 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
 
   SimDuration delay = topology_->Delay(from, to);
   sim_->After(delay, [this, from, to, cat, wire_bytes,
-                      payload = std::move(payload), payload_bytes]() mutable {
+                      msg = std::move(msg)]() mutable {
     if (!up_[to]) {
       ++messages_lost_;
       msgs_lost_metric_->Add();
@@ -51,9 +51,9 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
         // Per-hop failure detection: the sender's retransmission timeout
         // fires and it learns the next hop is dead.
         sim_->After(drop_notice_delay_,
-                    [this, from, to, payload = std::move(payload)]() mutable {
+                    [this, from, to, msg = std::move(msg)]() mutable {
                       if (up_[from] && drop_handler_) {
-                        drop_handler_(from, to, std::move(payload));
+                        drop_handler_(from, to, std::move(msg));
                       }
                     });
       }
@@ -63,7 +63,7 @@ bool Network::Send(EndsystemIndex from, EndsystemIndex to,
     ++messages_delivered_;
     msgs_delivered_metric_->Add();
     if (handlers_[to]) {
-      handlers_[to](from, std::move(payload), payload_bytes);
+      handlers_[to](from, std::move(msg));
     }
   });
   return true;

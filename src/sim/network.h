@@ -1,73 +1,50 @@
-// Message-level simulated network.
+// Message-level simulated network: the in-memory Transport backend.
 //
-// Delivers opaque payloads between endsystems with topology-derived latency,
+// Delivers typed messages between endsystems with topology-derived latency,
 // optional uniform loss, and per-endsystem up/down state. Sends to or from a
 // down endsystem are dropped (the sender still pays transmit bandwidth for
-// sends it initiates, matching a real lossy datagram network).
+// sends it initiates, matching a real lossy datagram network). Messages are
+// passed by pointer — the wire codec is exercised separately by
+// SerializingTransport — but every charged byte count comes from the
+// message's encoder via WireMessage::WireBytes().
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <vector>
 
 #include "common/rng.h"
-#include "obs/obs.h"
-#include "sim/bandwidth_meter.h"
-#include "sim/simulator.h"
-#include "sim/topology.h"
+#include "sim/transport.h"
 
 namespace seaweed {
 
-// Fixed per-message wire overhead (UDP/IP headers plus overlay header).
-inline constexpr uint32_t kMessageHeaderBytes = 48;
-
-class Network {
+class Network : public Transport {
  public:
-  // Handler invoked on message delivery at an endsystem.
-  using DeliveryHandler =
-      std::function<void(EndsystemIndex from, std::shared_ptr<void> payload,
-                         uint32_t payload_bytes)>;
-
   // `obs` is the observability domain the whole stack above this network
   // records into (nullptr -> process-wide scratch domain).
   Network(Simulator* sim, const Topology* topology, BandwidthMeter* meter,
           double loss_rate, uint64_t seed, obs::Observability* obs = nullptr);
 
-  // Registers the receive upcall for an endsystem. Must be set before any
-  // message can be delivered to it.
-  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler);
+  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) override;
 
-  // Marks an endsystem as up/down. Messages in flight toward an endsystem
-  // that is down at delivery time are dropped silently.
-  void SetUp(EndsystemIndex e, bool up);
-  bool IsUp(EndsystemIndex e) const { return up_[e]; }
+  void SetUp(EndsystemIndex e, bool up) override;
+  bool IsUp(EndsystemIndex e) const override { return up_[e]; }
 
-  // Sends `payload_bytes` of application payload (the meter is charged
-  // payload + header). Returns false if the sender is down (nothing sent).
   bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
-            std::shared_ptr<void> payload, uint32_t payload_bytes);
+            WireMessagePtr msg) override;
 
-  // Handler invoked (after `drop_notice_delay`) at the *sender* when a
-  // message could not be delivered because the receiver was down. Models
-  // per-hop timeout-based failure detection (MSPastry acks routed messages
-  // hop by hop); random wire loss is NOT reported.
-  using DropHandler = std::function<void(EndsystemIndex from,
-                                         EndsystemIndex to,
-                                         std::shared_ptr<void> payload)>;
-  void SetDropHandler(DropHandler handler, SimDuration drop_notice_delay) {
+  void SetDropHandler(DropHandler handler,
+                      SimDuration drop_notice_delay) override {
     drop_handler_ = std::move(handler);
     drop_notice_delay_ = drop_notice_delay;
   }
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_delivered() const { return messages_delivered_; }
-  uint64_t messages_lost() const { return messages_lost_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t messages_delivered() const override { return messages_delivered_; }
+  uint64_t messages_lost() const override { return messages_lost_; }
 
-  const Topology& topology() const { return *topology_; }
-  Simulator* simulator() const { return sim_; }
-  BandwidthMeter* meter() const { return meter_; }
-  // Never null: the observability domain shared by the stack above.
-  obs::Observability* obs() const { return obs_; }
+  const Topology& topology() const override { return *topology_; }
+  Simulator* simulator() const override { return sim_; }
+  BandwidthMeter* meter() const override { return meter_; }
+  obs::Observability* obs() const override { return obs_; }
 
  private:
   Simulator* sim_;

@@ -1,0 +1,66 @@
+// Transport: the seam between the overlay and whatever moves its messages.
+//
+// sim::Network (in-memory, zero-copy message passing with simulated latency
+// and loss) is the first backend; SerializingTransport decorates any backend
+// with a full encode→bytes→decode round trip per message to prove codec
+// fidelity. The overlay only ever talks to this interface, so swapping the
+// message plane (e.g. for a real datagram socket backend) touches nothing
+// above it.
+#pragma once
+
+#include <functional>
+
+#include "common/wire.h"
+#include "obs/obs.h"
+#include "sim/bandwidth_meter.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace seaweed {
+
+// Fixed per-message wire overhead (UDP/IP headers plus overlay header).
+inline constexpr uint32_t kMessageHeaderBytes = 48;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Handler invoked on message delivery at an endsystem.
+  using DeliveryHandler =
+      std::function<void(EndsystemIndex from, WireMessagePtr msg)>;
+
+  // Handler invoked (after the drop-notice delay) at the *sender* when a
+  // message could not be delivered because the receiver was down. Models
+  // per-hop timeout-based failure detection; random wire loss is NOT
+  // reported.
+  using DropHandler = std::function<void(
+      EndsystemIndex from, EndsystemIndex to, WireMessagePtr msg)>;
+
+  // Registers the receive upcall for an endsystem. Must be set before any
+  // message can be delivered to it.
+  virtual void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) = 0;
+  virtual void SetDropHandler(DropHandler handler,
+                              SimDuration drop_notice_delay) = 0;
+
+  // Marks an endsystem as up/down. Messages in flight toward an endsystem
+  // that is down at delivery time are dropped.
+  virtual void SetUp(EndsystemIndex e, bool up) = 0;
+  virtual bool IsUp(EndsystemIndex e) const = 0;
+
+  // Sends `msg` (never null); the meter is charged msg->WireBytes() plus
+  // kMessageHeaderBytes. Returns false if the sender is down (nothing sent).
+  virtual bool Send(EndsystemIndex from, EndsystemIndex to,
+                    TrafficCategory cat, WireMessagePtr msg) = 0;
+
+  virtual uint64_t messages_sent() const = 0;
+  virtual uint64_t messages_delivered() const = 0;
+  virtual uint64_t messages_lost() const = 0;
+
+  virtual const Topology& topology() const = 0;
+  virtual Simulator* simulator() const = 0;
+  virtual BandwidthMeter* meter() const = 0;
+  // Never null: the observability domain shared by the stack above.
+  virtual obs::Observability* obs() const = 0;
+};
+
+}  // namespace seaweed

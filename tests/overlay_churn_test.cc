@@ -100,7 +100,7 @@ TEST_P(ChurnProperty, RoutingCorrectAfterChurnQuiesces) {
   struct ProbeApp : PastryApp {
     std::vector<NodeId> keys;
     void OnAppMessage(const NodeHandle&, bool, const NodeId& key,
-                      std::shared_ptr<void>, uint32_t) override {
+                      WireMessagePtr) override {
       keys.push_back(key);
     }
   };
@@ -122,7 +122,7 @@ TEST_P(ChurnProperty, RoutingCorrectAfterChurnQuiesces) {
       int src = static_cast<int>(f.rng.NextBelow(n));
       auto* node = f.overlay.node(static_cast<EndsystemIndex>(src));
       if (node->up() && node->joined()) {
-        node->RouteApp(key, nullptr, 8, TrafficCategory::kDissemination);
+        node->RouteApp(key, nullptr, TrafficCategory::kDissemination);
         break;
       }
     }
@@ -186,13 +186,13 @@ TEST(OverlayScaleTest, SurvivorContinuesAlone) {
   struct App : PastryApp {
     int got = 0;
     void OnAppMessage(const NodeHandle&, bool, const NodeId&,
-                      std::shared_ptr<void>, uint32_t) override {
+                      WireMessagePtr) override {
       ++got;
     }
   } app;
   survivor->set_app(&app);
   Rng rng(1);
-  survivor->RouteApp(NodeId::Random(rng), nullptr, 4,
+  survivor->RouteApp(NodeId::Random(rng), nullptr,
                      TrafficCategory::kDissemination);
   f.sim.RunUntil(f.sim.Now() + 10 * kSecond);
   EXPECT_EQ(app.got, 1);

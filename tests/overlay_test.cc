@@ -204,7 +204,7 @@ TEST(OverlayTest, RoutingReachesNumericallyClosestNode) {
     NodeId self;
     std::vector<NodeId> delivered_keys;
     void OnAppMessage(const NodeHandle&, bool, const NodeId& key,
-                      std::shared_ptr<void>, uint32_t) override {
+                      WireMessagePtr) override {
       delivered_keys.push_back(key);
     }
   };
@@ -225,7 +225,7 @@ TEST(OverlayTest, RoutingReachesNumericallyClosestNode) {
     expectations.push_back({key, root->id});
     int src = static_cast<int>(rng.NextBelow(48));
     f.overlay.node(static_cast<EndsystemIndex>(src))
-        ->RouteApp(key, nullptr, 10, TrafficCategory::kDissemination);
+        ->RouteApp(key, nullptr, TrafficCategory::kDissemination);
   }
   f.sim.RunUntil(f.sim.Now() + kMinute);
 
@@ -252,7 +252,7 @@ TEST(OverlayTest, RoutingHopCountIsLogarithmic) {
   struct CountApp : PastryApp {
     uint32_t max_hops = 0;
     void OnAppMessage(const NodeHandle&, bool, const NodeId&,
-                      std::shared_ptr<void>, uint32_t) override {}
+                      WireMessagePtr) override {}
   };
   // Hop counts live inside packets; simplest check: routed messages arrive
   // (previous test) and the overlay converges. Here we assert routing-table
@@ -351,12 +351,12 @@ TEST(OverlayTest, SingleNodeOverlayWorks) {
   struct SelfApp : PastryApp {
     int delivered = 0;
     void OnAppMessage(const NodeHandle&, bool, const NodeId&,
-                      std::shared_ptr<void>, uint32_t) override {
+                      WireMessagePtr) override {
       ++delivered;
     }
   } app;
   f.overlay.node(0)->set_app(&app);
-  f.overlay.node(0)->RouteApp(Id(42), nullptr, 1,
+  f.overlay.node(0)->RouteApp(Id(42), nullptr,
                               TrafficCategory::kDissemination);
   f.sim.RunUntil(f.sim.Now() + kSecond);
   EXPECT_EQ(app.delivered, 1);

@@ -3,6 +3,7 @@
 #include "sim/bandwidth_meter.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "sim/serializing_transport.h"
 #include "sim/simulator.h"
 #include "sim/topology.h"
 
@@ -213,23 +214,22 @@ class NetworkTest : public ::testing::Test {
 TEST_F(NetworkTest, DeliversWithTopologyDelay) {
   bool delivered = false;
   SimTime at = -1;
-  net_.SetDeliveryHandler(1, [&](EndsystemIndex from,
-                                 std::shared_ptr<void> payload, uint32_t) {
+  net_.SetDeliveryHandler(1, [&](EndsystemIndex from, WireMessagePtr payload) {
     EXPECT_EQ(from, 0u);
-    EXPECT_EQ(*std::static_pointer_cast<int>(payload), 42);
+    EXPECT_EQ(WireMessageCast<PaddingMessage>(payload)->WireBytes(), 42u);
     delivered = true;
     at = sim_.Now();
   });
-  net_.Send(0, 1, TrafficCategory::kPastry, std::make_shared<int>(42), 100);
+  net_.Send(0, 1, TrafficCategory::kPastry, std::make_shared<PaddingMessage>(42));
   sim_.RunToCompletion();
   EXPECT_TRUE(delivered);
   EXPECT_EQ(at, topo_.Delay(0, 1));
 }
 
 TEST_F(NetworkTest, ChargesTxAndRxWithHeader) {
-  net_.SetDeliveryHandler(1, [](EndsystemIndex, std::shared_ptr<void>,
-                                uint32_t) {});
-  net_.Send(0, 1, TrafficCategory::kMetadata, nullptr, 100);
+  net_.SetDeliveryHandler(1, [](EndsystemIndex, WireMessagePtr) {});
+  net_.Send(0, 1, TrafficCategory::kMetadata,
+            std::make_shared<PaddingMessage>(100));
   sim_.RunToCompletion();
   EXPECT_EQ(meter_.total_tx_bytes(), 100 + kMessageHeaderBytes);
   EXPECT_EQ(meter_.total_rx_bytes(), 100 + kMessageHeaderBytes);
@@ -239,15 +239,17 @@ TEST_F(NetworkTest, ChargesTxAndRxWithHeader) {
 
 TEST_F(NetworkTest, DownSenderCannotSend) {
   net_.SetUp(0, false);
-  EXPECT_FALSE(net_.Send(0, 1, TrafficCategory::kPastry, nullptr, 10));
+  EXPECT_FALSE(net_.Send(0, 1, TrafficCategory::kPastry,
+                         std::make_shared<PaddingMessage>(10)));
   EXPECT_EQ(meter_.total_tx_bytes(), 0u);
 }
 
 TEST_F(NetworkTest, DownReceiverDropsInFlight) {
   bool delivered = false;
-  net_.SetDeliveryHandler(1, [&](EndsystemIndex, std::shared_ptr<void>,
-                                 uint32_t) { delivered = true; });
-  net_.Send(0, 1, TrafficCategory::kPastry, nullptr, 10);
+  net_.SetDeliveryHandler(
+      1, [&](EndsystemIndex, WireMessagePtr) { delivered = true; });
+  net_.Send(0, 1, TrafficCategory::kPastry,
+            std::make_shared<PaddingMessage>(10));
   net_.SetUp(1, false);  // goes down before delivery
   sim_.RunToCompletion();
   EXPECT_FALSE(delivered);
@@ -265,14 +267,38 @@ TEST(NetworkLossTest, UniformLossDropsApproximately) {
   net.SetUp(0, true);
   net.SetUp(1, true);
   int delivered = 0;
-  net.SetDeliveryHandler(1, [&](EndsystemIndex, std::shared_ptr<void>,
-                                uint32_t) { ++delivered; });
+  net.SetDeliveryHandler(
+      1, [&](EndsystemIndex, WireMessagePtr) { ++delivered; });
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    net.Send(0, 1, TrafficCategory::kPastry, nullptr, 10);
+    net.Send(0, 1, TrafficCategory::kPastry,
+             std::make_shared<PaddingMessage>(10));
   }
   sim.RunToCompletion();
   EXPECT_NEAR(static_cast<double>(delivered) / n, 0.8, 0.03);
+}
+
+TEST(SerializingTransportTest, RoundTripsAndDelivers) {
+  Simulator sim;
+  Topology topo(TopologyConfig{}, 2);
+  BandwidthMeter meter(2);
+  Network net(&sim, &topo, &meter, 0.0, 7);
+  SerializingTransport xport(&net);
+  xport.SetUp(0, true);
+  xport.SetUp(1, true);
+  uint32_t got = 0;
+  xport.SetDeliveryHandler(1, [&](EndsystemIndex, WireMessagePtr payload) {
+    // The delivered object is a decoded copy, not the sent pointer.
+    got = WireMessageCast<PaddingMessage>(payload)->WireBytes();
+  });
+  auto sent = std::make_shared<PaddingMessage>(321);
+  xport.Send(0, 1, TrafficCategory::kPastry, sent);
+  sim.RunToCompletion();
+  EXPECT_EQ(got, 321u);
+  EXPECT_EQ(xport.messages_roundtripped(), 1u);
+  EXPECT_GT(xport.bytes_roundtripped(), 0u);
+  // Meter charge matches the in-memory transport exactly.
+  EXPECT_EQ(meter.total_tx_bytes(), 321 + kMessageHeaderBytes);
 }
 
 TEST(BandwidthMeterTest, HourBucketing) {
