@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 #include "trace/gnutella_model.h"
 
@@ -47,13 +47,11 @@ ChurnRun Run(SeaweedCluster& cluster, const AvailabilityTrace& trace,
 }
 
 ClusterConfig MakeConfig(int n) {
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.keep_tables = false;
-  cfg.anemone.days = 7;
-  cfg.anemone.workstation_flows_per_day = 20;
-  cfg.summary_wire_bytes = 6473;
-  return cfg;
+  ClusterOptions opts;
+  opts.WithEndsystems(n).WithKeepTables(false).WithSummaryWireBytes(6473);
+  opts.anemone().days = 7;
+  opts.anemone().workstation_flows_per_day = 20;
+  return opts.BuildOrDie();
 }
 
 }  // namespace

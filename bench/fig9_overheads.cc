@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 
 using namespace seaweed;
@@ -31,14 +31,14 @@ using seaweed::bench::Note;
 namespace {
 
 ClusterConfig MakeConfig(int n, uint64_t seed) {
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.seed = seed;
-  cfg.keep_tables = false;  // regenerate per execution; cache summaries only
-  cfg.anemone.days = 7;
-  cfg.anemone.workstation_flows_per_day = 20;
-  cfg.summary_wire_bytes = 6473;  // Table 1 h
-  return cfg;
+  ClusterOptions opts;
+  opts.WithEndsystems(n)
+      .WithSeed(seed)
+      .WithKeepTables(false)  // regenerate per execution; cache summaries only
+      .WithSummaryWireBytes(6473);  // Table 1 h
+  opts.anemone().days = 7;
+  opts.anemone().workstation_flows_per_day = 20;
+  return opts.BuildOrDie();
 }
 
 struct RunResult {

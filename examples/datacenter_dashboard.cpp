@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 
 using namespace seaweed;
 
@@ -53,10 +53,9 @@ int main() {
     databases.push_back(std::move(database));
   }
 
-  ClusterConfig config;
-  config.num_endsystems = kEndsystems;
-  config.summary_wire_bytes = 0;
-  SeaweedCluster cluster(config,
+  SeaweedCluster cluster(ClusterOptions()
+                             .WithEndsystems(kEndsystems)
+                             .WithSummaryWireBytes(0),
                          std::make_shared<StaticDataProvider>(databases));
 
   for (int e = 0; e < kEndsystems; ++e) cluster.BringUp(e);

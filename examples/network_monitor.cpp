@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "anemone/anemone.h"
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 
 using namespace seaweed;
@@ -83,13 +83,13 @@ void RunOperatorQuery(SeaweedCluster& cluster, const char* label,
 int main() {
   const int kEndsystems = 200;
 
-  ClusterConfig config;
-  config.num_endsystems = kEndsystems;
-  config.anemone.days = 7;
-  config.anemone.workstation_flows_per_day = 40;
-  config.keep_tables = true;
-  config.summary_wire_bytes = 0;
-  SeaweedCluster cluster(config);
+  ClusterOptions options;
+  options.WithEndsystems(kEndsystems)
+      .WithKeepTables(true)
+      .WithSummaryWireBytes(0);
+  options.anemone().days = 7;
+  options.anemone().workstation_flows_per_day = 40;
+  SeaweedCluster cluster(options);
 
   // Enterprise availability: diurnal desktops, always-on servers.
   FarsiteModelConfig trace_config;

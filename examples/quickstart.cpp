@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 
 using namespace seaweed;
 
@@ -42,10 +42,9 @@ int main() {
   }
 
   // --- 2. Cluster. ---
-  ClusterConfig config;
-  config.num_endsystems = kEndsystems;
-  config.summary_wire_bytes = 0;  // charge real summary sizes
-  SeaweedCluster cluster(config,
+  SeaweedCluster cluster(ClusterOptions()
+                             .WithEndsystems(kEndsystems)
+                             .WithSummaryWireBytes(0),  // real summary sizes
                          std::make_shared<StaticDataProvider>(databases));
 
   // --- 3. Bring everything up so metadata gets replicated, then lose four

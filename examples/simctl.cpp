@@ -10,7 +10,11 @@
 //     --inject-hour H       injection time                (default H/4)
 //     --continuous MIN      make queries continuous with this period
 //     --seed S              master seed                   (default 1)
-//     --serializing-transport  round-trip every message through the wire
+//     --transport SPEC      transport decorator stack, outermost first:
+//                           e.g. "serializing", "faulty:plan.json", or
+//                           "serializing,faulty:plan.json"
+//     --serializing-transport  shorthand for --transport serializing:
+//                           round-trip every message through the wire
 //                           codec in flight (debug mode; stdout is
 //                           bit-identical to the in-memory transport)
 //
@@ -24,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 #include "trace/gnutella_model.h"
 #include "trace/trace_io.h"
@@ -43,7 +47,7 @@ struct Args {
   double inject_hour = -1;
   double continuous_minutes = 0;
   uint64_t seed = 1;
-  bool serializing_transport = false;
+  std::string transport;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -75,8 +79,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->continuous_minutes = std::atof(v);
     } else if (flag == "--seed" && (v = need_value())) {
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--transport" && (v = need_value())) {
+      args->transport = v;
     } else if (flag == "--serializing-transport") {
-      args->serializing_transport = true;
+      args->transport = args->transport.empty()
+                            ? "serializing"
+                            : "serializing," + args->transport;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -132,14 +140,20 @@ int main(int argc, char** argv) {
   }
 
   // --- Cluster ---
-  ClusterConfig config;
-  config.num_endsystems = args.endsystems;
-  config.seed = args.seed;
-  config.keep_tables = args.endsystems <= 500;
-  config.anemone.days = 7;
-  config.anemone.workstation_flows_per_day = 40;
-  config.serializing_transport = args.serializing_transport;
-  SeaweedCluster cluster(config);
+  ClusterOptions options;
+  options.WithEndsystems(args.endsystems)
+      .WithSeed(args.seed)
+      .WithKeepTables(args.endsystems <= 500)
+      .WithTransport(args.transport);
+  options.anemone().days = 7;
+  options.anemone().workstation_flows_per_day = 40;
+  auto config = options.Build();
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  SeaweedCluster cluster(*config);
   cluster.DriveFromTrace(trace, duration);
 
   SimTime inject_at = args.inject_hour >= 0
@@ -219,6 +233,12 @@ int main(int argc, char** argv) {
                  "%llu bytes\n",
                  static_cast<unsigned long long>(st->messages_roundtripped()),
                  static_cast<unsigned long long>(st->bytes_roundtripped()));
+  }
+  if (const auto* ft = cluster.fault_transport()) {
+    std::fprintf(stderr,
+                 "fault transport: %llu messages dropped, %llu delayed\n",
+                 static_cast<unsigned long long>(ft->injected_drops()),
+                 static_cast<unsigned long long>(ft->injected_delays()));
   }
   return 0;
 }

@@ -20,7 +20,7 @@ differential() {
                --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
   echo "--- serializing-transport differential ($build) ---"
   "$simbin" "${flags[@]}" > "$build/sim_mem.out"
-  "$simbin" "${flags[@]}" --serializing-transport > "$build/sim_ser.out"
+  "$simbin" "${flags[@]}" --transport serializing > "$build/sim_ser.out"
   if ! diff -u "$build/sim_mem.out" "$build/sim_ser.out"; then
     echo "FAIL: serializing transport changed simulation output" >&2
     exit 1
@@ -28,11 +28,41 @@ differential() {
   echo "outputs bit-identical"
 }
 
+# Runs the same chaos simulation twice through the full decorator stack
+# (wire codec + fault injection from a JSON plan) and asserts bit-identical
+# stdout: the deterministic-replay guarantee, end to end through simctl.
+chaos_replay() {
+  local build="$1"
+  local simbin="$build/examples/simctl"
+  local plan="$build/chaos_plan.json"
+  cat > "$plan" <<'EOF'
+{
+  "seed": 99,
+  "bursts": [{"start_s": 1200, "end_s": 2400, "loss": 0.2}],
+  "delays": [{"start_s": 1500, "end_s": 2100, "extra_s": 0.2, "jitter_s": 0.3}],
+  "partitions": [{"start_s": 1600, "end_s": 2300, "fraction": 0.3}],
+  "crashes": [{"endsystem": 5, "down_s": 3000, "up_s": 3600}]
+}
+EOF
+  local flags=(--endsystems 60 --hours 2 --seed 7
+               --transport "serializing,faulty:$plan"
+               --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
+  echo "--- chaos replay determinism ($build) ---"
+  "$simbin" "${flags[@]}" > "$build/sim_chaos_a.out"
+  "$simbin" "${flags[@]}" > "$build/sim_chaos_b.out"
+  if ! diff -u "$build/sim_chaos_a.out" "$build/sim_chaos_b.out"; then
+    echo "FAIL: chaos run is not seed-deterministic" >&2
+    exit 1
+  fi
+  echo "replays bit-identical"
+}
+
 echo "=== default build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 differential build
+chaos_replay build
 
 echo
 echo "=== sanitizer build (ASan + UBSan) ==="
@@ -40,6 +70,7 @@ cmake -B build-asan -S . -DSEAWEED_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 differential build-asan
+chaos_replay build-asan
 
 echo
 echo "All checks passed."

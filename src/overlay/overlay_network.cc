@@ -11,6 +11,8 @@ OverlayNetwork::OverlayNetwork(Simulator* sim, Transport* network,
   metrics_.heartbeats = reg->GetCounter("overlay.heartbeats");
   metrics_.joins = reg->GetCounter("overlay.joins");
   metrics_.leafset_repairs = reg->GetCounter("overlay.leafset_repairs");
+  metrics_.global_stabilize_probes =
+      reg->GetCounter("overlay.global_stabilize_probes");
   metrics_.hop_limit_drops = reg->GetCounter("overlay.hop_limit_drops");
   metrics_.routed_delivered = reg->GetCounter("overlay.routed_delivered");
   metrics_.route_hops = reg->GetHistogram("overlay.route_hops");
@@ -69,7 +71,9 @@ void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
   BandwidthMeter* meter = network_->meter();
   meter->RecordTx(from.address, TrafficCategory::kPastry, sim_->Now(),
                   kHeartbeatBytes);
-  if (network_->IsUp(to.address)) {
+  // Linked (not IsUp): an injected partition must starve heartbeats exactly
+  // like a real link cut, so failure detection fires on both sides.
+  if (network_->Linked(from.address, to.address)) {
     meter->RecordRx(to.address, TrafficCategory::kPastry, sim_->Now(),
                     kHeartbeatBytes);
     nodes_[to.address]->NoteHeartbeat(from);

@@ -22,6 +22,7 @@ struct OverlayMetrics {
   obs::Counter* heartbeats = nullptr;
   obs::Counter* joins = nullptr;
   obs::Counter* leafset_repairs = nullptr;
+  obs::Counter* global_stabilize_probes = nullptr;
   obs::Counter* hop_limit_drops = nullptr;
   obs::Counter* routed_delivered = nullptr;
   obs::Histogram* route_hops = nullptr;

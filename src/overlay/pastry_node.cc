@@ -324,11 +324,13 @@ void PastryNode::OnSendFailed(const NodeHandle& dead,
     HandleNeighborFailure(dead);
   }
   // Routed traffic gets another try around the failure; direct sends are
-  // the responsibility of their own application-level retry logic.
+  // the application's retry to make, so hand the payload back to it.
   bool routed = pkt->kind == Packet::Kind::kJoinRequest ||
                 (pkt->kind == Packet::Kind::kApp && pkt->app_routed);
   if (routed) {
     RouteOrDeliver(pkt);
+  } else if (pkt->kind == Packet::Kind::kApp && app_ != nullptr) {
+    app_->OnAppSendFailed(dead, pkt->app_payload);
   }
 }
 
@@ -372,6 +374,27 @@ void PastryNode::HeartbeatTick(uint64_t generation) {
       req->kind = Packet::Kind::kLeafsetRequest;
       req->src = self_;
       SendPacket(*target, req);
+    }
+  }
+  // Global stabilization: occasionally pull the leafset of an arbitrary
+  // contact. Neighbor-only stabilization converges within one connected
+  // ring but can never re-merge two rings that evicted each other during a
+  // partition — both sides' state no longer names anyone on the far side.
+  if (config_.global_stabilize_every > 0 && joined_ &&
+      stabilize_phase_ %
+              static_cast<uint64_t>(config_.global_stabilize_every) ==
+          0) {
+    auto contact = net_->PickBootstrap(self_.address);
+    if (contact.has_value() && !leafset_.Contains(contact->id)) {
+      net_->metrics().global_stabilize_probes->Add();
+      // Do NOT Learn(*contact) here: the contact is unconfirmed, and during
+      // a partition re-inserting an unreachable far-side node would undo
+      // the eviction failure detection just made. Its kLeafsetReply (which
+      // only arrives once connectivity exists) does the learning.
+      auto req = std::make_shared<Packet>();
+      req->kind = Packet::Kind::kLeafsetRequest;
+      req->src = self_;
+      SendPacket(*contact, req);
     }
   }
   uint64_t gen = generation_;

@@ -44,6 +44,13 @@ class PastryApp {
 
   // A new neighbor entered the leafset.
   virtual void OnNeighborAdded(const NodeHandle& neighbor) {}
+
+  // A *direct* application send to `dead` was reported undeliverable by the
+  // per-hop retransmission timeout. Routed traffic is re-routed by the
+  // overlay itself; direct sends are the application's retry to make (this
+  // is the drop-notice fast path the Seaweed retry machinery keys off).
+  virtual void OnAppSendFailed(const NodeHandle& dead,
+                               WireMessagePtr payload) {}
 };
 
 struct PastryConfig {
@@ -55,6 +62,12 @@ struct PastryConfig {
   SimDuration probe_timeout = 3 * kSecond;
   SimDuration join_retry_timeout = 10 * kSecond;
   int max_route_hops = 64;
+  // Every Nth heartbeat tick, pull the leafset of a random bootstrap-style
+  // contact (not just current neighbors). This is what re-merges rings that
+  // split under a long partition: after the heal, neighbors on the far side
+  // have been evicted, so neighbor-only stabilization can never rediscover
+  // them. 0 disables.
+  int global_stabilize_every = 10;
 };
 
 class PastryNode {

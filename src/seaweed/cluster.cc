@@ -1,8 +1,16 @@
 #include "seaweed/cluster.h"
 
 #include "common/logging.h"
+#include "seaweed/cluster_options.h"
 
 namespace seaweed {
+
+SeaweedCluster::SeaweedCluster(const ClusterOptions& options)
+    : SeaweedCluster(options.BuildOrDie()) {}
+
+SeaweedCluster::SeaweedCluster(const ClusterOptions& options,
+                               std::shared_ptr<DataProvider> data)
+    : SeaweedCluster(options.BuildOrDie(), std::move(data)) {}
 
 SeaweedCluster::SeaweedCluster(const ClusterConfig& config)
     : config_(config),
@@ -29,17 +37,18 @@ void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
   queue_depth_gauge_ = obs_.metrics.GetGauge("sim.event_queue_depth");
   online_gauge_ = obs_.metrics.GetGauge("sim.online_endsystems");
   data_ = std::move(data);
-  if (config_.serializing_transport) {
-    serializing_ = std::make_unique<SerializingTransport>(&network_);
-  }
-  overlay_ = std::make_unique<overlay::OverlayNetwork>(
-      &sim_, &transport(), config_.pastry, config_.seed ^ 0xfeed);
 
+  // Ids must exist before the transport stack: namespace-range partitions in
+  // the fault plan resolve against them.
   Rng id_rng(config_.seed);
   ids_.reserve(static_cast<size_t>(config_.num_endsystems));
   for (int i = 0; i < config_.num_endsystems; ++i) {
     ids_.push_back(NodeId::Random(id_rng));
   }
+
+  stack_ = BuildTransportStack();
+  overlay_ = std::make_unique<overlay::OverlayNetwork>(
+      &sim_, &transport(), config_.pastry, config_.seed ^ 0xfeed);
   overlay_->CreateNodes(ids_);
 
   seaweed_.reserve(ids_.size());
@@ -47,6 +56,72 @@ void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
     seaweed_.push_back(std::make_unique<SeaweedNode>(
         overlay_.get(), overlay_->node(static_cast<EndsystemIndex>(i)),
         data_.get(), config_.seaweed));
+  }
+
+  ScheduleCrashEpochs();
+}
+
+std::unique_ptr<TransportStack> SeaweedCluster::BuildTransportStack() {
+  auto layers = ParseTransportSpec(config_.transport);
+  SEAWEED_CHECK_MSG(layers.ok(), "bad transport spec '" + config_.transport +
+                                     "': " + layers.status().message());
+  // WithFaultPlan without naming "faulty" in the spec still means "inject
+  // these faults": append the layer innermost so serializing (a debug
+  // wrapper) stays outside it.
+  bool has_faulty = false;
+  for (const auto& l : *layers) has_faulty = has_faulty || l.kind == "faulty";
+  if (!config_.fault_plan.empty() && !has_faulty) {
+    layers->push_back({"faulty", ""});
+  }
+
+  std::vector<Transport::DecoratorFactory> factories;
+  for (const auto& layer : *layers) {
+    if (layer.kind == "serializing") {
+      factories.push_back([](Transport* inner) {
+        return std::make_unique<SerializingTransport>(inner);
+      });
+    } else if (layer.kind == "faulty") {
+      FaultPlan plan = config_.fault_plan;
+      if (!layer.arg.empty()) {
+        SEAWEED_CHECK_MSG(plan.empty(),
+                          "both fault_plan and faulty:<file> given");
+        auto loaded = FaultPlan::FromJsonFile(layer.arg);
+        SEAWEED_CHECK_MSG(loaded.ok(), "fault plan '" + layer.arg +
+                                           "': " + loaded.status().message());
+        plan = std::move(loaded).value();
+      }
+      Status valid = plan.Validate(config_.num_endsystems);
+      SEAWEED_CHECK_MSG(valid.ok(), "fault plan: " + valid.message());
+      plan.Resolve(config_.num_endsystems, ids_);
+      config_.fault_plan = plan;  // keep crashes/resolution visible
+      uint64_t salt = config_.seed ^ 0x5ea3eedULL;
+      factories.push_back([plan = std::move(plan), salt](Transport* inner) {
+        return std::make_unique<FaultInjectingTransport>(inner, plan, salt);
+      });
+    } else {
+      SEAWEED_CHECK_MSG(false, "unknown transport layer: " + layer.kind);
+    }
+  }
+  return Transport::Stack(std::move(factories), &network_);
+}
+
+void SeaweedCluster::ScheduleCrashEpochs() {
+  for (const auto& c : config_.fault_plan.crashes) {
+    const int e = static_cast<int>(c.endsystem);
+    sim_.At(c.down_at, [this, e] {
+      if (!network_.IsUp(static_cast<EndsystemIndex>(e))) return;
+      AccumulateOnline(sim_.Now());
+      --current_up_;
+      BringDown(e);
+    });
+    if (c.up_at > 0) {
+      sim_.At(c.up_at, [this, e] {
+        if (network_.IsUp(static_cast<EndsystemIndex>(e))) return;
+        AccumulateOnline(sim_.Now());
+        ++current_up_;
+        BringUp(e);
+      });
+    }
   }
 }
 

@@ -12,8 +12,11 @@
 
 #include "obs/obs.h"
 #include "seaweed/node.h"
+#include "sim/fault_plan.h"
+#include "sim/fault_transport.h"
 #include "sim/network.h"
 #include "sim/serializing_transport.h"
+#include "sim/transport_stack.h"
 #include "trace/availability_trace.h"
 
 namespace seaweed {
@@ -31,18 +34,31 @@ struct ClusterConfig {
   // Wire size charged per summary push; 0 = actual serialized size. The
   // default reproduces the paper's measured h (Table 1: 6,473 bytes).
   uint32_t summary_wire_bytes = 6473;
-  // Debug mode: round-trip every message through the wire codec
-  // (encode -> bytes -> decode) in flight. Behaviourally identical to the
-  // in-memory transport; any codec gap CHECK-fails at the offending message.
-  bool serializing_transport = false;
+  // Transport decorator spec, outermost first (ParseTransportSpec):
+  // "" (bare network), "serializing" (round-trip every message through the
+  // wire codec in flight; behaviourally identical, any codec gap
+  // CHECK-fails at the offending message), "faulty" (apply `fault_plan`),
+  // "faulty:<plan.json>" (load the plan from a file), or compositions like
+  // "serializing,faulty".
+  std::string transport;
+  // Injected-fault schedule, applied by a "faulty" transport layer. A
+  // non-empty plan implies the layer even when `transport` does not name
+  // it; crash epochs are scheduled regardless of the transport spec.
+  FaultPlan fault_plan;
   uint64_t seed = 1;
 };
+
+class ClusterOptions;
 
 class SeaweedCluster {
  public:
   explicit SeaweedCluster(const ClusterConfig& config);
   // As above but with a caller-supplied data provider (tests).
   SeaweedCluster(const ClusterConfig& config,
+                 std::shared_ptr<DataProvider> data);
+  // Builder forms: validate via ClusterOptions::BuildOrDie() first.
+  explicit SeaweedCluster(const ClusterOptions& options);
+  SeaweedCluster(const ClusterOptions& options,
                  std::shared_ptr<DataProvider> data);
 
   Simulator& sim() { return sim_; }
@@ -51,13 +67,15 @@ class SeaweedCluster {
   const obs::Observability& obs() const { return obs_; }
   overlay::OverlayNetwork& overlay() { return *overlay_; }
   Network& network() { return network_; }
-  // The transport the overlay actually sends through (the network itself,
-  // or the serializing wrapper in debug mode).
-  Transport& transport() {
-    return serializing_ ? static_cast<Transport&>(*serializing_) : network_;
-  }
+  // The transport the overlay actually sends through: the top of the
+  // decorator stack (the bare network when the stack is empty).
+  Transport& transport() { return *stack_->top(); }
+  // Stack layers by type, or nullptr when the spec named no such layer.
   const SerializingTransport* serializing_transport() const {
-    return serializing_.get();
+    return stack_->Find<SerializingTransport>();
+  }
+  const FaultInjectingTransport* fault_transport() const {
+    return stack_->Find<FaultInjectingTransport>();
   }
   const ClusterConfig& config() const { return config_; }
 
@@ -92,6 +110,10 @@ class SeaweedCluster {
 
  private:
   void Construct(std::shared_ptr<DataProvider> data);
+  std::unique_ptr<TransportStack> BuildTransportStack();
+  // Turns fault_plan.crashes into BringDown/BringUp simulation events with
+  // the same online-population accounting as DriveFromTrace.
+  void ScheduleCrashEpochs();
   void SampleOnlineTick();
 
   ClusterConfig config_;
@@ -101,7 +123,7 @@ class SeaweedCluster {
   Topology topology_;
   BandwidthMeter meter_;
   Network network_;
-  std::unique_ptr<SerializingTransport> serializing_;
+  std::unique_ptr<TransportStack> stack_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;
   std::shared_ptr<DataProvider> data_;
   std::vector<std::unique_ptr<SeaweedNode>> seaweed_;

@@ -9,6 +9,17 @@ namespace seaweed {
 
 using overlay::NodeHandle;
 
+namespace {
+
+// Exponential backoff: base * 2^(tries-1), capped. tries counts from 1.
+SimDuration RetryBackoff(SimDuration base, int tries, SimDuration cap) {
+  SimDuration d = base;
+  for (int i = 1; i < tries && d < cap; ++i) d *= 2;
+  return std::min(d, cap);
+}
+
+}  // namespace
+
 SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
                          overlay::PastryNode* pastry, DataProvider* data,
                          const SeaweedConfig& config)
@@ -34,6 +45,16 @@ SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
   metrics_.vertex_fn_invocations =
       reg->GetCounter("seaweed.vertex_fn_invocations");
   metrics_.leaf_retries = reg->GetCounter("seaweed.leaf_retries");
+  metrics_.leaf_giveups = reg->GetCounter("seaweed.leaf_giveups");
+  metrics_.vertex_retries = reg->GetCounter("seaweed.vertex_retries");
+  metrics_.vertex_giveups = reg->GetCounter("seaweed.vertex_giveups");
+  metrics_.handovers_suppressed =
+      reg->GetCounter("seaweed.handovers_suppressed");
+  metrics_.duplicates_suppressed =
+      reg->GetCounter("seaweed.duplicates_suppressed");
+  metrics_.dissem_fastpath_reissues =
+      reg->GetCounter("seaweed.dissem_fastpath_reissues");
+  metrics_.result_reroutes = reg->GetCounter("seaweed.result_reroutes");
   metrics_.dissem_fanout = reg->GetHistogram("seaweed.dissem_fanout");
   metrics_.predictor_latency_us =
       reg->GetHistogram("seaweed.predictor_latency_us");
@@ -116,6 +137,7 @@ void SeaweedNode::OnStopping() {
   ++generation_;
   metadata_.Clear();
   active_.clear();
+  recent_handovers_.clear();
   plan_cache_.Clear();
   last_pushed_summary_.reset();
   replicas_with_summary_.clear();
@@ -180,6 +202,47 @@ void SeaweedNode::OnNeighborAdded(const NodeHandle& neighbor) {
           data_->SummaryWireBytes(index());  // summaries are same order size
       SendSeaweed(neighbor, msg, TrafficCategory::kMetadata);
     }
+  }
+}
+
+void SeaweedNode::OnAppSendFailed(const NodeHandle& dead,
+                                  WireMessagePtr payload) {
+  (void)dead;  // routing state was already purged by the overlay
+  if (!pastry_->up() || payload == nullptr) return;
+  auto msg = WireMessageCast<SeaweedMessage>(payload);
+  switch (msg->kind) {
+    case SeaweedMessage::Kind::kBroadcast: {
+      // A child range we handed to a now-dead contact: reissue via routing
+      // immediately instead of waiting out the child timeout.
+      auto it = active_.find(msg->query_id);
+      if (it == active_.end()) return;
+      const std::string child_token = msg->range.Token();
+      for (auto& [token, task] : it->second.tasks) {
+        auto c = task.children.find(child_token);
+        if (c == task.children.end()) continue;
+        if (task.finished || c->second.done ||
+            c->second.tries > config_.max_child_retries) {
+          return;
+        }
+        metrics_.dissem_fastpath_reissues->Add();
+        c->second.via_routing = true;
+        DispatchChild(it->second, task, c->second);
+        return;
+      }
+      return;
+    }
+    case SeaweedMessage::Kind::kResultSubmit:
+      // A handover forward hit a dead node. Re-handle locally: the dead
+      // member is gone from the leafset now, so this either picks the next
+      // closer member or folds the submission into our own vertex state.
+      metrics_.result_reroutes->Add();
+      HandleResultSubmit(pastry_->handle(), msg);
+      return;
+    default:
+      // The periodic planes (metadata pushes, predictor reports, acks,
+      // vertex replication) have their own repair cycles; reacting here
+      // would only duplicate them.
+      return;
   }
 }
 
@@ -512,6 +575,13 @@ void SeaweedNode::SweepExpiredTick(uint64_t generation) {
       ++it;
     }
   }
+  for (auto it = recent_handovers_.begin(); it != recent_handovers_.end();) {
+    if (now - it->second > config_.handover_loop_window) {
+      it = recent_handovers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   sim()->After(config_.query_sweep_period,
                [this, generation] { SweepExpiredTick(generation); });
 }
@@ -697,6 +767,7 @@ void SeaweedNode::ProcessRange(ActiveQuery& aq, const IdRange& range,
 void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
                                 ChildRange& child) {
   ++child.tries;
+  ++child.attempt;
   if (child.tries > 1) metrics_.dissem_reissues->Add();
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kBroadcast;
@@ -709,13 +780,16 @@ void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
   } else {
     SendSeaweed(child.contact, msg, TrafficCategory::kDissemination);
   }
-  // Arm the reissue timer.
+  // Arm the reissue timer, backing off per attempt so an injected loss
+  // burst does not turn every child into a fixed-rate retry storm.
   uint64_t gen = generation_;
   NodeId qid = aq.query.query_id;
   std::string task_token = task.range.Token();
   std::string child_token = child.range.Token();
-  sim()->After(config_.child_timeout, [this, gen, qid, task_token,
-                                       child_token] {
+  int attempt = child.attempt;
+  SimDuration timeout = RetryBackoff(config_.child_timeout, child.tries,
+                                     config_.max_retry_backoff);
+  sim()->After(timeout, [this, gen, qid, task_token, child_token, attempt] {
     if (gen != generation_) return;
     auto it = active_.find(qid);
     if (it == active_.end()) return;
@@ -723,6 +797,9 @@ void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
     if (t == it->second.tasks.end() || t->second.finished) return;
     auto c = t->second.children.find(child_token);
     if (c == t->second.children.end() || c->second.done) return;
+    // Superseded: a drop-notice fast path already re-dispatched this child
+    // and armed a fresh timer; firing here too would double-reissue.
+    if (c->second.attempt != attempt) return;
     if (c->second.tries > config_.max_child_retries) {
       // Give up on this subrange: report what we have (coverage loss is
       // visible to the user as a slightly low predictor).
@@ -881,13 +958,14 @@ NodeId SeaweedNode::LeafParentVertex(const Query& query) const {
   const int b = pastry_->config().b;
   const NodeId& qid = query.query_id;
   if (id() == qid) return qid;
-  NodeId v = VertexParent(qid, id(), b);
-  // Skip vertices we would be primary for ourselves (§3.4 optimization:
-  // repeatedly apply V until reaching a vertexId we are not closest to).
-  while (v != qid && IsLikelyRootFor(v)) {
-    v = VertexParent(qid, v, b);
-  }
-  return v;
+  // Always the immediate parent: the tree shape must be a pure function of
+  // (queryId, nodeId), never of the local ring view. Skipping vertices we
+  // are currently primary for (the §3.4 shortcut) files this leaf under a
+  // view-dependent vertexId — after a partition or restart a different view
+  // picks a different vertex, and the old contribution still sitting in the
+  // first vertex gets counted twice. The shortcut's saving is kept by
+  // folding locally in SubmitLeafResult when we are primary for the parent.
+  return VertexParent(qid, id(), b);
 }
 
 void SeaweedNode::SubmitLeafResult(const NodeId& query_id) {
@@ -905,6 +983,7 @@ void SeaweedNode::SubmitLeafResult(const NodeId& query_id) {
     persisted_leaf_vertex_[query_id] = vertex;
   }
   aq.leaf.vertex_id = vertex;
+  aq.leaf.tries = 0;  // fresh submit round, fresh retry budget
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kResultSubmit;
   msg->query_id = query_id;
@@ -912,8 +991,10 @@ void SeaweedNode::SubmitLeafResult(const NodeId& query_id) {
   msg->child_key = id();
   msg->version = aq.leaf.version;
   msg->result = aq.leaf.result;
-  if (vertex == query_id && IsLikelyRootFor(query_id)) {
-    // We are the root vertex primary: fold locally.
+  if (IsLikelyRootFor(vertex)) {
+    // We are (or believe we are) the vertex primary: fold locally. If the
+    // view is wrong, HandleResultSubmit hands the submission over under the
+    // same vertexId, so the tree shape is unaffected either way.
     HandleResultSubmit(pastry_->handle(), msg);
     aq.leaf.acked = true;
   } else {
@@ -954,6 +1035,12 @@ void SeaweedNode::RetryLeafSubmit(const NodeId& query_id, uint64_t version) {
   ActiveQuery& aq = it->second;
   if (aq.leaf.acked || aq.leaf.version != version) return;
   if (aq.query.ExpiredAt(sim()->Now())) return;
+  if (++aq.leaf.tries > config_.max_result_retries) {
+    // Stop burning bandwidth into a black hole (partition, dead replica
+    // group); the periodic refresh re-submits with a fresh budget.
+    metrics_.leaf_giveups->Add();
+    return;
+  }
   metrics_.leaf_retries->Add();
   // Re-route; the primary may have changed.
   auto msg = std::make_shared<SeaweedMessage>();
@@ -965,7 +1052,10 @@ void SeaweedNode::RetryLeafSubmit(const NodeId& query_id, uint64_t version) {
   msg->result = aq.leaf.result;
   RouteSeaweed(aq.leaf.vertex_id, msg, TrafficCategory::kResult);
   uint64_t gen = generation_;
-  sim()->After(config_.result_ack_timeout, [this, gen, query_id, version] {
+  SimDuration timeout = RetryBackoff(config_.result_ack_timeout,
+                                     aq.leaf.tries + 1,
+                                     config_.max_retry_backoff);
+  sim()->After(timeout, [this, gen, query_id, version] {
     if (gen != generation_) return;
     RetryLeafSubmit(query_id, version);
   });
@@ -983,13 +1073,27 @@ db::AggregateResult SeaweedNode::MergedVertexResult(
 void SeaweedNode::HandleResultSubmit(const NodeHandle& from,
                                      const SeaweedMessagePtr& msg) {
   const NodeId& vertex = msg->vertex_id;
-  // If our view says someone else is closer to the vertexId, hand it over.
+  // If our view says someone else is closer to the vertexId, hand it over —
+  // unless we already forwarded this exact submission moments ago. A repeat
+  // within the window means ownership views disagree (leafsets mid-repair
+  // after churn or a partition heal) and the submission is ping-ponging;
+  // accept it here instead, and let replication + repropagation reconcile
+  // ownership once views converge.
   if (!IsLikelyRootFor(vertex)) {
     auto closer = pastry_->leafset().CloserMemberThanOwner(vertex);
     if (closer.has_value()) {
-      metrics_.vertex_handovers->Add();
-      SendSeaweed(*closer, msg, TrafficCategory::kResult);
-      return;
+      const auto key = std::make_tuple(msg->query_id, vertex, msg->child_key,
+                                       msg->version);
+      const SimTime now = sim()->Now();
+      auto seen = recent_handovers_.find(key);
+      if (seen == recent_handovers_.end() ||
+          now - seen->second > config_.handover_loop_window) {
+        recent_handovers_[key] = now;
+        metrics_.vertex_handovers->Add();
+        SendSeaweed(*closer, msg, TrafficCategory::kResult);
+        return;
+      }
+      metrics_.handovers_suppressed->Add();
     }
   }
   if (cancelled_.count(msg->query_id)) return;
@@ -1010,6 +1114,9 @@ void SeaweedNode::HandleResultSubmit(const NodeHandle& from,
     state.children[msg->child_key] = {msg->version, msg->result};
     updated = true;
     metrics_.vertex_updates->Add();
+  } else {
+    // Stale or replayed version: the dedup that makes retries safe.
+    metrics_.duplicates_suppressed->Add();
   }
   // Ack the submitter (exactly-once hinges on ack-after-replicate).
   if (from.id != id()) {
@@ -1152,12 +1259,11 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
 
   const int b = pastry_->config().b;
   metrics_.vertex_fn_invocations->Add();
+  // Always the immediate parent — see LeafParentVertex for why the tree
+  // shape must not depend on the local ring view. When we are primary for
+  // the parent too, the fold below stays local, which is exactly the
+  // traffic the old id-skipping shortcut saved.
   NodeId parent = VertexParent(query_id, vertex_id, b);
-  // Skip self-primary parents (fold locally without network traffic).
-  while (parent != query_id && IsLikelyRootFor(parent)) {
-    metrics_.vertex_fn_invocations->Add();
-    parent = VertexParent(query_id, parent, b);
-  }
   auto msg = std::make_shared<SeaweedMessage>();
   msg->kind = SeaweedMessage::Kind::kResultSubmit;
   msg->query_id = query_id;
@@ -1165,11 +1271,45 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
   msg->child_key = vertex_id;
   msg->version = ++state.version;
   msg->result = merged;
-  if (parent == query_id && IsLikelyRootFor(query_id)) {
+  if (IsLikelyRootFor(parent)) {
+    state.pending_version = 0;
+    state.submit_tries = 0;
     HandleResultSubmit(pastry_->handle(), msg);
   } else {
+    // Track the submit until the parent acks it; retries re-propagate with
+    // a fresh version, so dedup at the parent keeps them exactly-once.
+    ++state.submit_tries;
+    state.pending_version = msg->version;
     RouteSeaweed(parent, msg, TrafficCategory::kResult);
+    ArmVertexAckTimeout(query_id, vertex_id, msg->version,
+                        state.submit_tries);
   }
+}
+
+void SeaweedNode::ArmVertexAckTimeout(const NodeId& query_id,
+                                      const NodeId& vertex_id,
+                                      uint64_t version, int tries) {
+  uint64_t gen = generation_;
+  SimDuration timeout = RetryBackoff(config_.result_ack_timeout, tries,
+                                     config_.max_retry_backoff);
+  sim()->After(timeout, [this, gen, query_id, vertex_id, version] {
+    if (gen != generation_) return;
+    auto it = active_.find(query_id);
+    if (it == active_.end()) return;
+    auto vit = it->second.vertices.find(vertex_id);
+    if (vit == it->second.vertices.end()) return;
+    VertexState& state = vit->second;
+    if (state.pending_version != version) return;  // acked or superseded
+    if (it->second.query.ExpiredAt(sim()->Now())) return;
+    if (state.submit_tries > config_.max_result_retries) {
+      metrics_.vertex_giveups->Add();
+      state.pending_version = 0;
+      state.submit_tries = 0;  // fresh budget for the periodic repropagation
+      return;
+    }
+    metrics_.vertex_retries->Add();
+    PropagateVertex(query_id, vertex_id);  // bumps version and re-arms
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1221,9 +1361,18 @@ void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
       break;
     case SeaweedMessage::Kind::kResultAck: {
       auto it = active_.find(msg->query_id);
-      if (it != active_.end() && msg->child_key == id() &&
-          it->second.leaf.version == msg->version) {
-        it->second.leaf.acked = true;
+      if (it == active_.end()) break;
+      if (msg->child_key == id()) {
+        if (it->second.leaf.version == msg->version) {
+          it->second.leaf.acked = true;
+          it->second.leaf.tries = 0;
+        }
+      } else if (auto vit = it->second.vertices.find(msg->child_key);
+                 vit != it->second.vertices.end() &&
+                 vit->second.pending_version == msg->version) {
+        // Interior submit acked: stop the retry chain.
+        vit->second.pending_version = 0;
+        vit->second.submit_tries = 0;
       }
       break;
     }

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 
 #include "obs/obs.h"
@@ -56,6 +57,18 @@ struct SeaweedConfig {
   int max_child_retries = 4;
   SimDuration exec_delay = 500 * kMillisecond;  // local query execution time
   SimDuration result_ack_timeout = 10 * kSecond;
+  // Result-plane retry bounds: unacked submits back off exponentially from
+  // result_ack_timeout up to max_retry_backoff and give up (until the next
+  // periodic refresh) after max_result_retries attempts. Unbounded fixed-
+  // interval retries melt down under injected loss bursts; no bound at all
+  // silently loses contributions.
+  int max_result_retries = 8;
+  SimDuration max_retry_backoff = 2 * kMinute;
+  // A vertex handover of the same (query, vertex, child, version) seen twice
+  // within this window means two nodes disagree about vertex ownership
+  // (mid-repair leafsets); the second arrival is accepted locally instead of
+  // bouncing forever.
+  SimDuration handover_loop_window = 5 * kSecond;
   SimDuration result_refresh_period = 15 * kMinute;
   SimDuration result_deliver_debounce = 2 * kSecond;
   SimDuration query_sweep_period = 10 * kMinute;
@@ -117,6 +130,8 @@ class SeaweedNode : public overlay::PastryApp {
   void OnStopping() override;
   void OnNeighborFailed(const overlay::NodeHandle& neighbor) override;
   void OnNeighborAdded(const overlay::NodeHandle& neighbor) override;
+  void OnAppSendFailed(const overlay::NodeHandle& dead,
+                       WireMessagePtr payload) override;
 
   // --- Introspection (tests, benches) ---
   const AvailabilityModel& own_availability_model() const { return own_model_; }
@@ -132,6 +147,10 @@ class SeaweedNode : public overlay::PastryApp {
     overlay::NodeHandle contact;  // where we sent it (may be re-resolved)
     bool via_routing = false;     // sent by key-routing (no known contact)
     int tries = 0;
+    // Dispatch epoch: each (re)issue bumps it and arms a timer carrying the
+    // new value; a firing timer whose epoch is stale was superseded by a
+    // faster reissue (the drop-notice path) and must not double-dispatch.
+    int attempt = 0;
     bool done = false;
   };
 
@@ -156,6 +175,11 @@ class SeaweedNode : public overlay::PastryApp {
     // subtree after primary failover).
     std::set<NodeId> synced_backups;
     bool repropagate_scheduled = false;
+    // Upward-submit ack tracking: the version sent to our parent and not
+    // yet acked (0 = nothing outstanding), and how many timeouts in a row
+    // have fired for it.
+    uint64_t pending_version = 0;
+    int submit_tries = 0;
   };
 
   struct PendingSubmit {
@@ -163,6 +187,7 @@ class SeaweedNode : public overlay::PastryApp {
     uint64_t version = 0;
     db::AggregateResult result;
     bool acked = false;
+    int tries = 0;
   };
 
   struct ActiveQuery {
@@ -221,6 +246,11 @@ class SeaweedNode : public overlay::PastryApp {
   void HandleResultSubmit(const overlay::NodeHandle& from,
                           const SeaweedMessagePtr& msg);
   void PropagateVertex(const NodeId& query_id, const NodeId& vertex_id);
+  // Arms the ack timeout for an interior submit of `version`; on expiry the
+  // vertex re-propagates (with a fresh version) up to max_result_retries
+  // times with exponential backoff.
+  void ArmVertexAckTimeout(const NodeId& query_id, const NodeId& vertex_id,
+                           uint64_t version, int tries);
   // Periodic upward re-propagation: repairs aggregates lost to vertex
   // primary failover anywhere above us within one refresh period.
   void ScheduleVertexRepropagation(const NodeId& query_id,
@@ -261,6 +291,13 @@ class SeaweedNode : public overlay::PastryApp {
     obs::Counter* vertex_repropagations;
     obs::Counter* vertex_fn_invocations;
     obs::Counter* leaf_retries;
+    obs::Counter* leaf_giveups;
+    obs::Counter* vertex_retries;
+    obs::Counter* vertex_giveups;
+    obs::Counter* handovers_suppressed;
+    obs::Counter* duplicates_suppressed;
+    obs::Counter* dissem_fastpath_reissues;
+    obs::Counter* result_reroutes;
     obs::Histogram* dissem_fanout;
     obs::Histogram* predictor_latency_us;
     obs::Histogram* result_latency_us;
@@ -292,6 +329,11 @@ class SeaweedNode : public overlay::PastryApp {
   std::map<NodeId, ActiveQuery> active_;
   // Cancelled-query tombstones: query_id -> expiry of the suppression.
   std::map<NodeId, SimTime> cancelled_;
+  // (query, vertex, child, version) -> time we last forwarded that exact
+  // submission to a "closer" node. Breaks handover ping-pong when two nodes'
+  // leafsets disagree about vertex ownership mid-repair.
+  std::map<std::tuple<NodeId, NodeId, NodeId, uint64_t>, SimTime>
+      recent_handovers_;
   uint64_t generation_ = 0;
   Rng rng_;
 };

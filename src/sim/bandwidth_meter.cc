@@ -36,6 +36,7 @@ BandwidthMeter::BandwidthMeter(int num_endsystems,
     tx_series_[c] = registry->GetTimeseries("bw.tx." + name, kHour);
     rx_series_[c] = registry->GetTimeseries("bw.rx." + name, kHour);
   }
+  tx_dropped_series_ = registry->GetTimeseries("bw.tx.dropped", kHour);
   total_tx_ = registry->GetCounter("bw.tx.total_bytes");
   total_rx_ = registry->GetCounter("bw.rx.total_bytes");
 }
@@ -67,6 +68,16 @@ void BandwidthMeter::RecordRx(uint32_t endsystem, TrafficCategory cat,
   Bump(per_endsystem_[endsystem].rx_by_hour, hour, bytes);
   total_rx_->Add(bytes);
   rx_series_[static_cast<int>(cat)]->Record(t, bytes);
+}
+
+void BandwidthMeter::RecordTxDropped(uint32_t endsystem, SimTime t,
+                                     uint32_t bytes) {
+  SEAWEED_DCHECK(endsystem < per_endsystem_.size());
+  int64_t hour = t / kHour;
+  max_hour_ = std::max(max_hour_, hour);
+  Bump(per_endsystem_[endsystem].tx_by_hour, hour, bytes);
+  total_tx_->Add(bytes);
+  tx_dropped_series_->Record(t, bytes);
 }
 
 uint64_t BandwidthMeter::TxInHour(uint32_t endsystem, int64_t hour) const {

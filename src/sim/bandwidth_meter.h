@@ -46,6 +46,16 @@ class BandwidthMeter {
   void RecordRx(uint32_t endsystem, TrafficCategory cat, SimTime t,
                 uint32_t bytes);
 
+  // Charges `bytes` transmitted by `endsystem` for a message a fault
+  // decorator discarded before the wire. The sender still pays (the datagram
+  // left the host, matching network.h's semantics): the per-endsystem tx
+  // matrix and "bw.tx.total_bytes" grow exactly as for RecordTx, but the
+  // bytes land in the dedicated "bw.tx.dropped" timeseries instead of a
+  // category series, so obs_report's tx-sum cross-check stays byte-exact.
+  void RecordTxDropped(uint32_t endsystem, SimTime t, uint32_t bytes);
+
+  uint64_t dropped_tx_bytes() const { return tx_dropped_series_->total(); }
+
   // --- Totals ---
   uint64_t total_tx_bytes() const { return total_tx_->value(); }
   uint64_t total_rx_bytes() const { return total_rx_->value(); }
@@ -96,6 +106,7 @@ class BandwidthMeter {
   obs::MetricsRegistry* registry_;
   std::array<obs::Timeseries*, kNumTrafficCategories> tx_series_;
   std::array<obs::Timeseries*, kNumTrafficCategories> rx_series_;
+  obs::Timeseries* tx_dropped_series_;
   obs::Counter* total_tx_;
   obs::Counter* total_rx_;
   int64_t max_hour_ = -1;

@@ -1,0 +1,323 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/jsonl_reader.h"
+
+namespace seaweed {
+
+namespace {
+
+bool Active(SimTime start, SimTime end, SimTime t) {
+  return t >= start && t < end;
+}
+
+std::string Ordinal(const char* what, size_t i) {
+  return std::string(what) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::WithSeed(uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddBurst(SimTime start, SimTime end, double loss) {
+  bursts.push_back({start, end, loss});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddDelayWindow(SimTime start, SimTime end,
+                                     SimDuration extra, SimDuration jitter) {
+  delays.push_back({start, end, extra, jitter});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddReorderWindow(SimTime start, SimTime end,
+                                       double probability,
+                                       SimDuration shuffle) {
+  reorders.push_back({start, end, probability, shuffle});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddPartition(SimTime start, SimTime end,
+                                   std::vector<EndsystemIndex> side_a) {
+  PartitionEpoch p;
+  p.start = start;
+  p.end = end;
+  p.group = std::move(side_a);
+  partitions.push_back(std::move(p));
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddFractionPartition(SimTime start, SimTime end,
+                                           double fraction) {
+  PartitionEpoch p;
+  p.start = start;
+  p.end = end;
+  p.fraction = fraction;
+  partitions.push_back(std::move(p));
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddNamespacePartition(SimTime start, SimTime end,
+                                            const NodeId& lo,
+                                            const NodeId& hi) {
+  PartitionEpoch p;
+  p.start = start;
+  p.end = end;
+  p.by_id_range = true;
+  p.lo = lo;
+  p.hi = hi;
+  partitions.push_back(std::move(p));
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddCrash(EndsystemIndex endsystem, SimTime down_at,
+                               SimTime up_at) {
+  crashes.push_back({endsystem, down_at, up_at});
+  return *this;
+}
+
+Status FaultPlan::Validate(int num_endsystems) const {
+  for (size_t i = 0; i < bursts.size(); ++i) {
+    const LossBurst& b = bursts[i];
+    if (b.start < 0 || b.end <= b.start) {
+      return Status::InvalidArgument(Ordinal("bursts", i) +
+                                     ": requires 0 <= start < end");
+    }
+    if (b.loss < 0.0 || b.loss > 1.0) {
+      return Status::InvalidArgument(Ordinal("bursts", i) +
+                                     ": loss must be in [0, 1]");
+    }
+  }
+  for (size_t i = 0; i < delays.size(); ++i) {
+    const DelayWindow& d = delays[i];
+    if (d.start < 0 || d.end <= d.start) {
+      return Status::InvalidArgument(Ordinal("delays", i) +
+                                     ": requires 0 <= start < end");
+    }
+    if (d.extra < 0 || d.jitter < 0) {
+      return Status::InvalidArgument(Ordinal("delays", i) +
+                                     ": extra/jitter must be >= 0");
+    }
+  }
+  for (size_t i = 0; i < reorders.size(); ++i) {
+    const ReorderWindow& r = reorders[i];
+    if (r.start < 0 || r.end <= r.start) {
+      return Status::InvalidArgument(Ordinal("reorders", i) +
+                                     ": requires 0 <= start < end");
+    }
+    if (r.probability < 0.0 || r.probability > 1.0) {
+      return Status::InvalidArgument(Ordinal("reorders", i) +
+                                     ": probability must be in [0, 1]");
+    }
+    if (r.shuffle <= 0) {
+      return Status::InvalidArgument(Ordinal("reorders", i) +
+                                     ": shuffle must be > 0");
+    }
+  }
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionEpoch& p = partitions[i];
+    if (p.start < 0 || p.end <= p.start) {
+      return Status::InvalidArgument(Ordinal("partitions", i) +
+                                     ": requires 0 <= start < end");
+    }
+    int specs = (!p.group.empty() ? 1 : 0) + (p.fraction > 0.0 ? 1 : 0) +
+                (p.by_id_range ? 1 : 0);
+    if (specs != 1) {
+      return Status::InvalidArgument(
+          Ordinal("partitions", i) +
+          ": exactly one of group/fraction/id-range must be set");
+    }
+    if (p.fraction < 0.0 || p.fraction > 1.0) {
+      return Status::InvalidArgument(Ordinal("partitions", i) +
+                                     ": fraction must be in [0, 1]");
+    }
+    for (EndsystemIndex e : p.group) {
+      if (static_cast<int>(e) >= num_endsystems) {
+        return Status::InvalidArgument(Ordinal("partitions", i) +
+                                       ": endsystem " + std::to_string(e) +
+                                       " out of range");
+      }
+    }
+  }
+  for (size_t i = 0; i < crashes.size(); ++i) {
+    const CrashEpoch& c = crashes[i];
+    if (static_cast<int>(c.endsystem) >= num_endsystems) {
+      return Status::InvalidArgument(Ordinal("crashes", i) + ": endsystem " +
+                                     std::to_string(c.endsystem) +
+                                     " out of range");
+    }
+    if (c.down_at < 0 || (c.up_at != 0 && c.up_at <= c.down_at)) {
+      return Status::InvalidArgument(Ordinal("crashes", i) +
+                                     ": requires down_at < up_at");
+    }
+  }
+  return Status::OK();
+}
+
+void FaultPlan::Resolve(int num_endsystems, const std::vector<NodeId>& ids) {
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    PartitionEpoch& p = partitions[i];
+    p.side_a.assign(static_cast<size_t>(num_endsystems), false);
+    if (!p.group.empty()) {
+      for (EndsystemIndex e : p.group) p.side_a[e] = true;
+    } else if (p.by_id_range) {
+      SEAWEED_CHECK_MSG(ids.size() == static_cast<size_t>(num_endsystems),
+                        "namespace partition needs the overlay id of every "
+                        "endsystem to resolve");
+      for (int e = 0; e < num_endsystems; ++e) {
+        p.side_a[static_cast<size_t>(e)] =
+            ids[static_cast<size_t>(e)].InArc(p.lo, p.hi);
+      }
+    } else {
+      // Per-epoch stream so adding an epoch does not reshuffle the others.
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+      for (int e = 0; e < num_endsystems; ++e) {
+        p.side_a[static_cast<size_t>(e)] = rng.Bernoulli(p.fraction);
+      }
+    }
+  }
+}
+
+double FaultPlan::LossAt(SimTime t) const {
+  double keep = 1.0;
+  for (const LossBurst& b : bursts) {
+    if (Active(b.start, b.end, t)) keep *= 1.0 - b.loss;
+  }
+  return 1.0 - keep;
+}
+
+SimDuration FaultPlan::ExtraDelayAt(SimTime t, Rng& rng) const {
+  SimDuration extra = 0;
+  for (const DelayWindow& d : delays) {
+    if (!Active(d.start, d.end, t)) continue;
+    extra += d.extra;
+    if (d.jitter > 0) {
+      extra += static_cast<SimDuration>(
+          rng.NextBelow(static_cast<uint64_t>(d.jitter) + 1));
+    }
+  }
+  for (const ReorderWindow& r : reorders) {
+    if (!Active(r.start, r.end, t)) continue;
+    if (rng.Bernoulli(r.probability)) {
+      extra += 1 + static_cast<SimDuration>(
+                       rng.NextBelow(static_cast<uint64_t>(r.shuffle)));
+    }
+  }
+  return extra;
+}
+
+bool FaultPlan::Partitioned(EndsystemIndex from, EndsystemIndex to,
+                            SimTime t) const {
+  for (const PartitionEpoch& p : partitions) {
+    if (!Active(p.start, p.end, t)) continue;
+    SEAWEED_CHECK_MSG(!p.side_a.empty(),
+                      "FaultPlan::Resolve must run before Partitioned");
+    if (from < p.side_a.size() && to < p.side_a.size() &&
+        p.side_a[from] != p.side_a[to]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Times in the JSON schema are floating-point *seconds* (durations in
+// seconds too); ids are 32-char hex strings.
+SimTime SecondsField(const obs::Json& obj, const char* key, double def = 0) {
+  const obs::Json* f = obj.Find(key);
+  return FromSeconds(f ? f->AsDouble(def) : def);
+}
+
+double DoubleField(const obs::Json& obj, const char* key, double def = 0) {
+  const obs::Json* f = obj.Find(key);
+  return f ? f->AsDouble(def) : def;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::FromJson(const obs::Json& json) {
+  if (json.kind != obs::Json::Kind::kObject) {
+    return Status::ParseError("fault plan: top-level JSON object expected");
+  }
+  FaultPlan plan;
+  if (const obs::Json* s = json.Find("seed")) plan.seed = s->AsUint(1);
+  if (const obs::Json* a = json.Find("bursts")) {
+    for (const obs::Json& b : a->items) {
+      plan.AddBurst(SecondsField(b, "start_s"), SecondsField(b, "end_s"),
+                    DoubleField(b, "loss"));
+    }
+  }
+  if (const obs::Json* a = json.Find("delays")) {
+    for (const obs::Json& d : a->items) {
+      plan.AddDelayWindow(SecondsField(d, "start_s"), SecondsField(d, "end_s"),
+                          SecondsField(d, "extra_s"),
+                          SecondsField(d, "jitter_s"));
+    }
+  }
+  if (const obs::Json* a = json.Find("reorders")) {
+    for (const obs::Json& r : a->items) {
+      plan.AddReorderWindow(SecondsField(r, "start_s"),
+                            SecondsField(r, "end_s"),
+                            DoubleField(r, "probability"),
+                            SecondsField(r, "shuffle_s"));
+    }
+  }
+  if (const obs::Json* a = json.Find("partitions")) {
+    for (const obs::Json& p : a->items) {
+      SimTime start = SecondsField(p, "start_s");
+      SimTime end = SecondsField(p, "end_s");
+      if (const obs::Json* g = p.Find("group")) {
+        std::vector<EndsystemIndex> side;
+        for (const obs::Json& e : g->items) {
+          side.push_back(static_cast<EndsystemIndex>(e.AsUint()));
+        }
+        plan.AddPartition(start, end, std::move(side));
+      } else if (const obs::Json* lo = p.Find("lo")) {
+        const obs::Json* hi = p.Find("hi");
+        if (hi == nullptr) {
+          return Status::ParseError("fault plan: partition has lo but no hi");
+        }
+        NodeId lo_id, hi_id;
+        if (!NodeId::TryParse(lo->AsString(), &lo_id) ||
+            !NodeId::TryParse(hi->AsString(), &hi_id)) {
+          return Status::ParseError("fault plan: bad partition id hex");
+        }
+        plan.AddNamespacePartition(start, end, lo_id, hi_id);
+      } else {
+        plan.AddFractionPartition(start, end, DoubleField(p, "fraction"));
+      }
+    }
+  }
+  if (const obs::Json* a = json.Find("crashes")) {
+    for (const obs::Json& c : a->items) {
+      const obs::Json* e = c.Find("endsystem");
+      plan.AddCrash(static_cast<EndsystemIndex>(e ? e->AsUint() : 0),
+                    SecondsField(c, "down_s"), SecondsField(c, "up_s"));
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::FromJsonText(const std::string& text) {
+  SEAWEED_ASSIGN_OR_RETURN(obs::Json json, obs::ParseJson(text));
+  return FromJson(json);
+}
+
+Result<FaultPlan> FaultPlan::FromJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open fault plan " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return FromJsonText(text.str());
+}
+
+}  // namespace seaweed

@@ -1,0 +1,140 @@
+// FaultPlan: a deterministic, seeded schedule of injected network faults.
+//
+// A plan is pure data — link-loss bursts, extra-delay windows, reorder
+// windows, namespace/group partitions and per-endsystem crash/restart
+// epochs — interpreted by FaultInjectingTransport (message-plane faults) and
+// SeaweedCluster (crash epochs). Two runs with the same plan, seed and
+// cluster configuration replay byte-for-byte identically, which is what lets
+// the chaos tests assert invariants instead of eyeballing flaky output.
+//
+// Plans can be built programmatically (Add* helpers) or loaded from JSON
+// (FromJson / FromJsonFile) for simctl's --transport=...,faulty:<plan.json>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/node_id.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "sim/topology.h"
+
+namespace seaweed::obs {
+struct Json;
+}  // namespace seaweed::obs
+
+namespace seaweed {
+
+struct FaultPlan {
+  // While active, every message additionally fails with probability `loss`
+  // (silent wire loss on top of the network's base loss rate).
+  struct LossBurst {
+    SimTime start = 0;
+    SimTime end = 0;
+    double loss = 0.0;
+  };
+
+  // While active, every message is held back by `extra` plus a uniform
+  // jitter in [0, jitter] before entering the network.
+  struct DelayWindow {
+    SimTime start = 0;
+    SimTime end = 0;
+    SimDuration extra = 0;
+    SimDuration jitter = 0;
+  };
+
+  // While active, each message is independently shuffled with `probability`
+  // by a uniform hold-back in (0, shuffle], letting later sends overtake it.
+  struct ReorderWindow {
+    SimTime start = 0;
+    SimTime end = 0;
+    double probability = 0.0;
+    SimDuration shuffle = 0;
+  };
+
+  // While active, messages crossing between side A and side B are silently
+  // dropped (both directions). Side A is specified one of three ways;
+  // Resolve() flattens it to a membership bitmap:
+  //   - `group`: explicit endsystem indices;
+  //   - `fraction`: each endsystem joins side A with this probability,
+  //     drawn deterministically from the plan seed;
+  //   - `lo`/`hi`: endsystems whose nodeIds lie on the clockwise namespace
+  //     arc [lo, hi] (the paper's id-space view of a partition).
+  struct PartitionEpoch {
+    SimTime start = 0;
+    SimTime end = 0;
+    std::vector<EndsystemIndex> group;
+    double fraction = 0.0;
+    bool by_id_range = false;
+    NodeId lo;
+    NodeId hi;
+    // Resolved by Resolve(): side_a[e] == true iff endsystem e is on side A.
+    std::vector<bool> side_a;
+  };
+
+  // Endsystem is forced down at `down_at` and restarted at `up_at`
+  // (up_at == 0 means it never comes back).
+  struct CrashEpoch {
+    EndsystemIndex endsystem = 0;
+    SimTime down_at = 0;
+    SimTime up_at = 0;
+  };
+
+  // Seed for every random draw the plan makes (fraction partitions, burst
+  // loss, jitter, reorder shuffles). Independent of the cluster seed so the
+  // same fault schedule can be replayed against different populations.
+  uint64_t seed = 1;
+
+  std::vector<LossBurst> bursts;
+  std::vector<DelayWindow> delays;
+  std::vector<ReorderWindow> reorders;
+  std::vector<PartitionEpoch> partitions;
+  std::vector<CrashEpoch> crashes;
+
+  bool empty() const {
+    return bursts.empty() && delays.empty() && reorders.empty() &&
+           partitions.empty() && crashes.empty();
+  }
+
+  // --- Builder helpers (return *this for chaining) ---
+  FaultPlan& WithSeed(uint64_t s);
+  FaultPlan& AddBurst(SimTime start, SimTime end, double loss);
+  FaultPlan& AddDelayWindow(SimTime start, SimTime end, SimDuration extra,
+                            SimDuration jitter = 0);
+  FaultPlan& AddReorderWindow(SimTime start, SimTime end, double probability,
+                              SimDuration shuffle);
+  FaultPlan& AddPartition(SimTime start, SimTime end,
+                          std::vector<EndsystemIndex> side_a);
+  FaultPlan& AddFractionPartition(SimTime start, SimTime end, double fraction);
+  FaultPlan& AddNamespacePartition(SimTime start, SimTime end, const NodeId& lo,
+                                   const NodeId& hi);
+  FaultPlan& AddCrash(EndsystemIndex endsystem, SimTime down_at,
+                      SimTime up_at = 0);
+
+  // Checks every entry against a population of `num_endsystems`; call before
+  // Resolve. Returns the first violation found.
+  Status Validate(int num_endsystems) const;
+
+  // Flattens partition membership to per-endsystem bitmaps. `ids[e]` is the
+  // overlay nodeId of endsystem e (needed for namespace-arc partitions; pass
+  // an empty vector when none are used).
+  void Resolve(int num_endsystems, const std::vector<NodeId>& ids);
+
+  // --- Queries (used per message by FaultInjectingTransport) ---
+  // Combined burst loss probability active at time t (capped at 1).
+  double LossAt(SimTime t) const;
+  // Deterministic extra delay at t: window holds plus reorder shuffles.
+  SimDuration ExtraDelayAt(SimTime t, Rng& rng) const;
+  // True when an active partition separates `from` and `to`. Requires
+  // Resolve() if any partitions exist.
+  bool Partitioned(EndsystemIndex from, EndsystemIndex to, SimTime t) const;
+
+  // --- JSON loading (schema documented in DESIGN.md §5d) ---
+  static Result<FaultPlan> FromJson(const obs::Json& json);
+  static Result<FaultPlan> FromJsonText(const std::string& text);
+  static Result<FaultPlan> FromJsonFile(const std::string& path);
+};
+
+}  // namespace seaweed

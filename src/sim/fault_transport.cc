@@ -1,0 +1,70 @@
+#include "sim/fault_transport.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace seaweed {
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
+                                                FaultPlan plan, uint64_t salt)
+    : TransportDecorator(inner),
+      plan_(std::move(plan)),
+      rng_(plan_.seed ^ salt ^ 0xfa117ULL) {
+  obs::MetricsRegistry& m = obs()->metrics;
+  burst_drops_metric_ = m.GetCounter("fault.burst_drops");
+  partition_drops_metric_ = m.GetCounter("fault.partition_drops");
+  delayed_metric_ = m.GetCounter("fault.delayed");
+}
+
+void FaultInjectingTransport::ChargeDrop(EndsystemIndex from, SimTime now,
+                                         const WireMessage& msg) {
+  // Sender pays tx for the doomed datagram, same as Network::Send would
+  // have; the bytes land in the dedicated dropped series.
+  meter()->RecordTxDropped(from, now, msg.WireBytes() + kMessageHeaderBytes);
+  ++injected_drops_;
+}
+
+bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
+                                   TrafficCategory cat, WireMessagePtr msg) {
+  SEAWEED_CHECK_MSG(msg != nullptr,
+                    "FaultInjectingTransport::Send requires a message");
+  if (!IsUp(from)) return false;
+  const SimTime now = simulator()->Now();
+
+  if (plan_.Partitioned(from, to, now)) {
+    ChargeDrop(from, now, *msg);
+    partition_drops_metric_->Add();
+    return true;  // sent, but the partition ate it
+  }
+
+  const double loss = plan_.LossAt(now);
+  if (loss > 0 && rng_.Bernoulli(loss)) {
+    ChargeDrop(from, now, *msg);
+    burst_drops_metric_->Add();
+    return true;
+  }
+
+  const SimDuration extra = plan_.ExtraDelayAt(now, rng_);
+  if (extra > 0) {
+    ++injected_delays_;
+    delayed_metric_->Add();
+    // The message enters the wire `extra` later; tx is charged then (and
+    // skipped entirely if the sender crashed in the meantime).
+    simulator()->After(extra,
+                       [this, from, to, cat, msg = std::move(msg)]() mutable {
+                         inner()->Send(from, to, cat, std::move(msg));
+                       });
+    return true;
+  }
+
+  return inner()->Send(from, to, cat, std::move(msg));
+}
+
+bool FaultInjectingTransport::Linked(EndsystemIndex from,
+                                     EndsystemIndex to) const {
+  if (plan_.Partitioned(from, to, simulator()->Now())) return false;
+  return inner()->Linked(from, to);
+}
+
+}  // namespace seaweed

@@ -36,7 +36,7 @@ bool SerializingTransport::Send(EndsystemIndex from, EndsystemIndex to,
   bytes_roundtripped_ += w.size();
 
   // Forward the decoded copy: downstream state is built purely from bytes.
-  return inner_->Send(from, to, cat, std::move(copy));
+  return inner()->Send(from, to, cat, std::move(copy));
 }
 
 }  // namespace seaweed

@@ -13,40 +13,17 @@
 
 namespace seaweed {
 
-class SerializingTransport : public Transport {
+class SerializingTransport : public TransportDecorator {
  public:
-  // Does not own `inner`, which must outlive this transport.
-  explicit SerializingTransport(Transport* inner) : inner_(inner) {}
+  using TransportDecorator::TransportDecorator;
 
   bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
             WireMessagePtr msg) override;
-
-  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) override {
-    inner_->SetDeliveryHandler(e, std::move(handler));
-  }
-  void SetDropHandler(DropHandler handler,
-                      SimDuration drop_notice_delay) override {
-    inner_->SetDropHandler(std::move(handler), drop_notice_delay);
-  }
-  void SetUp(EndsystemIndex e, bool up) override { inner_->SetUp(e, up); }
-  bool IsUp(EndsystemIndex e) const override { return inner_->IsUp(e); }
-
-  uint64_t messages_sent() const override { return inner_->messages_sent(); }
-  uint64_t messages_delivered() const override {
-    return inner_->messages_delivered();
-  }
-  uint64_t messages_lost() const override { return inner_->messages_lost(); }
-
-  const Topology& topology() const override { return inner_->topology(); }
-  Simulator* simulator() const override { return inner_->simulator(); }
-  BandwidthMeter* meter() const override { return inner_->meter(); }
-  obs::Observability* obs() const override { return inner_->obs(); }
 
   uint64_t messages_roundtripped() const { return messages_roundtripped_; }
   uint64_t bytes_roundtripped() const { return bytes_roundtripped_; }
 
  private:
-  Transport* inner_;
   uint64_t messages_roundtripped_ = 0;
   uint64_t bytes_roundtripped_ = 0;
 };

@@ -9,6 +9,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/wire.h"
 #include "obs/obs.h"
@@ -20,6 +23,8 @@ namespace seaweed {
 
 // Fixed per-message wire overhead (UDP/IP headers plus overlay header).
 inline constexpr uint32_t kMessageHeaderBytes = 48;
+
+class TransportStack;
 
 class Transport {
  public:
@@ -47,6 +52,15 @@ class Transport {
   virtual void SetUp(EndsystemIndex e, bool up) = 0;
   virtual bool IsUp(EndsystemIndex e) const = 0;
 
+  // True when traffic from `from` can currently reach `to` — i.e. `to` is up
+  // AND no decorator severs the pair (partitions). Synchronous liveness
+  // checks (the overlay heartbeat fast path) must consult this rather than
+  // IsUp so that injected partitions are visible to failure detection.
+  virtual bool Linked(EndsystemIndex from, EndsystemIndex to) const {
+    (void)from;
+    return IsUp(to);
+  }
+
   // Sends `msg` (never null); the meter is charged msg->WireBytes() plus
   // kMessageHeaderBytes. Returns false if the sender is down (nothing sent).
   virtual bool Send(EndsystemIndex from, EndsystemIndex to,
@@ -61,6 +75,59 @@ class Transport {
   virtual BandwidthMeter* meter() const = 0;
   // Never null: the observability domain shared by the stack above.
   virtual obs::Observability* obs() const = 0;
+
+  // Builds a decorator over `inner` (not owned; outlives the decorator).
+  using DecoratorFactory =
+      std::function<std::unique_ptr<Transport>(Transport* inner)>;
+
+  // Composes a decorator chain over `base`. Factories are listed
+  // outermost-first: Stack({A, B}, base) yields A(B(base)). The returned
+  // stack owns every layer it built (not `base`) and exposes the outermost
+  // transport via top().
+  static std::unique_ptr<TransportStack> Stack(
+      std::vector<DecoratorFactory> decorators, Transport* base);
+};
+
+// Base class for transports that wrap another transport. Forwards the entire
+// interface to `inner`; decorators override only the calls they intercept.
+class TransportDecorator : public Transport {
+ public:
+  // Does not own `inner`, which must outlive this transport.
+  explicit TransportDecorator(Transport* inner) : inner_(inner) {}
+
+  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) override {
+    inner_->SetDeliveryHandler(e, std::move(handler));
+  }
+  void SetDropHandler(DropHandler handler,
+                      SimDuration drop_notice_delay) override {
+    inner_->SetDropHandler(std::move(handler), drop_notice_delay);
+  }
+  void SetUp(EndsystemIndex e, bool up) override { inner_->SetUp(e, up); }
+  bool IsUp(EndsystemIndex e) const override { return inner_->IsUp(e); }
+  bool Linked(EndsystemIndex from, EndsystemIndex to) const override {
+    return inner_->Linked(from, to);
+  }
+
+  bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
+            WireMessagePtr msg) override {
+    return inner_->Send(from, to, cat, std::move(msg));
+  }
+
+  uint64_t messages_sent() const override { return inner_->messages_sent(); }
+  uint64_t messages_delivered() const override {
+    return inner_->messages_delivered();
+  }
+  uint64_t messages_lost() const override { return inner_->messages_lost(); }
+
+  const Topology& topology() const override { return inner_->topology(); }
+  Simulator* simulator() const override { return inner_->simulator(); }
+  BandwidthMeter* meter() const override { return inner_->meter(); }
+  obs::Observability* obs() const override { return inner_->obs(); }
+
+  Transport* inner() const { return inner_; }
+
+ private:
+  Transport* inner_;
 };
 
 }  // namespace seaweed

@@ -1,0 +1,55 @@
+#include "sim/transport_stack.h"
+
+#include <utility>
+
+namespace seaweed {
+
+std::unique_ptr<TransportStack> Transport::Stack(
+    std::vector<DecoratorFactory> decorators, Transport* base) {
+  std::vector<std::unique_ptr<Transport>> layers;
+  layers.reserve(decorators.size());
+  Transport* current = base;
+  // Factories are outermost-first; build from the inside out.
+  for (auto it = decorators.rbegin(); it != decorators.rend(); ++it) {
+    layers.push_back((*it)(current));
+    current = layers.back().get();
+  }
+  return std::make_unique<TransportStack>(std::move(layers), base);
+}
+
+Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
+    const std::string& spec) {
+  std::vector<TransportLayerSpec> layers;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      if (spec.empty()) break;
+      return Status::InvalidArgument("transport spec has an empty layer: \"" +
+                                     spec + "\"");
+    }
+    TransportLayerSpec layer;
+    size_t colon = item.find(':');
+    layer.kind = item.substr(0, colon);
+    if (colon != std::string::npos) layer.arg = item.substr(colon + 1);
+    if (layer.kind == "serializing") {
+      if (!layer.arg.empty()) {
+        return Status::InvalidArgument(
+            "transport layer \"serializing\" takes no argument");
+      }
+    } else if (layer.kind == "faulty") {
+      // Optional arg: fault-plan JSON path, loaded by the cluster.
+    } else {
+      return Status::InvalidArgument("unknown transport layer \"" +
+                                     layer.kind +
+                                     "\" (known: serializing, faulty)");
+    }
+    layers.push_back(std::move(layer));
+  }
+  return layers;
+}
+
+}  // namespace seaweed

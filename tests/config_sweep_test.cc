@@ -3,7 +3,7 @@
 // networks — not just the paper's defaults.
 #include <gtest/gtest.h>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 
 namespace seaweed {
 namespace {
@@ -27,11 +27,10 @@ class DigitWidthSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DigitWidthSweep, EndToEndQueryAcrossDigitWidths) {
   const int n = 24;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  cfg.pastry.b = GetParam();
-  SeaweedCluster cluster(cfg, MakeData(n));
+  ClusterOptions opts;
+  opts.WithEndsystems(n).WithSummaryWireBytes(0);
+  opts.pastry().b = GetParam();
+  SeaweedCluster cluster(opts, MakeData(n));
   cluster.BringUpAll();
   cluster.sim().RunUntil(5 * kMinute);
   ASSERT_EQ(cluster.CountJoined(), n);
@@ -60,12 +59,11 @@ class LeafsetSizeSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(LeafsetSizeSweep, OverlayAndMetadataWork) {
   const int n = 20;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  cfg.pastry.l = GetParam();
-  cfg.seaweed.metadata_replicas = GetParam();
-  SeaweedCluster cluster(cfg, MakeData(n));
+  ClusterOptions opts;
+  opts.WithEndsystems(n).WithSummaryWireBytes(0);
+  opts.pastry().l = GetParam();
+  opts.seaweed().metadata_replicas = GetParam();
+  SeaweedCluster cluster(opts, MakeData(n));
   cluster.BringUpAll();
   cluster.sim().RunUntil(40 * kMinute);
   ASSERT_EQ(cluster.CountJoined(), n);
@@ -91,12 +89,12 @@ TEST_P(LossSweep, QueryCompletesOnLossyNetwork) {
   // (dissemination reissue, leaf-submit acks, periodic refresh) must carry
   // the query through.
   const int n = 24;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  cfg.message_loss_rate = GetParam();
-  cfg.seaweed.result_refresh_period = 2 * kMinute;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  ClusterOptions opts;
+  opts.WithEndsystems(n)
+      .WithSummaryWireBytes(0)
+      .WithMessageLossRate(GetParam());
+  opts.seaweed().result_refresh_period = 2 * kMinute;
+  SeaweedCluster cluster(opts, MakeData(n));
   cluster.BringUpAll();
   cluster.sim().RunUntil(10 * kMinute);
   EXPECT_EQ(cluster.CountJoined(), n);
@@ -118,10 +116,9 @@ INSTANTIATE_TEST_SUITE_P(Loss, LossSweep, ::testing::Values(0.01, 0.05));
 
 TEST(ClusterAccountingTest, OnlineSecondsMatchTrace) {
   const int n = 10;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  SeaweedCluster cluster(
+      ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0),
+      MakeData(n));
   // Hand-built trace: endsystems 0..4 up the whole 2 hours; 5..9 up for the
   // second hour only.
   AvailabilityTrace trace(n, 2 * kHour);
@@ -136,10 +133,9 @@ TEST(ClusterAccountingTest, OnlineSecondsMatchTrace) {
 
 TEST(ClusterAccountingTest, MeanTxPerOnlineConsistentWithMeter) {
   const int n = 12;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  SeaweedCluster cluster(
+      ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0),
+      MakeData(n));
   cluster.BringUpAll();
   cluster.sim().RunUntil(2 * kHour);
   // Total per-online rate across categories equals the category sum.

@@ -8,7 +8,7 @@
 //    lifetime to receive and process it.
 #include <gtest/gtest.h>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 
 namespace seaweed {
@@ -29,10 +29,9 @@ std::shared_ptr<StaticDataProvider> MakeData(int n) {
 
 TEST(ConsistencyTest, PredictorCoversExactlyEverSeenEndsystems) {
   const int n = 120;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  SeaweedCluster cluster(
+      ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0),
+      MakeData(n));
 
   // First 90 endsystems come up; 15 of them later fail; the last 30 never
   // exist as far as Seaweed is concerned.
@@ -64,10 +63,9 @@ TEST(ConsistencyTest, ResultSetMatchesAvailabilityWindow) {
   // H = H_U(0, T): endsystems available during the query window contribute
   // exactly once; endsystems that never come up during it do not.
   const int n = 60;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  SeaweedCluster cluster(
+      ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0),
+      MakeData(n));
   for (int e = 0; e < n; ++e) cluster.BringUp(e);
   cluster.sim().RunUntil(30 * kMinute);
 
@@ -103,11 +101,10 @@ TEST(ConsistencyTest, ExactlyOnceAcrossFlappingEndsystem) {
   // An endsystem that flaps (down/up repeatedly) during the query must
   // still be counted exactly once.
   const int n = 30;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  cfg.seaweed.result_refresh_period = kMinute;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  ClusterOptions opts;
+  opts.WithEndsystems(n).WithSummaryWireBytes(0);
+  opts.seaweed().result_refresh_period = kMinute;
+  SeaweedCluster cluster(opts, MakeData(n));
   for (int e = 0; e < n; ++e) cluster.BringUp(e);
   cluster.sim().RunUntil(10 * kMinute);
 
@@ -134,10 +131,9 @@ TEST(ConsistencyTest, ExactlyOnceAcrossFlappingEndsystem) {
 
 TEST(ConsistencyTest, TraceDrivenNeverOvercounts) {
   const int n = 80;
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  SeaweedCluster cluster(cfg, MakeData(n));
+  SeaweedCluster cluster(
+      ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0),
+      MakeData(n));
   FarsiteModelConfig fcfg;
   fcfg.seed = 11;
   auto trace = GenerateFarsiteTrace(fcfg, n, 10 * kHour);

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "anemone/anemone.h"
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 
 namespace seaweed {
@@ -67,11 +67,11 @@ struct Capture {
 };
 
 ClusterConfig ToyConfig(int n, uint64_t seed = 1) {
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.seed = seed;
-  cfg.summary_wire_bytes = 0;  // charge actual summary sizes
-  return cfg;
+  return ClusterOptions()
+      .WithEndsystems(n)
+      .WithSeed(seed)
+      .WithSummaryWireBytes(0)  // charge actual summary sizes
+      .BuildOrDie();
 }
 
 TEST(IntegrationTest, AllUpQueryReturnsExactResult) {

@@ -4,17 +4,21 @@
 #include <gtest/gtest.h>
 
 #include "overlay/overlay_network.h"
+#include "sim/fault_transport.h"
 #include "sim/network.h"
 
 namespace seaweed::overlay {
 namespace {
 
 struct ChurnFixture {
-  explicit ChurnFixture(int n, uint64_t seed, double loss = 0.0)
+  explicit ChurnFixture(int n, uint64_t seed, double loss = 0.0,
+                        FaultPlan plan = {})
       : topo(TopologyConfig{}, n),
         meter(n),
         net(&sim, &topo, &meter, loss, seed),
-        overlay(&sim, &net, PastryConfig{}, seed),
+        faulty(MakeFaulty(&net, std::move(plan), n, seed)),
+        overlay(&sim, faulty ? static_cast<Transport*>(faulty.get()) : &net,
+                PastryConfig{}, seed),
         rng(seed * 7919) {
     Rng id_rng(seed);
     std::vector<NodeId> ids;
@@ -25,6 +29,17 @@ struct ChurnFixture {
       sim.At(50 * kMillisecond * i, [this, e] { overlay.BringUp(e); });
     }
     sim.RunUntil(15 * kMinute);
+  }
+
+  static std::unique_ptr<FaultInjectingTransport> MakeFaulty(Network* net,
+                                                             FaultPlan plan,
+                                                             int n,
+                                                             uint64_t seed) {
+    if (plan.empty()) return nullptr;
+    EXPECT_TRUE(plan.Validate(n).ok());
+    plan.Resolve(n, {});
+    return std::make_unique<FaultInjectingTransport>(net, std::move(plan),
+                                                     seed);
   }
 
   // Returns the number of live nodes whose nearest-cw pointer disagrees
@@ -48,6 +63,7 @@ struct ChurnFixture {
   Topology topo;
   BandwidthMeter meter;
   Network net;
+  std::unique_ptr<FaultInjectingTransport> faulty;
   OverlayNetwork overlay;
   Rng rng;
 };
@@ -163,6 +179,60 @@ TEST_P(ChurnProperty, NoMessagesLeakToDeadNodes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Seeded partition scenarios (FaultInjectingTransport) ---
+
+class PartitionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionProperty, RingSplitsAndRemergesAfterPartitionHeals) {
+  const int n = 24;
+  // Endsystems [0, 12) on side A for minutes [20, 40); both directions of
+  // cross-partition traffic (heartbeats included, via Linked) are cut.
+  FaultPlan plan;
+  std::vector<EndsystemIndex> side_a;
+  for (int e = 0; e < n / 2; ++e) side_a.push_back(static_cast<EndsystemIndex>(e));
+  plan.AddPartition(20 * kMinute, 40 * kMinute, side_a);
+  ChurnFixture f(n, GetParam(), /*loss=*/0.0, plan);
+  ASSERT_EQ(f.overlay.CountJoined(), n);
+
+  // Mid-partition: failure detection has evicted every far-side node from
+  // every near-side leafset (and vice versa).
+  f.sim.RunUntil(35 * kMinute);
+  EXPECT_GT(f.faulty->injected_drops(), 0u);
+  for (int e = 0; e < n; ++e) {
+    const auto* node = f.overlay.node(static_cast<EndsystemIndex>(e));
+    for (int o = 0; o < n; ++o) {
+      bool same_side = (e < n / 2) == (o < n / 2);
+      if (!same_side) {
+        EXPECT_FALSE(node->leafset().Contains(f.overlay.node(
+            static_cast<EndsystemIndex>(o))->id()))
+            << "node " << e << " still holds cross-partition node " << o;
+      }
+    }
+  }
+
+  // After the heal, global stabilization probes must re-merge the two
+  // rings — neighbor-only stabilization cannot rediscover the far side.
+  f.sim.RunUntil(90 * kMinute);
+  EXPECT_EQ(f.overlay.CountJoined(), n);
+  EXPECT_EQ(f.RingErrors(), 0);
+  EXPECT_GT(f.overlay.metrics().global_stabilize_probes->value(), 0u);
+}
+
+TEST_P(PartitionProperty, FractionPartitionUnderLossHeals) {
+  const int n = 20;
+  FaultPlan plan;
+  plan.WithSeed(GetParam() * 31 + 5)
+      .AddFractionPartition(18 * kMinute, 32 * kMinute, 0.4)
+      .AddBurst(18 * kMinute, 32 * kMinute, 0.1);
+  ChurnFixture f(n, GetParam() ^ 0x9d, /*loss=*/0.0, plan);
+  ASSERT_EQ(f.overlay.CountJoined(), n);
+  f.sim.RunUntil(80 * kMinute);
+  EXPECT_EQ(f.overlay.CountJoined(), n);
+  EXPECT_EQ(f.RingErrors(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Values(1, 2, 3));
 
 TEST(OverlayScaleTest, TwoNodeRingIsMutual) {
   ChurnFixture f(2, 77);

@@ -4,7 +4,7 @@
 
 #include <unordered_map>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 
 namespace seaweed {
 namespace {
@@ -33,10 +33,8 @@ std::shared_ptr<StaticDataProvider> MakeData(int n) {
 }
 
 ClusterConfig Cfg(int n) {
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  return cfg;
+  return ClusterOptions().WithEndsystems(n).WithSummaryWireBytes(0)
+      .BuildOrDie();
 }
 
 TEST(QueryLifecycleTest, CancelStopsResultFlowAndDropsState) {

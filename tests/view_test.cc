@@ -2,7 +2,7 @@
 // the metadata plane.
 #include <gtest/gtest.h>
 
-#include "seaweed/cluster.h"
+#include "seaweed/cluster_options.h"
 
 namespace seaweed {
 namespace {
@@ -26,14 +26,13 @@ std::shared_ptr<StaticDataProvider> MakeData(int n) {
 }
 
 ClusterConfig Cfg(int n) {
-  ClusterConfig cfg;
-  cfg.num_endsystems = n;
-  cfg.summary_wire_bytes = 0;
-  cfg.seaweed.views.push_back(
+  ClusterOptions opts;
+  opts.WithEndsystems(n).WithSummaryWireBytes(0);
+  opts.seaweed().views.push_back(
       {"total_stock", "SELECT SUM(qty), COUNT(*) FROM Stock"});
   // Fast pushes so view values replicate quickly in the test.
-  cfg.seaweed.summary_push_period = 2 * kMinute;
-  return cfg;
+  opts.seaweed().summary_push_period = 2 * kMinute;
+  return opts.BuildOrDie();
 }
 
 TEST(ViewSnapshotTest, FullCoverageWithAllUp) {
