@@ -1,12 +1,17 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/status.h"
 #include "common/time_types.h"
@@ -30,6 +35,39 @@ inline int ScaledN(int base) {
   double n = base * Scale();
   return n < 2 ? 2 : static_cast<int>(n);
 }
+
+// Peak resident-set size of this process in bytes (getrusage ru_maxrss;
+// Linux reports KiB, macOS bytes). Process-monotone: fork a child per
+// configuration when measuring several footprints in one bench.
+inline double PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss);
+#else
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+#endif
+#else
+  return 0;
+#endif
+}
+
+// Wall-clock stopwatch for bench phases; pairs with ResultWriter::Scalar:
+//   WallTimer t;  ...work...;  results.Scalar("wall_seconds", t.Seconds());
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void Header(const char* id, const char* title) {
   std::printf("\n==============================================================\n");

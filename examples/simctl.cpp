@@ -17,6 +17,15 @@
 //                           round-trip every message through the wire
 //                           codec in flight (debug mode; stdout is
 //                           bit-identical to the in-memory transport)
+//     --lanes K             parallel event lanes (default 0 = serial
+//                           engine). Output depends on K, never on the
+//                           thread count.
+//     --threads N           worker threads for the lanes (default 1);
+//                           stdout and --obs-dump are byte-identical for
+//                           any N with the same --lanes
+//     --encode-in-flight    store queued messages as wire bytes (memory
+//                           compaction for large populations)
+//     --obs-dump FILE       write metrics + trace spans as JSONL at exit
 //
 // Prints the completeness predictor, incremental results, and the final
 // bandwidth accounting. Example:
@@ -28,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 #include "trace/gnutella_model.h"
@@ -48,6 +58,10 @@ struct Args {
   double continuous_minutes = 0;
   uint64_t seed = 1;
   std::string transport;
+  int lanes = 0;
+  int threads = 1;
+  bool encode_in_flight = false;
+  std::string obs_dump;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -85,6 +99,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->transport = args->transport.empty()
                             ? "serializing"
                             : "serializing," + args->transport;
+    } else if (flag == "--lanes" && (v = need_value())) {
+      args->lanes = std::atoi(v);
+    } else if (flag == "--threads" && (v = need_value())) {
+      args->threads = std::atoi(v);
+    } else if (flag == "--encode-in-flight") {
+      args->encode_in_flight = true;
+    } else if (flag == "--obs-dump" && (v = need_value())) {
+      args->obs_dump = v;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -144,7 +166,10 @@ int main(int argc, char** argv) {
   options.WithEndsystems(args.endsystems)
       .WithSeed(args.seed)
       .WithKeepTables(args.endsystems <= 500)
-      .WithTransport(args.transport);
+      .WithTransport(args.transport)
+      .WithLanes(args.lanes)
+      .WithThreads(args.threads)
+      .WithEncodeInFlight(args.encode_in_flight);
   options.anemone().days = 7;
   options.anemone().workstation_flows_per_day = 40;
   auto config = options.Build();
@@ -239,6 +264,15 @@ int main(int argc, char** argv) {
                  "fault transport: %llu messages dropped, %llu delayed\n",
                  static_cast<unsigned long long>(ft->injected_drops()),
                  static_cast<unsigned long long>(ft->injected_delays()));
+  }
+  if (!args.obs_dump.empty()) {
+    cluster.PublishStatsGauges();  // final engine/memory snapshot
+    Status st = obs::DumpToFile(&cluster.obs().metrics, &cluster.obs().trace,
+                                args.obs_dump);
+    if (!st.ok()) {
+      std::fprintf(stderr, "obs dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,12 +1,27 @@
 #!/usr/bin/env bash
 # Full pre-merge check: builds the default configuration and the
 # ASan+UBSan configuration, runs the complete test suite under both, and
-# runs the serializing-transport differential under both.
+# runs the differentials under both: serializing-transport, chaos replay,
+# and lane determinism (threads=1 vs threads=2 must be byte-identical,
+# stdout and obs JSONL).
 #
 # Usage: scripts/check.sh [extra ctest args...]
+#
+# SEAWEED_SCALE_SMOKE=1 additionally runs the 10^5-endsystem scale smoke
+# (laned engine, 2 threads) with a wall-clock budget; CI's scale job sets it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# A differential that silently skips because its binary was never built is a
+# green light lying about coverage; missing binaries fail the whole check.
+require_binary() {
+  if [[ ! -x "$1" ]]; then
+    echo "FAIL: required binary '$1' is missing or not executable" >&2
+    echo "      (differential cannot run; check the build step above)" >&2
+    exit 1
+  fi
+}
 
 # Runs one simulation twice within the SAME build tree — once over the
 # in-memory transport, once with every message encoded to bytes and decoded
@@ -16,6 +31,7 @@ cd "$(dirname "$0")/.."
 differential() {
   local build="$1"
   local simbin="$build/examples/simctl"
+  require_binary "$simbin"
   local flags=(--endsystems 60 --hours 2 --seed 7
                --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
   echo "--- serializing-transport differential ($build) ---"
@@ -34,6 +50,7 @@ differential() {
 chaos_replay() {
   local build="$1"
   local simbin="$build/examples/simctl"
+  require_binary "$simbin"
   local plan="$build/chaos_plan.json"
   cat > "$plan" <<'EOF'
 {
@@ -57,12 +74,63 @@ EOF
   echo "replays bit-identical"
 }
 
+# Same laned simulation with 1 worker thread and with 2: stdout AND the obs
+# JSONL dump (metrics + spans) must be byte-identical. This is the parallel
+# engine's core contract — results depend on the lane plan, never on who
+# executes the lanes.
+lane_determinism() {
+  local build="$1"
+  local simbin="$build/examples/simctl"
+  require_binary "$simbin"
+  local flags=(--endsystems 200 --hours 2 --seed 7 --lanes 4
+               --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
+  echo "--- lane determinism differential ($build) ---"
+  "$simbin" "${flags[@]}" --threads 1 --obs-dump "$build/sim_lane_t1.jsonl" \
+      > "$build/sim_lane_t1.out"
+  "$simbin" "${flags[@]}" --threads 2 --obs-dump "$build/sim_lane_t2.jsonl" \
+      > "$build/sim_lane_t2.out"
+  if ! diff -u "$build/sim_lane_t1.out" "$build/sim_lane_t2.out"; then
+    echo "FAIL: thread count changed simulation stdout" >&2
+    exit 1
+  fi
+  if ! diff -u "$build/sim_lane_t1.jsonl" "$build/sim_lane_t2.jsonl"; then
+    echo "FAIL: thread count changed the obs JSONL dump" >&2
+    exit 1
+  fi
+  echo "1-thread and 2-thread runs byte-identical (stdout + obs JSONL)"
+}
+
+# 10^5-endsystem smoke on the laned engine: completes within the wall-clock
+# budget, 2 threads, encoded in-flight messages. Gated behind
+# SEAWEED_SCALE_SMOKE because it costs minutes, not seconds.
+scale_smoke() {
+  local build="$1"
+  local simbin="$build/examples/simctl"
+  require_binary "$simbin"
+  local budget="${SEAWEED_SCALE_SMOKE_BUDGET_S:-1800}"
+  echo "--- scale smoke: 10^5 endsystems, lanes=8, threads=2 (budget ${budget}s) ---"
+  local start
+  start=$(date +%s)
+  timeout "$budget" "$simbin" --endsystems 100000 --hours 0.1 --seed 7 \
+      --lanes 8 --threads 2 --encode-in-flight \
+      > "$build/sim_scale_smoke.out" || {
+    echo "FAIL: scale smoke exceeded ${budget}s or crashed" >&2
+    exit 1
+  }
+  echo "completed in $(( $(date +%s) - start ))s"
+  tail -2 "$build/sim_scale_smoke.out"
+}
+
 echo "=== default build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 differential build
 chaos_replay build
+lane_determinism build
+if [[ "${SEAWEED_SCALE_SMOKE:-0}" == "1" ]]; then
+  scale_smoke build
+fi
 
 echo
 echo "=== sanitizer build (ASan + UBSan) ==="
@@ -71,6 +139,7 @@ cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 differential build-asan
 chaos_replay build-asan
+lane_determinism build-asan
 
 echo
 echo "All checks passed."

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Converts bench/sim_scale raw ResultWriter output into BENCH_sim_scale.json.
+
+Usage: scripts/sim_scale_to_json.py <raw.json> > BENCH_sim_scale.json
+
+The raw file is what SEAWEED_BENCH_OUT captures: a "scale" table with one
+row per (endsystems, sim_hours, lanes, threads) configuration. The
+committed form groups rows by population, one entry per engine, matching
+the layout of the other BENCH_*.json files in the repo root.
+"""
+import datetime
+import json
+import sys
+
+
+def engine_name(lanes: int, threads: int) -> str:
+    if lanes == 0:
+        return "serial"
+    return f"laned_t{threads}"
+
+
+def main() -> None:
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+    table = raw["tables"]["scale"]
+    cols = table["columns"]
+    points: dict = {}
+    for row in table["rows"]:
+        r = dict(zip(cols, row))
+        key = str(int(r["endsystems"]))
+        entry = points.setdefault(
+            key, {"sim_hours": r["sim_hours"], "engines": {}})
+        entry["engines"][engine_name(int(r["lanes"]), int(r["threads"]))] = {
+            "lanes": int(r["lanes"]),
+            "threads": int(r["threads"]),
+            "wall_seconds": round(r["wall_seconds"], 1),
+            "peak_rss_mb": round(r["peak_rss_bytes"] / 1e6, 1),
+            "events_executed": int(r["events_executed"]),
+            "events_per_second": int(r["events_per_second"]),
+        }
+    out = {
+        "benchmark": "sim_scale",
+        "description": (
+            "Fig-9-style run (Farsite churn trace, paper query at T/4): "
+            "wall-clock and peak RSS vs population; serial engine (lanes 0, "
+            "live in-flight messages) vs laned engine (8 lanes, encoded "
+            "in-flight messages) at 1 and 2 worker threads. Forked child "
+            "per configuration so ru_maxrss is per-config. Reproduce: "
+            "SEAWEED_BENCH_OUT=raw.json ./build-rel/bench/sim_scale, then "
+            "scripts/sim_scale_to_json.py raw.json (see EXPERIMENTS.md)."
+        ),
+        "context": {
+            "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"),
+            "num_cpus": 1,
+            "mhz_per_cpu": 2100,
+            "build_type": "RelWithDebInfo",
+        },
+        "points": dict(sorted(points.items(), key=lambda kv: int(kv[0]))),
+    }
+    json.dump(out, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+// FlatMap: a sorted-vector associative map for small, memory-dense tables.
+//
+// std::unordered_map costs ~50+ bytes of allocator and bucket overhead per
+// element, which dominates when a million overlay nodes each hold a few
+// dozen (NodeId -> SimTime) entries. FlatMap stores pairs contiguously in
+// key order: lookup is binary search, insert/erase shift the tail. For the
+// tens-of-entries tables it is built for (liveness bookkeeping, death
+// certificates) that trade is a large win in bytes and cache behavior.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace seaweed {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  // Pointer to the value for `key`, or nullptr when absent. The pointer is
+  // invalidated by any mutation.
+  V* Find(const K& key) {
+    auto it = LowerBound(key);
+    return (it != data_.end() && it->first == key) ? &it->second : nullptr;
+  }
+  const V* Find(const K& key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  // Inserts (key, value) if absent. Returns true if inserted.
+  bool InsertIfAbsent(const K& key, V value) {
+    auto it = LowerBound(key);
+    if (it != data_.end() && it->first == key) return false;
+    data_.insert(it, value_type(key, std::move(value)));
+    return true;
+  }
+
+  // Inserts or overwrites.
+  void Put(const K& key, V value) {
+    auto it = LowerBound(key);
+    if (it != data_.end() && it->first == key) {
+      it->second = std::move(value);
+    } else {
+      data_.insert(it, value_type(key, std::move(value)));
+    }
+  }
+
+  // Removes `key`. Returns true if present.
+  bool Erase(const K& key) {
+    auto it = LowerBound(key);
+    if (it == data_.end() || it->first != key) return false;
+    data_.erase(it);
+    return true;
+  }
+
+  // Erases every entry for which pred(key, value) is true; returns the
+  // number removed. Keeps the survivors' order (sortedness preserved).
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    auto keep_end = std::remove_if(
+        data_.begin(), data_.end(),
+        [&](value_type& e) { return pred(e.first, e.second); });
+    size_t removed = static_cast<size_t>(data_.end() - keep_end);
+    data_.erase(keep_end, data_.end());
+    return removed;
+  }
+
+  void Clear() { data_.clear(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  // Heap bytes held (capacity, not size: what the allocator charges us).
+  size_t ApproxBytes() const { return data_.capacity() * sizeof(value_type); }
+
+ private:
+  typename std::vector<value_type>::iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace seaweed

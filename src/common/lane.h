@@ -1,0 +1,27 @@
+// Execution-lane context for the parallel simulator.
+//
+// The simulator partitions endsystems into lanes (see sim/simulator.h). While
+// a lane's events execute, this thread-local records which lane is running so
+// lower layers (network, overlay, obs) can tell owner-lane access from
+// cross-lane access without threading a context parameter through every call.
+//
+// Values: -1 = exclusive context (outside the engine, barriers, legacy serial
+// runs); 0 = the control lane (runs exclusively); >= 1 = a topology lane
+// (possibly concurrent with other topology lanes).
+#pragma once
+
+namespace seaweed {
+
+namespace internal {
+inline thread_local int g_exec_lane = -1;
+}  // namespace internal
+
+inline int CurrentExecLane() { return internal::g_exec_lane; }
+inline void SetCurrentExecLane(int lane) { internal::g_exec_lane = lane; }
+
+// True when the caller may touch shared state without synchronization: no
+// topology lane is executing on this thread (and, by the engine's contract,
+// on any other thread either).
+inline bool InExclusiveContext() { return internal::g_exec_lane <= 0; }
+
+}  // namespace seaweed

@@ -12,6 +12,26 @@
 
 namespace seaweed {
 
+// Mixes up to three words into one well-distributed 64-bit seed (splitmix64
+// finalizer rounds). Used for counter-hash randomness: components that draw
+// per-message randomness seed a local Rng with
+// MixSeed(stream_seed, sender, sender_sequence) instead of sharing one
+// generator, so draws are independent of event interleaving — a requirement
+// for the parallel simulator's determinism, and a convenience everywhere
+// else (no generator threading).
+inline uint64_t MixSeed(uint64_t a, uint64_t b = 0, uint64_t c = 0) {
+  uint64_t x = a;
+  auto round = [&x](uint64_t add) {
+    x += add + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+  };
+  round(b);
+  round(c);
+  return x;
+}
+
 class Rng {
  public:
   // Seeds the generator. Equal seeds produce identical streams.

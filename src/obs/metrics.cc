@@ -5,23 +5,24 @@
 namespace seaweed::obs {
 
 uint64_t Histogram::ApproxQuantile(double q) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
   // Nearest-rank: the smallest bucket whose cumulative count covers
   // ceil(q * count) samples, so e.g. p99 of 5 samples is the 5th.
-  uint64_t target =
-      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
   if (target == 0) target = 1;
+  const uint64_t hi = max();
   uint64_t cum = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    cum += buckets_[b];
+    cum += buckets_[b].load(std::memory_order_relaxed);
     if (cum >= target) {
       uint64_t ub = BucketUpperBound(b);
-      return ub < max_ ? ub : max_;
+      return ub < hi ? ub : hi;
     }
   }
-  return max_;
+  return hi;
 }
 
 namespace {
@@ -45,30 +46,38 @@ const T* FindIn(const std::map<std::string, std::unique_ptr<T>>& m,
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&counters_, name);
 }
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&gauges_, name);
 }
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&histograms_, name);
 }
 Timeseries* MetricsRegistry::GetTimeseries(const std::string& name,
                                            SimDuration bucket_width) {
+  std::lock_guard<std::mutex> lock(mu_);
   return GetOrCreate(&timeseries_, name, bucket_width);
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindIn(counters_, name);
 }
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindIn(gauges_, name);
 }
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindIn(histograms_, name);
 }
 const Timeseries* MetricsRegistry::FindTimeseries(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindIn(timeseries_, name);
 }
 

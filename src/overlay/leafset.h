@@ -59,6 +59,11 @@ class Leafset {
   std::optional<NodeHandle> FarthestCw() const;
   std::optional<NodeHandle> FarthestCcw() const;
 
+  // Heap bytes held by the member vectors.
+  size_t ApproxBytes() const {
+    return (cw_.capacity() + ccw_.capacity()) * sizeof(NodeHandle);
+  }
+
  private:
   void Trim();
 

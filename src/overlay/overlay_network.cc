@@ -1,12 +1,13 @@
 #include "overlay/overlay_network.h"
 
+#include "common/lane.h"
 #include "common/logging.h"
 
 namespace seaweed::overlay {
 
 OverlayNetwork::OverlayNetwork(Simulator* sim, Transport* network,
                                const PastryConfig& config, uint64_t seed)
-    : sim_(sim), network_(network), config_(config), rng_(seed) {
+    : sim_(sim), network_(network), config_(config), boot_seed_(seed) {
   obs::MetricsRegistry* reg = &network_->obs()->metrics;
   metrics_.heartbeats = reg->GetCounter("overlay.heartbeats");
   metrics_.joins = reg->GetCounter("overlay.joins");
@@ -30,16 +31,19 @@ void OverlayNetwork::CreateNodes(const std::vector<NodeId>& ids) {
         nodes_[from]->OnSendFailed(nodes_[to]->handle(), pkt);
       },
       /*drop_notice_delay=*/kSecond);
+  // One shared delivery closure for the whole overlay instead of a
+  // per-endsystem lambda: O(1) handler storage at a million endsystems.
+  network_->SetUniformDeliveryHandler(
+      [this](EndsystemIndex from, EndsystemIndex to, WireMessagePtr payload) {
+        OnDelivery(to, from, std::move(payload));
+      });
   nodes_.reserve(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
     NodeHandle h{ids[i], static_cast<EndsystemIndex>(i)};
     nodes_.push_back(std::make_unique<PastryNode>(this, h, config_));
-    EndsystemIndex e = static_cast<EndsystemIndex>(i);
-    network_->SetDeliveryHandler(
-        e, [this, e](EndsystemIndex from, WireMessagePtr payload) {
-          OnDelivery(e, from, std::move(payload));
-        });
   }
+  joined_pos_.assign(ids.size(), kNotJoined);
+  boot_seq_.assign(ids.size(), 0);
 }
 
 void OverlayNetwork::BringUp(EndsystemIndex e) {
@@ -61,37 +65,97 @@ void OverlayNetwork::SendPacket(EndsystemIndex from, EndsystemIndex to,
   network_->Send(from, to, pkt->category, pkt);
 }
 
+void OverlayNetwork::HeartbeatArrived(const NodeHandle& from,
+                                      EndsystemIndex to) {
+  constexpr uint32_t kHeartbeatBytes =
+      1 + kNodeHandleBytes + kMessageHeaderBytes;
+  network_->meter()->RecordRx(to, TrafficCategory::kPastry, sim_->Now(),
+                              kHeartbeatBytes);
+  nodes_[to]->NoteHeartbeat(from);
+}
+
 void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
                                    const NodeHandle& to) {
   // Minimal heartbeat: kind + src handle.
-  constexpr uint32_t kHeartbeatBytes = 1 + kNodeHandleBytes +
-                                       kMessageHeaderBytes;
-  ++heartbeats_sent_;
+  constexpr uint32_t kHeartbeatBytes =
+      1 + kNodeHandleBytes + kMessageHeaderBytes;
+  heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
   metrics_.heartbeats->Add();
-  BandwidthMeter* meter = network_->meter();
-  meter->RecordTx(from.address, TrafficCategory::kPastry, sim_->Now(),
-                  kHeartbeatBytes);
+  network_->meter()->RecordTx(from.address, TrafficCategory::kPastry,
+                              sim_->Now(), kHeartbeatBytes);
   // Linked (not IsUp): an injected partition must starve heartbeats exactly
   // like a real link cut, so failure detection fires on both sides.
-  if (network_->Linked(from.address, to.address)) {
-    meter->RecordRx(to.address, TrafficCategory::kPastry, sim_->Now(),
-                    kHeartbeatBytes);
-    nodes_[to.address]->NoteHeartbeat(from);
+  const int cur = CurrentExecLane();
+  if (cur <= 0 || cur == sim_->LaneOfEndsystem(to.address)) {
+    // Receiver state lives in this context: synchronous fast path.
+    if (network_->Linked(from.address, to.address)) {
+      HeartbeatArrived(from, to.address);
+    }
+    return;
   }
+  // Cross-lane heartbeat: the receiver's bookkeeping belongs to another
+  // lane, so pack the handle into a POD effect applied at the window
+  // barrier. Linked is re-checked there (exclusive context, live tables).
+  sim_->Defer(DeferEffect{
+      [](void* ctx, uint64_t a, uint64_t b, uint64_t c, uint64_t) {
+        auto* self = static_cast<OverlayNetwork*>(ctx);
+        NodeHandle sender{NodeId(a, b),
+                          static_cast<EndsystemIndex>(c >> 32)};
+        auto to_e = static_cast<EndsystemIndex>(c & 0xffffffffu);
+        if (self->network_->Linked(sender.address, to_e)) {
+          self->HeartbeatArrived(sender, to_e);
+        }
+      },
+      this, from.id.hi(), from.id.lo(),
+      (static_cast<uint64_t>(from.address) << 32) | to.address});
 }
 
 std::optional<NodeHandle> OverlayNetwork::PickBootstrap(
     EndsystemIndex joiner) {
   // A real deployment would use a configured contact list; the simulator
-  // picks a random live joined node (excluding the joiner).
-  std::vector<NodeHandle> live;
-  for (const auto& n : nodes_) {
-    if (n->up() && n->joined() && n->address() != joiner) {
-      live.push_back(n->handle());
-    }
+  // picks a random member of the dense joined list (excluding the joiner).
+  // The draw is counter-hashed per (joiner, attempt) so it does not depend
+  // on how joins interleave across lanes.
+  const size_t n = joined_list_.size();
+  if (n == 0) return std::nullopt;
+  if (n == 1) {
+    if (joined_list_[0] == joiner) return std::nullopt;
+    return nodes_[joined_list_[0]]->handle();
   }
-  if (live.empty()) return std::nullopt;
-  return live[rng_.NextBelow(live.size())];
+  Rng draw(MixSeed(boot_seed_, joiner, boot_seq_[joiner]++));
+  size_t idx = static_cast<size_t>(draw.NextBelow(n));
+  if (joined_list_[idx] == joiner) {
+    // Re-draw uniformly over the other n-1 positions.
+    idx = (idx + 1 + static_cast<size_t>(draw.NextBelow(n - 1))) % n;
+  }
+  return nodes_[joined_list_[idx]]->handle();
+}
+
+void OverlayNetwork::OnJoinedChanged(EndsystemIndex e, bool member) {
+  // Applied at the barrier (immediately when exclusive): cross-lane readers
+  // of the joined list always see a window-stable snapshot.
+  sim_->Defer(DeferEffect{
+      [](void* ctx, uint64_t a, uint64_t b, uint64_t, uint64_t) {
+        static_cast<OverlayNetwork*>(ctx)->ApplyJoinedChange(
+            static_cast<EndsystemIndex>(a), b != 0);
+      },
+      this, e, member ? 1u : 0u});
+}
+
+void OverlayNetwork::ApplyJoinedChange(EndsystemIndex e, bool member) {
+  uint32_t pos = joined_pos_[e];
+  if (member) {
+    if (pos != kNotJoined) return;
+    joined_pos_[e] = static_cast<uint32_t>(joined_list_.size());
+    joined_list_.push_back(e);
+  } else {
+    if (pos == kNotJoined) return;
+    EndsystemIndex last = joined_list_.back();
+    joined_list_[pos] = last;
+    joined_pos_[last] = pos;
+    joined_list_.pop_back();
+    joined_pos_[e] = kNotJoined;
+  }
 }
 
 std::optional<NodeHandle> OverlayNetwork::OracleRoot(const NodeId& key) const {
@@ -122,6 +186,12 @@ int OverlayNetwork::CountJoined() const {
     if (node->up() && node->joined()) ++n;
   }
   return n;
+}
+
+size_t OverlayNetwork::ApproxRoutingBytes() const {
+  size_t total = 0;
+  for (const auto& n : nodes_) total += n->ApproxStateBytes();
+  return total;
 }
 
 void OverlayNetwork::OnDelivery(EndsystemIndex to, EndsystemIndex from,

@@ -5,8 +5,18 @@
 // on join (real deployments use well-known contact endpoints) and the
 // ground-truth helpers used by tests; the protocols themselves exchange real
 // (bandwidth-charged) messages.
+//
+// Scale + lane safety: the joined-membership set is a dense swap-remove
+// vector maintained via deferred (barrier-applied) updates, so PickBootstrap
+// is O(1) instead of an O(N) scan — the scan made million-node runs O(N^2)
+// through the periodic global-stabilize probes. Bootstrap draws are
+// counter-hashed per (joiner, attempt), independent of event interleaving.
+// A cross-lane heartbeat defers its receiver-side bookkeeping to the window
+// barrier (packed in a POD DeferEffect); same-lane and serial-mode
+// heartbeats keep the synchronous fast path.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -55,10 +65,15 @@ class OverlayNetwork {
   void SendPacket(EndsystemIndex from, EndsystemIndex to,
                   const std::shared_ptr<Packet>& pkt);
   // Heartbeat fast path: charges bandwidth for one heartbeat message from
-  // `from` to `to` and, if `to` is up, updates its liveness bookkeeping
-  // synchronously (no event scheduled).
+  // `from` to `to` and, if `to` is up, updates its liveness bookkeeping —
+  // synchronously when `to` runs in the caller's lane (or serial mode),
+  // otherwise deferred to the window barrier (no per-message event either
+  // way).
   void FastHeartbeat(const NodeHandle& from, const NodeHandle& to);
   std::optional<NodeHandle> PickBootstrap(EndsystemIndex joiner);
+  // A node's membership (up && joined) changed. Applied to the dense joined
+  // list at the window barrier (immediately in exclusive contexts).
+  void OnJoinedChanged(EndsystemIndex e, bool member);
 
   // --- Ground truth helpers (tests / statistics only) ---
   // The live, joined node numerically closest to `key`.
@@ -67,19 +82,38 @@ class OverlayNetwork {
   std::vector<NodeHandle> OracleLiveNodes() const;
   int CountJoined() const;
 
-  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  uint64_t heartbeats_sent() const {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
+  }
+
+  // Heap bytes held by all nodes' overlay routing state (routing tables,
+  // leafsets, liveness bookkeeping).
+  size_t ApproxRoutingBytes() const;
 
  private:
   void OnDelivery(EndsystemIndex to, EndsystemIndex from,
                   WireMessagePtr payload);
+  // Barrier-context application of a membership change (idempotent).
+  void ApplyJoinedChange(EndsystemIndex e, bool member);
+  // Receiver-side half of a heartbeat (rx charge + liveness bookkeeping).
+  void HeartbeatArrived(const NodeHandle& from, EndsystemIndex to);
+
+  static constexpr uint32_t kNotJoined = 0xffffffffu;
 
   Simulator* sim_;
   Transport* network_;
   PastryConfig config_;
-  Rng rng_;
+  uint64_t boot_seed_;
   OverlayMetrics metrics_;
   std::vector<std::unique_ptr<PastryNode>> nodes_;
-  uint64_t heartbeats_sent_ = 0;
+  // Dense membership set: joined_list_ holds the addresses of all up &&
+  // joined nodes (swap-remove order); joined_pos_[e] is e's index in it or
+  // kNotJoined. Mutated only in exclusive contexts (barrier/serial).
+  std::vector<EndsystemIndex> joined_list_;
+  std::vector<uint32_t> joined_pos_;
+  // Per-joiner bootstrap draw counter (touched from the joiner's lane only).
+  std::vector<uint32_t> boot_seq_;
+  std::atomic<uint64_t> heartbeats_sent_{0};
 };
 
 }  // namespace seaweed::overlay

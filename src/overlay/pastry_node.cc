@@ -19,13 +19,20 @@ PastryNode::PastryNode(OverlayNetwork* net, NodeHandle self,
 void PastryNode::Reset() {
   leafset_ = Leafset(self_.id, config_.l);
   routing_table_ = RoutingTable(self_.id, config_.b);
-  last_heard_.clear();
+  last_heard_.Clear();
   // Death certificates must not survive a restart: a rejoining node that
   // still distrusts nodes it declared dead in a previous life can reject
   // its entire join leafset and splinter into an isolated island with the
   // few nodes it never obituaried.
-  obituaries_.clear();
+  obituaries_.Clear();
   joined_ = false;
+}
+
+void PastryNode::UpdateMembership() {
+  bool member = up_ && joined_;
+  if (member == member_) return;
+  member_ = member;
+  net_->OnJoinedChanged(self_.address, member);
 }
 
 void PastryNode::Start(std::optional<NodeHandle> bootstrap) {
@@ -38,6 +45,7 @@ void PastryNode::Start(std::optional<NodeHandle> bootstrap) {
   if (!bootstrap.has_value()) {
     // First node in the overlay: trivially joined.
     joined_ = true;
+    UpdateMembership();
     net_->metrics().joins->Add();
     if (app_) app_->OnJoined();
   } else {
@@ -66,6 +74,7 @@ void PastryNode::Stop() {
   if (app_) app_->OnStopping();
   up_ = false;
   joined_ = false;
+  UpdateMembership();
   ++generation_;
 }
 
@@ -83,6 +92,7 @@ void PastryNode::JoinTimeout(uint64_t generation, int attempt) {
   } else {
     // Nobody else is up: we are the whole overlay.
     joined_ = true;
+    UpdateMembership();
     net_->metrics().joins->Add();
     if (app_) app_->OnJoined();
     return;
@@ -131,21 +141,21 @@ void PastryNode::Learn(const NodeHandle& node) {
   // certificate); only direct contact (HandlePacket/NoteHeartbeat erase the
   // obituary first) can resurrect them. Without this, stale leafset gossip
   // keeps re-inserting failed nodes faster than detection evicts them.
-  auto ob = obituaries_.find(node.id);
-  if (ob != obituaries_.end()) {
-    if (net_->simulator()->Now() < ob->second) return;
-    obituaries_.erase(ob);
+  const SimTime* ob = obituaries_.Find(node.id);
+  if (ob != nullptr) {
+    if (net_->simulator()->Now() < *ob) return;
+    obituaries_.Erase(node.id);
   }
   bool added = leafset_.Insert(node);
   routing_table_.Insert(node);
   if (added) {
     const SimTime now = net_->simulator()->Now();
-    auto heard = last_heard_.find(node.id);
-    bool direct_recent = heard != last_heard_.end() &&
-                         now - heard->second < config_.heartbeat_period;
+    const SimTime* heard = last_heard_.Find(node.id);
+    bool direct_recent =
+        heard != nullptr && now - *heard < config_.heartbeat_period;
     // Benefit of the doubt for third-party-learned members: treat them as
     // heard-from now so failure detection starts a fresh window.
-    last_heard_.emplace(node.id, now);
+    last_heard_.InsertIfAbsent(node.id, now);
     if (!direct_recent && joined_) {
       // Third-party discovery: introduce ourselves so knowledge becomes
       // mutual. Without this, two nodes that once declared each other dead
@@ -234,8 +244,8 @@ void PastryNode::HandlePacket(EndsystemIndex from,
   (void)from;
   // Opportunistically learn about the packet source. Direct contact is
   // proof of life, so any obituary is void.
-  obituaries_.erase(pkt->src.id);
-  last_heard_[pkt->src.id] = net_->simulator()->Now();
+  obituaries_.Erase(pkt->src.id);
+  last_heard_.Put(pkt->src.id, net_->simulator()->Now());
   Learn(pkt->src);
 
   switch (pkt->kind) {
@@ -262,6 +272,7 @@ void PastryNode::HandlePacket(EndsystemIndex from,
       Learn(pkt->src);
       if (!joined_) {
         joined_ = true;
+        UpdateMembership();
         net_->metrics().joins->Add();
         // Announce ourselves to everyone we now believe is a neighbor.
         auto announce = std::make_shared<Packet>();
@@ -336,8 +347,8 @@ void PastryNode::OnSendFailed(const NodeHandle& dead,
 
 void PastryNode::NoteHeartbeat(const NodeHandle& from) {
   if (!up_) return;
-  obituaries_.erase(from.id);
-  last_heard_[from.id] = net_->simulator()->Now();
+  obituaries_.Erase(from.id);
+  last_heard_.Put(from.id, net_->simulator()->Now());
   Learn(from);
 }
 
@@ -409,8 +420,8 @@ void PastryNode::CheckFailures() {
       config_.failure_timeout_multiple);
   std::vector<NodeHandle> failed;
   for (const auto& member : leafset_.All()) {
-    auto it = last_heard_.find(member.id);
-    SimTime heard = it == last_heard_.end() ? 0 : it->second;
+    const SimTime* it = last_heard_.Find(member.id);
+    SimTime heard = it == nullptr ? 0 : *it;
     if (now - heard > window) failed.push_back(member);
   }
   for (const auto& f : failed) HandleNeighborFailure(f);
@@ -425,10 +436,10 @@ void PastryNode::HandleNeighborFailure(const NodeHandle& failed) {
   const SimDuration window = static_cast<SimDuration>(
       static_cast<double>(config_.heartbeat_period) *
       config_.failure_timeout_multiple);
-  obituaries_[failed.id] = net_->simulator()->Now() + 2 * window;
+  obituaries_.Put(failed.id, net_->simulator()->Now() + 2 * window);
   leafset_.Remove(failed.id);
   routing_table_.Remove(failed.id);
-  last_heard_.erase(failed.id);
+  last_heard_.Erase(failed.id);
   if (app_) app_->OnNeighborFailed(failed);
 
   // Repair: ask the farthest surviving member on the depleted side for its
@@ -459,8 +470,8 @@ void PastryNode::ProbeTick(uint64_t generation) {
     uint64_t gen = generation_;
     net_->simulator()->After(config_.probe_timeout, [this, gen, target, sent] {
       if (gen != generation_ || !up_) return;
-      auto it = last_heard_.find(target.id);
-      if (it == last_heard_.end() || it->second < sent) {
+      const SimTime* it = last_heard_.Find(target.id);
+      if (it == nullptr || *it < sent) {
         routing_table_.Remove(target.id);
         if (leafset_.Remove(target.id)) {
           HandleNeighborFailure(target);
@@ -471,6 +482,11 @@ void PastryNode::ProbeTick(uint64_t generation) {
   uint64_t gen = generation_;
   net_->simulator()->After(config_.probe_period,
                            [this, gen] { ProbeTick(gen); });
+}
+
+size_t PastryNode::ApproxStateBytes() const {
+  return routing_table_.ApproxBytes() + leafset_.ApproxBytes() +
+         last_heard_.ApproxBytes() + obituaries_.ApproxBytes();
 }
 
 }  // namespace seaweed::overlay

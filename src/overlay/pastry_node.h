@@ -11,8 +11,8 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/time_types.h"
 #include "overlay/leafset.h"
 #include "overlay/packet.h"
@@ -111,10 +111,17 @@ class PastryNode {
   // packets are re-routed around the failure.
   void OnSendFailed(const NodeHandle& dead, const std::shared_ptr<Packet>& pkt);
 
+  // Heap bytes held by this node's overlay state (routing table, leafset,
+  // liveness bookkeeping).
+  size_t ApproxStateBytes() const;
+
  private:
   friend class OverlayNetwork;
 
   void Reset();
+  // Reports (up && joined) transitions to the OverlayNetwork joined list.
+  // Call after any change to up_ or joined_.
+  void UpdateMembership();
   void HeartbeatTick(uint64_t generation);
   void CheckFailures();
   void ProbeTick(uint64_t generation);
@@ -135,15 +142,17 @@ class PastryNode {
 
   bool up_ = false;
   bool joined_ = false;
+  // Last membership value reported via UpdateMembership.
+  bool member_ = false;
   // Incremented on every Start/Stop; stale scheduled callbacks check it.
   uint64_t generation_ = 0;
 
   Leafset leafset_;
   RoutingTable routing_table_;
-  std::unordered_map<NodeId, SimTime, NodeIdHash> last_heard_;
+  FlatMap<NodeId, SimTime> last_heard_;
   // Recently-declared-dead nodes and the time until which third-party
   // mentions of them are ignored.
-  std::unordered_map<NodeId, SimTime, NodeIdHash> obituaries_;
+  FlatMap<NodeId, SimTime> obituaries_;
   uint64_t stabilize_phase_ = 0;
   Rng rng_;
 };

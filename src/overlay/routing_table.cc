@@ -1,25 +1,37 @@
 #include "overlay/routing_table.h"
 
+#include <algorithm>
+
 namespace seaweed::overlay {
 
 RoutingTable::RoutingTable(const NodeId& owner, int b)
-    : owner_(owner),
-      b_(b),
-      rows_(kIdBits / b),
-      cols_(1 << b),
-      slots_(static_cast<size_t>(rows_) * static_cast<size_t>(cols_)) {}
+    : owner_(owner), b_(b), rows_(kIdBits / b), cols_(1 << b) {}
+
+std::vector<RoutingTable::Entry>::const_iterator RoutingTable::LowerBound(
+    uint16_t slot) const {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), slot,
+      [](const Entry& e, uint16_t s) { return e.slot < s; });
+}
+
+std::optional<NodeHandle> RoutingTable::At(int row, int col) const {
+  uint16_t slot = SlotOf(row, col);
+  auto it = LowerBound(slot);
+  if (it == entries_.end() || it->slot != slot) return std::nullopt;
+  return it->node;
+}
 
 bool RoutingTable::Insert(const NodeHandle& node) {
   if (node.id == owner_) return false;
   int row = owner_.CommonPrefixLength(node.id, b_);
   if (row >= rows_) return false;  // same id (already excluded)
   int col = node.id.Digit(row, b_);
-  auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
-  if (slot.has_value()) {
+  uint16_t slot = SlotOf(row, col);
+  auto it = LowerBound(slot);
+  if (it != entries_.end() && it->slot == slot) {
     return false;  // keep existing entry
   }
-  slot = node;
-  ++num_entries_;
+  entries_.insert(it, Entry{slot, node});
   return true;
 }
 
@@ -27,10 +39,10 @@ bool RoutingTable::Remove(const NodeId& id) {
   int row = owner_.CommonPrefixLength(id, b_);
   if (row >= rows_) return false;
   int col = id.Digit(row, b_);
-  auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
-  if (slot.has_value() && slot->id == id) {
-    slot.reset();
-    --num_entries_;
+  uint16_t slot = SlotOf(row, col);
+  auto it = LowerBound(slot);
+  if (it != entries_.end() && it->slot == slot && it->node.id == id) {
+    entries_.erase(it);
     return true;
   }
   return false;
@@ -40,62 +52,57 @@ std::optional<NodeHandle> RoutingTable::NextHop(const NodeId& key) const {
   int row = owner_.CommonPrefixLength(key, b_);
   if (row >= rows_) return std::nullopt;  // key == owner
   int col = key.Digit(row, b_);
-  return slots_[static_cast<size_t>(row * cols_ + col)];
+  return At(row, col);
 }
 
 std::optional<NodeHandle> RoutingTable::CloserEntry(const NodeId& key) const {
   int own_prefix = owner_.CommonPrefixLength(key, b_);
   NodeId own_dist = owner_.RingDistanceTo(key);
-  // Only rows >= own_prefix can contain entries with a prefix at least as
-  // long as the owner's.
-  for (int row = own_prefix; row < rows_; ++row) {
-    for (int col = 0; col < cols_; ++col) {
-      const auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
-      if (!slot.has_value()) continue;
-      int p = slot->id.CommonPrefixLength(key, b_);
-      if (p < own_prefix) continue;
-      if (slot->id.RingDistanceTo(key) < own_dist) return *slot;
-    }
+  // Entries are sorted by slot = row * cols + col, so rows >= own_prefix
+  // (the only rows that can hold a prefix at least as long as the owner's)
+  // form a suffix of the vector.
+  for (auto it = LowerBound(SlotOf(own_prefix, 0)); it != entries_.end();
+       ++it) {
+    int p = it->node.id.CommonPrefixLength(key, b_);
+    if (p < own_prefix) continue;
+    if (it->node.id.RingDistanceTo(key) < own_dist) return it->node;
   }
   return std::nullopt;
 }
 
 std::vector<NodeHandle> RoutingTable::AllEntries() const {
   std::vector<NodeHandle> out;
-  out.reserve(num_entries_);
-  for (const auto& slot : slots_) {
-    if (slot.has_value()) out.push_back(*slot);
-  }
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.node);
   return out;
 }
 
 std::vector<NodeHandle> RoutingTable::EntriesInArc(const NodeId& lo,
                                                    const NodeId& hi) const {
   std::vector<NodeHandle> out;
-  for (const auto& slot : slots_) {
-    if (slot.has_value() && slot->id.InArc(lo, hi)) out.push_back(*slot);
+  for (const Entry& e : entries_) {
+    if (e.node.id.InArc(lo, hi)) out.push_back(e.node);
   }
   return out;
 }
 
 std::optional<NodeHandle> RoutingTable::RandomEntry(Rng& rng) const {
-  if (num_entries_ == 0) return std::nullopt;
-  uint64_t skip = rng.NextBelow(num_entries_);
-  for (const auto& slot : slots_) {
-    if (!slot.has_value()) continue;
-    if (skip == 0) return *slot;
-    --skip;
-  }
-  return std::nullopt;
+  if (entries_.empty()) return std::nullopt;
+  return entries_[rng.NextBelow(entries_.size())].node;
 }
 
 std::vector<NodeHandle> RoutingTable::Row(int row) const {
   std::vector<NodeHandle> out;
-  for (int col = 0; col < cols_; ++col) {
-    const auto& slot = slots_[static_cast<size_t>(row * cols_ + col)];
-    if (slot.has_value()) out.push_back(*slot);
+  uint16_t first = SlotOf(row, 0);
+  for (auto it = LowerBound(first);
+       it != entries_.end() && it->slot < first + cols_; ++it) {
+    out.push_back(it->node);
   }
   return out;
+}
+
+size_t RoutingTable::ApproxBytes() const {
+  return entries_.capacity() * sizeof(Entry);
 }
 
 }  // namespace seaweed::overlay

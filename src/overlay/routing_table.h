@@ -1,8 +1,15 @@
 // Pastry routing table: rows indexed by common-prefix length, columns by the
 // next digit (base 2^b). Entry (r, c) is some node whose id shares the first
 // r digits with the owner and has digit c at position r.
+//
+// Storage is a flat vector of (slot index, handle) pairs sorted by slot, not
+// a dense rows*cols grid: a populated table holds O(log N * 2^b) entries out
+// of 512 slots (b=4), so the dense grid of optional<NodeHandle> wastes ~16KB
+// per node — 16GB at a million endsystems. The sorted vector costs ~24 bytes
+// per populated entry; lookups are binary searches over a few cache lines.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -20,9 +27,7 @@ class RoutingTable {
   int cols() const { return cols_; }
 
   // Entry at (row, col); nullopt when empty.
-  const std::optional<NodeHandle>& At(int row, int col) const {
-    return slots_[static_cast<size_t>(row * cols_ + col)];
-  }
+  std::optional<NodeHandle> At(int row, int col) const;
 
   // Inserts a node into its canonical slot if the slot is empty (Pastry
   // keeps the first/nearest candidate; we keep the first). Owner and
@@ -55,15 +60,28 @@ class RoutingTable {
   // Contents of one row (for the join protocol).
   std::vector<NodeHandle> Row(int row) const;
 
-  size_t num_entries() const { return num_entries_; }
+  size_t num_entries() const { return entries_.size(); }
+
+  // Heap bytes held by the table.
+  size_t ApproxBytes() const;
 
  private:
+  struct Entry {
+    uint16_t slot;  // row * cols + col; sort key
+    NodeHandle node;
+  };
+
+  uint16_t SlotOf(int row, int col) const {
+    return static_cast<uint16_t>(row * cols_ + col);
+  }
+  // First entry with entry.slot >= slot.
+  std::vector<Entry>::const_iterator LowerBound(uint16_t slot) const;
+
   NodeId owner_;
   int b_;
   int rows_;
   int cols_;
-  size_t num_entries_ = 0;
-  std::vector<std::optional<NodeHandle>> slots_;
+  std::vector<Entry> entries_;  // sorted by slot; only populated slots
 };
 
 }  // namespace seaweed::overlay

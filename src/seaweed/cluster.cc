@@ -1,5 +1,9 @@
 #include "seaweed/cluster.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
 #include "common/logging.h"
 #include "seaweed/cluster_options.h"
 
@@ -34,6 +38,17 @@ SeaweedCluster::SeaweedCluster(const ClusterConfig& config,
 }
 
 void SeaweedCluster::Construct(std::shared_ptr<DataProvider> data) {
+  // Lane wiring must precede any event scheduling: the lane plan decides
+  // which queue every endsystem's events land on.
+  if (config_.lanes > 0) {
+    Topology::LanePlan plan = topology_.ComputeLanePlan(config_.lanes);
+    sim_.ConfigureLanes(plan.num_lanes, plan.lookahead);
+    sim_.SetEndsystemLanes(std::move(plan.lane_of));
+    sim_.SetThreads(config_.threads);
+    obs_.trace.ConfigureLanes(plan.num_lanes);
+  }
+  if (config_.encode_in_flight) network_.SetEncodeInFlight(true);
+
   queue_depth_gauge_ = obs_.metrics.GetGauge("sim.event_queue_depth");
   online_gauge_ = obs_.metrics.GetGauge("sim.online_endsystems");
   data_ = std::move(data);
@@ -150,10 +165,59 @@ void SeaweedCluster::AccumulateOnline(SimTime now) {
   last_population_change_ = now;
 }
 
+void SeaweedCluster::PublishStatsGauges() {
+  uint64_t min_depth = UINT64_MAX;
+  uint64_t max_depth = 0;
+  for (int q = 0; q < sim_.num_queues(); ++q) {
+    const std::string prefix = "sim.lane." + std::to_string(q);
+    const EventQueue::Stats& st = sim_.QueueStats(q);
+    const uint64_t depth = sim_.QueueDepth(q);
+    obs_.metrics.GetGauge(prefix + ".depth")
+        ->Set(static_cast<int64_t>(depth));
+    obs_.metrics.GetGauge(prefix + ".scheduled")
+        ->Set(static_cast<int64_t>(st.scheduled));
+    obs_.metrics.GetGauge(prefix + ".executed")
+        ->Set(static_cast<int64_t>(st.executed));
+    obs_.metrics.GetGauge(prefix + ".cancelled")
+        ->Set(static_cast<int64_t>(st.cancelled));
+    if (q >= 1) {  // skew is over topology lanes, not the control queue
+      min_depth = std::min(min_depth, depth);
+      max_depth = std::max(max_depth, depth);
+    }
+  }
+  obs_.metrics.GetGauge("sim.lane.max_skew")
+      ->Set(max_depth >= min_depth
+                ? static_cast<int64_t>(max_depth - min_depth)
+                : 0);
+
+  obs_.metrics.GetGauge("mem.overlay.routing_bytes")
+      ->Set(static_cast<int64_t>(overlay_->ApproxRoutingBytes()));
+  uint64_t meta_bytes = 0;
+  uint64_t meta_records = 0;
+  for (const auto& node : seaweed_) {
+    meta_bytes += node->metadata_store().ApproxBytes();
+    meta_records += node->metadata_store().size();
+  }
+  obs_.metrics.GetGauge("mem.meta.store_bytes")
+      ->Set(static_cast<int64_t>(meta_bytes));
+  obs_.metrics.GetGauge("mem.meta.store_records")
+      ->Set(static_cast<int64_t>(meta_records));
+  obs_.metrics.GetGauge("mem.net.inflight_bytes")
+      ->Set(static_cast<int64_t>(network_.inflight_bytes()));
+  obs_.metrics.GetGauge("mem.sim.event_queue_bytes")
+      ->Set(static_cast<int64_t>(sim_.ApproxQueueBytes()));
+}
+
 void SeaweedCluster::DriveFromTrace(const AvailabilityTrace& trace,
                                     SimTime until) {
   SEAWEED_CHECK(trace.num_endsystems() >= config_.num_endsystems);
   const SimTime now = sim_.Now();
+  // Hourly engine/memory gauge snapshots on the control queue (Gauge::Set
+  // requires an exclusive context). Bounded by `until` so runs that drain
+  // the schedule to completion still terminate.
+  for (SimTime t = ((now / kHour) + 1) * kHour; t < until; t += kHour) {
+    sim_.At(t, [this] { PublishStatsGauges(); });
+  }
   for (int e = 0; e < config_.num_endsystems; ++e) {
     const auto& avail = trace.endsystem(e);
     if (avail.IsUp(now)) {

@@ -46,6 +46,18 @@ struct ClusterConfig {
   // it; crash epochs are scheduled regardless of the transport spec.
   FaultPlan fault_plan;
   uint64_t seed = 1;
+  // Parallel-lane simulation (see sim/simulator.h). 0 = classic serial
+  // engine. N > 0 partitions endsystems into up to N event lanes along
+  // topology core groups (Topology::ComputeLanePlan); results depend only
+  // on the lane count, never on the thread count.
+  int lanes = 0;
+  // Worker threads executing lane windows (>= 1). Requires lanes > 0 to
+  // have any effect; byte-identical output for any value.
+  int threads = 1;
+  // Store in-flight messages as encoded wire bytes instead of live message
+  // objects (Network::SetEncodeInFlight): flat storage for queued traffic,
+  // essential at 10^5+ endsystems.
+  bool encode_in_flight = false;
 };
 
 class ClusterOptions;
@@ -108,13 +120,19 @@ class SeaweedCluster {
   // traffic category (or all categories with cat < 0).
   double MeanTxPerOnline(int64_t h0, int64_t h1, int cat = -1) const;
 
+  // Publishes the simulation-engine and memory-footprint gauges:
+  // sim.lane.<q>.{depth,scheduled,executed,cancelled}, sim.lane.max_skew,
+  // and mem.{overlay.routing,meta.store,net.inflight,sim.event_queue}_bytes.
+  // Called hourly during DriveFromTrace runs and callable from benches
+  // before snapshotting; must run in an exclusive (non-lane) context.
+  void PublishStatsGauges();
+
  private:
   void Construct(std::shared_ptr<DataProvider> data);
   std::unique_ptr<TransportStack> BuildTransportStack();
   // Turns fault_plan.crashes into BringDown/BringUp simulation events with
   // the same online-population accounting as DriveFromTrace.
   void ScheduleCrashEpochs();
-  void SampleOnlineTick();
 
   ClusterConfig config_;
   Simulator sim_;

@@ -1,5 +1,7 @@
 #include "seaweed/metadata.h"
 
+#include "common/logging.h"
+
 namespace seaweed {
 
 void Metadata::Encode(Writer& w) const {
@@ -34,34 +36,47 @@ Result<Metadata> Metadata::Decode(Reader& r) {
   return m;
 }
 
+Metadata MetadataStore::Record::Decoded() const {
+  Reader r(encoded);
+  Result<Metadata> decoded = Metadata::Decode(r);
+  SEAWEED_CHECK_MSG(decoded.ok(), "metadata record decode failed: " +
+                                      decoded.status().ToString());
+  return std::move(decoded).value();
+}
+
 bool MetadataStore::Upsert(const Metadata& metadata) {
-  auto it = records_.find(metadata.owner);
-  if (it == records_.end()) {
-    records_[metadata.owner] =
-        Record{metadata, /*down_since=*/-1, /*acquired_at=*/now_};
+  Record* rec = records_.Find(metadata.owner);
+  if (rec == nullptr) {
+    Writer w;
+    metadata.Encode(w);
+    records_.Put(metadata.owner,
+                 Record{metadata.owner, metadata.version, w.bytes(),
+                        /*down_since=*/-1, /*acquired_at=*/now_});
     return true;
   }
-  if (metadata.version < it->second.metadata.version) return false;
-  it->second.metadata = metadata;
-  it->second.down_since = -1;  // a push implies the owner is alive
+  if (metadata.version < rec->version) return false;
+  Writer w;
+  metadata.Encode(w);
+  rec->version = metadata.version;
+  rec->encoded = w.bytes();
+  rec->down_since = -1;  // a push implies the owner is alive
   return true;
 }
 
 void MetadataStore::MarkDown(const NodeId& owner, SimTime now) {
-  auto it = records_.find(owner);
-  if (it == records_.end()) return;
-  if (it->second.down_since < 0) it->second.down_since = now;
+  Record* rec = records_.Find(owner);
+  if (rec == nullptr) return;
+  if (rec->down_since < 0) rec->down_since = now;
 }
 
 void MetadataStore::MarkUp(const NodeId& owner) {
-  auto it = records_.find(owner);
-  if (it == records_.end()) return;
-  it->second.down_since = -1;
+  Record* rec = records_.Find(owner);
+  if (rec == nullptr) return;
+  rec->down_since = -1;
 }
 
 const MetadataStore::Record* MetadataStore::Find(const NodeId& owner) const {
-  auto it = records_.find(owner);
-  return it == records_.end() ? nullptr : &it->second;
+  return records_.Find(owner);
 }
 
 std::vector<const MetadataStore::Record*> MetadataStore::InRange(
@@ -80,6 +95,12 @@ std::vector<const MetadataStore::Record*> MetadataStore::All() const {
   out.reserve(records_.size());
   for (const auto& [owner, rec] : records_) out.push_back(&rec);
   return out;
+}
+
+size_t MetadataStore::ApproxBytes() const {
+  size_t total = records_.ApproxBytes();
+  for (const auto& [owner, rec] : records_) total += rec.encoded.capacity();
+  return total;
 }
 
 }  // namespace seaweed

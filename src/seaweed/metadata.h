@@ -3,9 +3,9 @@
 // replicates.
 #pragma once
 
-#include <map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/node_id.h"
 #include "common/time_types.h"
 #include "db/database.h"
@@ -50,16 +50,30 @@ struct Metadata {
 // down-time bookkeeping (§3.2.1: "When a member y of the replica set notices
 // that an endsystem x is unavailable, it records the time at which this
 // occurred").
+//
+// Records are held encoded-at-rest: the metadata lives as its wire bytes
+// (flat storage, one allocation) and is decoded on demand. A decoded
+// Metadata costs hundreds of heap bytes across the summary/model/view
+// containers; times ~8 replicas times a million endsystems that is tens of
+// GB, while the encoded form is a few hundred contiguous bytes. The fields
+// the store's own bookkeeping needs (owner, version) are cached unencoded.
 class MetadataStore {
  public:
   struct Record {
-    Metadata metadata;
+    NodeId owner;
+    uint64_t version = 0;
+    // Wire-form Metadata (Metadata::Encode).
+    std::vector<uint8_t> encoded;
     // -1 while the owner is believed up; otherwise the time this replica
     // noticed the owner go down.
     SimTime down_since = -1;
     // When this replica first acquired the record (fallback down-time for
     // owners learned via anti-entropy that we never saw alive).
     SimTime acquired_at = 0;
+
+    // Decodes the stored metadata (CHECK-fails on corruption: the bytes
+    // came from our own encoder).
+    Metadata Decoded() const;
   };
 
   // Sets the clock used to stamp acquired_at on insert.
@@ -85,26 +99,21 @@ class MetadataStore {
   std::vector<const Record*> All() const;
 
   // Drops records whose owner is farther than the given predicate allows.
-  // `keep` is called with each owner id; false means evict.
+  // `keep` is called with each owner id and its record; false means evict.
   template <typename KeepFn>
   size_t EvictIf(KeepFn keep) {
-    size_t evicted = 0;
-    for (auto it = records_.begin(); it != records_.end();) {
-      if (!keep(it->first)) {
-        it = records_.erase(it);
-        ++evicted;
-      } else {
-        ++it;
-      }
-    }
-    return evicted;
+    return records_.EraseIf(
+        [&](const NodeId& owner, const Record& rec) { return !keep(owner, rec); });
   }
 
   size_t size() const { return records_.size(); }
-  void Clear() { records_.clear(); }
+  void Clear() { records_.Clear(); }
+
+  // Heap bytes held by the store (record table plus encoded payloads).
+  size_t ApproxBytes() const;
 
  private:
-  std::map<NodeId, Record> records_;
+  FlatMap<NodeId, Record> records_;
   SimTime now_ = 0;
 };
 

@@ -152,7 +152,7 @@ void SeaweedNode::OnNeighborFailed(const NodeHandle& neighbor) {
   // primary holder of, the failed node may have been a replica; restore the
   // k-th copy on the member that now qualifies, on the failed node's side.
   for (const auto* rec : metadata_.All()) {
-    const NodeId& owner = rec->metadata.owner;
+    const NodeId& owner = rec->owner;
     if (owner == id() || owner == neighbor.id) continue;
     if (!IsLikelyRootFor(owner)) continue;
     // Pick the qualifying member farthest from the owner: the one most
@@ -170,7 +170,7 @@ void SeaweedNode::OnNeighborFailed(const NodeHandle& neighbor) {
     if (target.has_value()) {
       auto msg = std::make_shared<SeaweedMessage>();
       msg->kind = SeaweedMessage::Kind::kMetadataPush;
-      msg->metadata = rec->metadata;
+      msg->metadata = rec->Decoded();
       msg->metadata_wire_bytes = data_->SummaryWireBytes(index());
       metrics_.metadata_rereplications->Add();
       SendSeaweed(*target, msg, TrafficCategory::kMetadata);
@@ -187,7 +187,7 @@ void SeaweedNode::OnNeighborAdded(const NodeHandle& neighbor) {
     PushMetadataTo(neighbor);
   }
   for (const auto* rec : metadata_.All()) {
-    const NodeId& owner = rec->metadata.owner;
+    const NodeId& owner = rec->owner;
     if (owner == neighbor.id) continue;
     // Push only records the newcomer is responsible for, and only if we are
     // the closest live holder (the "primary" of the record) — otherwise all
@@ -197,12 +197,33 @@ void SeaweedNode::OnNeighborAdded(const NodeHandle& neighbor) {
     if (LikelyReplicaFor(owner, neighbor)) {
       auto msg = std::make_shared<SeaweedMessage>();
       msg->kind = SeaweedMessage::Kind::kMetadataPush;
-      msg->metadata = rec->metadata;
+      msg->metadata = rec->Decoded();
       msg->metadata_wire_bytes =
           data_->SummaryWireBytes(index());  // summaries are same order size
       SendSeaweed(neighbor, msg, TrafficCategory::kMetadata);
     }
   }
+  // The newcomer shifted the replica boundary: drop records we are no longer
+  // a likely replica for. Waiting for the periodic push tick is fine in
+  // steady state, but during a join storm leafsets shift on every arrival
+  // and a node can accumulate hundreds of stale records between ticks —
+  // O(N) aggregate store growth instead of O(k) per node.
+  EvictLiveOwnerRecords();
+}
+
+void SeaweedNode::EvictLiveOwnerRecords() {
+  // Storm-time eviction is restricted to owners believed UP: a live owner
+  // re-pushes every summary_push_period, so dropping its record costs at
+  // most one period of under-replication. Records of DOWN owners are the
+  // coverage-critical ones (§3.2.1 answers for unavailable endsystems from
+  // replicas, and a down owner cannot re-push) — those are left to the
+  // periodic tick's eviction, whose rare sampling tolerates transient
+  // leafset views that would wrongly purge them here.
+  metadata_.EvictIf(
+      [this](const NodeId& owner, const MetadataStore::Record& rec) {
+        return rec.down_since >= 0 ||
+               LikelyReplicaFor(owner, pastry_->handle());
+      });
 }
 
 void SeaweedNode::OnAppSendFailed(const NodeHandle& dead,
@@ -347,10 +368,13 @@ void SeaweedNode::PushMetadataTick(uint64_t generation) {
     last_pushed_summary_ = data_->Summary(index());
   }
   // Evict records we are no longer responsible for (the owner's replica set
-  // drifted away from us as nodes joined); keeps the store O(k).
-  metadata_.EvictIf([this](const NodeId& owner) {
-    return LikelyReplicaFor(owner, pastry_->handle());
-  });
+  // drifted away from us as nodes joined); keeps the store O(k). Unlike the
+  // storm-time sweeps this one also drops records of down owners: by tick
+  // time leafset views have settled, so the predicate is trustworthy.
+  metadata_.EvictIf(
+      [this](const NodeId& owner, const MetadataStore::Record&) {
+        return LikelyReplicaFor(owner, pastry_->handle());
+      });
   // Randomize each period slightly to avoid system-wide synchronization
   // (§4.3: "each endsystem choosing its push time randomly").
   SimDuration period = config_.summary_push_period;
@@ -828,7 +852,7 @@ void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
   }
   // Unavailable endsystems whose metadata we replicate.
   for (const auto* rec : metadata_.InRange(range, /*only_down=*/false)) {
-    const NodeId& owner = rec->metadata.owner;
+    const NodeId& owner = rec->owner;
     if (owner == id()) continue;
     if (rec->down_since < 0) {
       // Believed up: if it is a live leafset member it covers itself; only
@@ -839,13 +863,14 @@ void SeaweedNode::GeneratePredictorFor(ActiveQuery& aq, const IdRange& range,
     }
     SimTime down_since = rec->down_since >= 0 ? rec->down_since
                                               : rec->acquired_at;
-    double rows = rec->metadata.summary.EstimateRows(aq.query.parsed);
+    Metadata meta = rec->Decoded();
+    double rows = meta.summary.EstimateRows(aq.query.parsed);
     if (rows <= 0) {
       out->AddEndsystems(1);
       ++records;
       continue;
     }
-    const AvailabilityModel& model = rec->metadata.availability;
+    const AvailabilityModel& model = meta.availability;
     out->AddRowsWithAvailability(
         rows, [&](SimDuration edge) {
           return model.ProbUpBy(now, down_since, injected + edge);
@@ -871,11 +896,11 @@ void SeaweedNode::GenerateViewFor(ActiveQuery& aq, const IdRange& range,
   // live owners in a terminal range would be leafset members handling their
   // own cells, so these are the unavailable ones.
   for (const auto* rec : metadata_.InRange(range, /*only_down=*/false)) {
-    const NodeId& owner = rec->metadata.owner;
+    const NodeId& owner = rec->owner;
     if (owner == id()) continue;
     if (rec->down_since < 0 && pastry_->leafset().Contains(owner)) continue;
-    const db::AggregateResult* value =
-        rec->metadata.FindView(aq.query.view_name);
+    Metadata meta = rec->Decoded();
+    const db::AggregateResult* value = meta.FindView(aq.query.view_name);
     if (value != nullptr) {
       out->Merge(*value);
     }
@@ -1331,6 +1356,14 @@ void SeaweedNode::OnAppMessage(const NodeHandle& from, bool routed,
         // down-state to be set by failure detection or assumed from
         // acquisition time.
         metadata_.MarkDown(msg->metadata.owner, sim()->Now());
+      }
+      // Soft cap: while the ring is churning, pushes from stale sender
+      // views pile up faster than neighbor-add sweeps run. Once the store
+      // exceeds a few replica sets' worth, sweep live-owner records so it
+      // stays O(k) instead of O(churn).
+      if (static_cast<int>(metadata_.size()) >
+          4 * config_.metadata_replicas) {
+        EvictLiveOwnerRecords();
       }
       break;
     }

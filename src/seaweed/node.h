@@ -211,6 +211,10 @@ class SeaweedNode : public overlay::PastryApp {
   // --- Metadata plane ---
   void PushMetadataTick(uint64_t generation);
   void PushMetadataTo(const overlay::NodeHandle& to, bool allow_delta = false);
+  // Drops records of owners believed up that we no longer qualify as a
+  // replica for (safe any time: live owners re-push every period). Records
+  // of down owners are only evicted by the periodic tick.
+  void EvictLiveOwnerRecords();
   std::vector<overlay::NodeHandle> ReplicaSet() const;
   bool LikelyReplicaFor(const NodeId& owner,
                         const overlay::NodeHandle& holder) const;

@@ -54,7 +54,7 @@ void BandwidthMeter::RecordTx(uint32_t endsystem, TrafficCategory cat,
                               SimTime t, uint32_t bytes) {
   SEAWEED_DCHECK(endsystem < per_endsystem_.size());
   int64_t hour = t / kHour;
-  max_hour_ = std::max(max_hour_, hour);
+  NoteHour(hour);
   Bump(per_endsystem_[endsystem].tx_by_hour, hour, bytes);
   total_tx_->Add(bytes);
   tx_series_[static_cast<int>(cat)]->Record(t, bytes);
@@ -64,7 +64,7 @@ void BandwidthMeter::RecordRx(uint32_t endsystem, TrafficCategory cat,
                               SimTime t, uint32_t bytes) {
   SEAWEED_DCHECK(endsystem < per_endsystem_.size());
   int64_t hour = t / kHour;
-  max_hour_ = std::max(max_hour_, hour);
+  NoteHour(hour);
   Bump(per_endsystem_[endsystem].rx_by_hour, hour, bytes);
   total_rx_->Add(bytes);
   rx_series_[static_cast<int>(cat)]->Record(t, bytes);
@@ -74,7 +74,7 @@ void BandwidthMeter::RecordTxDropped(uint32_t endsystem, SimTime t,
                                      uint32_t bytes) {
   SEAWEED_DCHECK(endsystem < per_endsystem_.size());
   int64_t hour = t / kHour;
-  max_hour_ = std::max(max_hour_, hour);
+  NoteHour(hour);
   Bump(per_endsystem_[endsystem].tx_by_hour, hour, bytes);
   total_tx_->Add(bytes);
   tx_dropped_series_->Record(t, bytes);

@@ -80,7 +80,7 @@ class BandwidthMeter {
   // 0 if never recorded.
   uint64_t TxInHour(uint32_t endsystem, int64_t hour) const;
   uint64_t RxInHour(uint32_t endsystem, int64_t hour) const;
-  int64_t MaxHour() const { return max_hour_; }
+  int64_t MaxHour() const { return max_hour_.load(std::memory_order_relaxed); }
   int num_endsystems() const {
     return static_cast<int>(per_endsystem_.size());
   }
@@ -94,12 +94,18 @@ class BandwidthMeter {
                                     int64_t last_hour) const;
 
  private:
+  // Lane safety: a PerEndsystem slot is only touched from its endsystem's
+  // lane (tx on send, rx on delivery) or from exclusive contexts, so the
+  // per-hour vectors need no synchronization; only max_hour_ is shared.
   struct PerEndsystem {
     std::vector<uint32_t> tx_by_hour;
     std::vector<uint32_t> rx_by_hour;
   };
 
   static void Bump(std::vector<uint32_t>& v, int64_t hour, uint32_t bytes);
+  void NoteHour(int64_t hour) {
+    obs::internal::AtomicMax(max_hour_, hour);
+  }
 
   std::vector<PerEndsystem> per_endsystem_;
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
@@ -109,7 +115,7 @@ class BandwidthMeter {
   obs::Timeseries* tx_dropped_series_;
   obs::Counter* total_tx_;
   obs::Counter* total_rx_;
-  int64_t max_hour_ = -1;
+  std::atomic<int64_t> max_hour_{-1};
 };
 
 // Percentile of a sample vector (p in [0,100]); sorts a copy.

@@ -1,0 +1,107 @@
+// EventFn: a move-only callable with a 48-byte small-buffer optimization.
+//
+// The event queue stores millions of pending callbacks; std::function's
+// copyability requirement plus its small inline budget forced almost every
+// simulator closure onto the heap. EventFn trades copyability (which the
+// queue never needed) for a buffer large enough to hold every hot-path
+// closure in the codebase inline: a delivery lambda captures a Network
+// pointer, two endsystem indices, a category, a byte count, and a
+// shared_ptr — about 40 bytes. Closures beyond the budget fall back to a
+// single heap allocation, so correctness never depends on the size audit.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace seaweed {
+
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      manage_ = [](Op op, void* from, void* to) {
+        Fn* src = static_cast<Fn*>(from);
+        if (op == Op::kMove) {
+          ::new (to) Fn(std::move(*src));
+        }
+        src->~Fn();
+      };
+    } else {
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      invoke_ = [](void* p) {
+        Fn* fn;
+        std::memcpy(&fn, p, sizeof(fn));
+        (*fn)();
+      };
+      manage_ = [](Op op, void* from, void* to) {
+        Fn* fn;
+        std::memcpy(&fn, from, sizeof(fn));
+        if (op == Op::kMove) {
+          std::memcpy(to, &fn, sizeof(fn));
+        } else {
+          delete fn;
+        }
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  // Invokes the stored callable. Must not be called on an empty EventFn.
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* from, void* to);
+
+  void MoveFrom(EventFn&& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(Op::kMove, other.buf_, buf_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace seaweed

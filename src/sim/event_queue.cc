@@ -1,42 +1,290 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace seaweed {
 
-EventId EventQueue::Schedule(SimTime when, std::function<void()> fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+namespace {
+
+// (when, seq) ordering shared by the bucket regions and the far heap.
+inline bool Earlier(SimTime when_a, uint64_t seq_a, SimTime when_b,
+                    uint64_t seq_b) {
+  return when_a != when_b ? when_a < when_b : seq_a < seq_b;
 }
 
-bool EventQueue::Cancel(EventId id) {
-  // pending_ distinguishes "scheduled but not fired" from everything else,
-  // so cancelling a fired (or bogus, or already-cancelled) id is a clean
-  // no-op instead of corrupting the live count.
-  if (pending_.erase(id) == 0) return false;
-  Prune();
-  return true;
+// A tail this large triggers a full descending sort on the next pop; below
+// it, tail pops fall back to a short linear scan. Chosen so the scan stays
+// within a couple of cache lines' worth of 24-byte entries.
+constexpr size_t kSortTailThreshold = 48;
+
+}  // namespace
+
+EventQueue::EventQueue(int bucket_width_log2, size_t num_buckets)
+    : width_log2_(bucket_width_log2), num_buckets_(num_buckets) {
+  SEAWEED_CHECK_MSG((num_buckets & (num_buckets - 1)) == 0,
+                    "EventQueue num_buckets must be a power of two");
+  ring_mask_ = num_buckets_ - 1;
+  ring_.resize(num_buckets_);
 }
 
-void EventQueue::Prune() {
-  while (!heap_.empty() && !pending_.count(heap_.top().id)) {
-    heap_.pop();
+uint32_t EventQueue::AllocSlot(SimTime when, EventFn fn) {
+  uint32_t slot;
+  if (free_head_ != kNoFreeSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.when = when;
+  ++s.gen;  // even -> odd: occupied
+  s.next_free = kNoFreeSlot;
+  return slot;
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = EventFn();
+  ++s.gen;  // odd -> even: free (stale ids now fail the generation check)
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  SEAWEED_DCHECK(when >= 0);
+  if (live_ == 0) {
+    // Empty queue: re-anchor the ring at the schedule floor (the last popped
+    // time), the lowest `when` the contract still allows.
+    base_ord_ = OrdOf(floor_when_);
+    scan_ord_ = base_ord_;
+  }
+  const int64_t ord = OrdOf(when);
+  SEAWEED_DCHECK(ord >= base_ord_);
+  const uint32_t slot = AllocSlot(when, std::move(fn));
+  const uint32_t gen = slots_[slot].gen;
+  const Entry e{when, next_seq_++, slot};
+  if (ord < base_ord_ + static_cast<int64_t>(num_buckets_)) {
+    if (ord < scan_ord_) scan_ord_ = ord;
+    BucketAppend(RingAt(ord), e);
+    ++ring_live_;
+  } else {
+    FarPush(e);
+  }
+  ++live_;
+  ++stats_.scheduled;
+  return MakeId(slot, gen);
+}
+
+void EventQueue::BucketAppend(Bucket& b, const Entry& e) {
+  b.entries.push_back(e);
+  if (Earlier(e.when, e.seq, b.tail_min_when, b.tail_min_seq)) {
+    b.tail_min_when = e.when;
+    b.tail_min_seq = e.seq;
   }
 }
 
-std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
-  SEAWEED_CHECK_MSG(!heap_.empty(), "Pop on empty EventQueue");
-  // The invariant guarantees the top is live; priority_queue::top() is
-  // const, so move the callback out before popping.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  SimTime when = top.when;
-  std::function<void()> fn = std::move(top.fn);
-  pending_.erase(top.id);
-  heap_.pop();
-  Prune();
-  return {when, std::move(fn)};
+void EventQueue::BucketMin(const Bucket& b, SimTime* when, uint64_t* seq) {
+  *when = b.tail_min_when;
+  *seq = b.tail_min_seq;
+  if (b.sorted_len > 0) {
+    const Entry& s = b.entries[b.sorted_len - 1];
+    if (Earlier(s.when, s.seq, *when, *seq)) {
+      *when = s.when;
+      *seq = s.seq;
+    }
+  }
+}
+
+void EventQueue::RecomputeTailMin(Bucket& b) {
+  b.tail_min_when = kSimTimeMax;
+  b.tail_min_seq = 0;
+  for (size_t i = b.sorted_len; i < b.entries.size(); ++i) {
+    const Entry& e = b.entries[i];
+    if (Earlier(e.when, e.seq, b.tail_min_when, b.tail_min_seq)) {
+      b.tail_min_when = e.when;
+      b.tail_min_seq = e.seq;
+    }
+  }
+}
+
+EventQueue::Entry EventQueue::BucketPopMin(Bucket& b) {
+  SEAWEED_DCHECK(!b.entries.empty());
+  const size_t tail_len = b.entries.size() - b.sorted_len;
+  if (tail_len >= kSortTailThreshold || b.sorted_len == 0) {
+    // Merge the tail: one descending sort, then pops are O(1) from the back.
+    std::sort(b.entries.begin(), b.entries.end(),
+              [](const Entry& x, const Entry& y) {
+                return Earlier(y.when, y.seq, x.when, x.seq);
+              });
+    b.sorted_len = b.entries.size();
+    b.tail_min_when = kSimTimeMax;
+    b.tail_min_seq = 0;
+  }
+  const bool min_in_tail =
+      b.sorted_len < b.entries.size() &&
+      Earlier(b.tail_min_when, b.tail_min_seq, b.entries[b.sorted_len - 1].when,
+              b.entries[b.sorted_len - 1].seq);
+  if (min_in_tail) {
+    // Short tail (below the sort threshold): scan it for the minimum.
+    size_t idx = b.sorted_len;
+    for (size_t i = b.sorted_len + 1; i < b.entries.size(); ++i) {
+      if (Earlier(b.entries[i].when, b.entries[i].seq, b.entries[idx].when,
+                  b.entries[idx].seq)) {
+        idx = i;
+      }
+    }
+    Entry e = b.entries[idx];
+    b.entries[idx] = b.entries.back();
+    b.entries.pop_back();
+    RecomputeTailMin(b);
+    return e;
+  }
+  // Minimum is the sorted region's back. Shrink the region, then let the
+  // last tail element fill the hole (the hole's index is the new tail start,
+  // so the move keeps both regions intact).
+  Entry e = b.entries[b.sorted_len - 1];
+  --b.sorted_len;
+  b.entries[b.sorted_len] = b.entries.back();
+  b.entries.pop_back();
+  return e;
+}
+
+int64_t EventQueue::FirstNonEmptyOrd() const {
+  const int64_t end = base_ord_ + static_cast<int64_t>(num_buckets_);
+  if (ring_live_ == 0) {
+    scan_ord_ = end;
+    return end;
+  }
+  while (scan_ord_ < end && RingAt(scan_ord_).entries.empty()) {
+    ++scan_ord_;
+  }
+  SEAWEED_DCHECK(scan_ord_ < end);
+  return scan_ord_;
+}
+
+void EventQueue::FarPush(Entry e) {
+  auto later = [](const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  };
+  far_.push_back(e);
+  std::push_heap(far_.begin(), far_.end(), later);
+}
+
+EventQueue::Entry EventQueue::FarPop() {
+  auto later = [](const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  };
+  std::pop_heap(far_.begin(), far_.end(), later);
+  Entry e = far_.back();
+  far_.pop_back();
+  return e;
+}
+
+void EventQueue::RebaseToFar() {
+  SEAWEED_DCHECK(ring_live_ == 0 && !far_.empty());
+  base_ord_ = OrdOf(far_.front().when);
+  scan_ord_ = base_ord_;
+  const int64_t end = base_ord_ + static_cast<int64_t>(num_buckets_);
+  // Migrate every far entry that now fits the window into the ring.
+  while (!far_.empty() && OrdOf(far_.front().when) < end) {
+    Entry e = FarPop();
+    BucketAppend(RingAt(OrdOf(e.when)), e);
+    ++ring_live_;
+  }
+}
+
+SimTime EventQueue::PeekTime() const {
+  if (live_ == 0) return kSimTimeMax;
+  SimTime best = kSimTimeMax;
+  if (ring_live_ > 0) {
+    uint64_t seq;
+    BucketMin(RingAt(FirstNonEmptyOrd()), &best, &seq);
+  }
+  // Far entries are strictly beyond the ring window, so any ring entry wins;
+  // the far top only matters when the ring is empty.
+  if (!far_.empty() && far_.front().when < best) best = far_.front().when;
+  return best;
+}
+
+std::pair<SimTime, EventFn> EventQueue::Pop() {
+  SEAWEED_CHECK_MSG(live_ > 0, "Pop on empty EventQueue");
+  Entry e;
+  if (ring_live_ == 0) {
+    // Everything pending is in the far heap: slide the window up to it and
+    // migrate the batch, then take the minimum from the ring.
+    RebaseToFar();
+  }
+  e = BucketPopMin(RingAt(FirstNonEmptyOrd()));
+  --ring_live_;
+  EventFn fn = std::move(slots_[e.slot].fn);
+  ReleaseSlot(e.slot);
+  --live_;
+  ++stats_.executed;
+  floor_when_ = e.when;
+  return {e.when, std::move(fn)};
+}
+
+bool EventQueue::Cancel(EventId id) {
+  const uint64_t slot1 = id & 0xffffffffull;
+  if (slot1 == 0 || slot1 > slots_.size()) return false;
+  const uint32_t slot = static_cast<uint32_t>(slot1 - 1);
+  const uint32_t gen = static_cast<uint32_t>((id >> 32) & kGenMask);
+  if ((gen & 1) == 0) return false;  // ids always carry an odd generation
+  if ((slots_[slot].gen & kGenMask) != gen) return false;
+
+  // Live event: remove its entry eagerly from wherever it sits.
+  const SimTime when = slots_[slot].when;
+  const int64_t ord = OrdOf(when);
+  if (ord < base_ord_ + static_cast<int64_t>(num_buckets_)) {
+    Bucket& b = RingAt(ord);
+    for (size_t i = 0; i < b.entries.size(); ++i) {
+      if (b.entries[i].slot == slot) {
+        if (i < b.sorted_len) {
+          // Erase preserving order so the sorted region stays sorted.
+          b.entries.erase(b.entries.begin() + static_cast<int64_t>(i));
+          --b.sorted_len;
+        } else {
+          b.entries[i] = b.entries.back();
+          b.entries.pop_back();
+          RecomputeTailMin(b);
+        }
+        break;
+      }
+    }
+    --ring_live_;
+  } else {
+    auto later = [](const Entry& a, const Entry& b2) {
+      if (a.when != b2.when) return a.when > b2.when;
+      return a.seq > b2.seq;
+    };
+    for (size_t i = 0; i < far_.size(); ++i) {
+      if (far_[i].slot == slot) {
+        far_[i] = far_.back();
+        far_.pop_back();
+        std::make_heap(far_.begin(), far_.end(), later);
+        break;
+      }
+    }
+  }
+  ReleaseSlot(slot);
+  --live_;
+  ++stats_.cancelled;
+  return true;
+}
+
+size_t EventQueue::ApproxBytes() const {
+  size_t bytes = sizeof(EventQueue);
+  bytes += ring_.capacity() * sizeof(Bucket);
+  for (const Bucket& b : ring_) bytes += b.entries.capacity() * sizeof(Entry);
+  bytes += far_.capacity() * sizeof(Entry);
+  bytes += slots_.capacity() * sizeof(Slot);
+  return bytes;
 }
 
 }  // namespace seaweed

@@ -1,20 +1,37 @@
-// Discrete-event queue: a binary heap of (time, sequence, callback).
+// Discrete-event queue: calendar buckets for the dense near future, a binary
+// heap for the far future, and a slot pool with generation-counter
+// cancellation.
 //
-// Events with equal timestamps fire in scheduling order (FIFO), which keeps
-// simulations deterministic. Cancellation is supported through lazy deletion:
-// `pending_` tracks the ids of live events, and cancelled entries stay in the
-// heap until pruned. The queue maintains the invariant that the heap top is
-// always a live event (pruning eagerly after Cancel and Pop), so empty(),
-// size(), and PeekTime() are O(1) reads and genuinely const.
+// The simulator's schedule is overwhelmingly near-future (message deliveries
+// a few milliseconds out) with a long tail of protocol timers tens of
+// seconds away. Near-future events land in a ring of fixed-width calendar
+// buckets — vectors of 24-byte POD entries — so Schedule is an append.
+// Buckets sort lazily: appends accumulate in an unsorted tail (with a cached
+// minimum) and the first Pop that finds the tail has grown large sorts the
+// bucket descending, after which pops are O(1) from the back. That keeps
+// Pop amortized O(log B) even when thousands of events share a bucket,
+// where a rescan-per-pop bucket would degrade to O(B). Events beyond the
+// ring go to a binary heap of the same PODs and migrate into the ring in
+// batches when it drains past them.
+//
+// Callbacks live in a slot pool as EventFn (small-buffer, move-only; see
+// event_fn.h). An EventId encodes (generation, slot): cancelling bumps the
+// slot's generation so stale ids are rejected in O(1), replacing the old
+// unordered_set membership test and its per-event hash-node allocation.
+// Cancellation is eager — the entry is removed from its bucket immediately —
+// so size() is exact and PeekTime() is exact and genuinely const.
+//
+// Events with equal timestamps fire in scheduling order (FIFO) via a
+// monotonically increasing sequence number, which keeps simulations
+// deterministic.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/time_types.h"
+#include "sim/event_fn.h"
 
 namespace seaweed {
 
@@ -24,49 +41,134 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
+  // `bucket_width_log2` is the calendar bucket width as a power of two in
+  // microseconds (default 1024us ~ 1ms); `num_buckets` is the ring size
+  // (default 65536 buckets ~ 67s of schedule in the ring).
+  explicit EventQueue(int bucket_width_log2 = 10, size_t num_buckets = 65536);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+
   // Schedules `fn` at absolute time `when`. `when` must be >= the time of
-  // the last popped event.
-  EventId Schedule(SimTime when, std::function<void()> fn);
+  // the last popped event (and >= 0).
+  EventId Schedule(SimTime when, EventFn fn);
 
   // Cancels a pending event. Returns false (and changes nothing) if the
-  // event already fired or was already cancelled.
+  // event already fired, was already cancelled, or the id is bogus.
   bool Cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  size_t size() const { return pending_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t size() const { return live_; }
 
-  // Time of the earliest pending event; kSimTimeMax when empty.
-  SimTime PeekTime() const {
-    return heap_.empty() ? kSimTimeMax : heap_.top().when;
-  }
+  // Time of the earliest pending event; kSimTimeMax when empty. Exact even
+  // in the presence of cancellations (deletion is eager).
+  SimTime PeekTime() const;
 
   // Pops and returns the earliest event. Must not be called when empty.
   // The caller runs the callback (so the queue can be re-entered from it).
-  std::pair<SimTime, std::function<void()>> Pop();
+  std::pair<SimTime, EventFn> Pop();
+
+  struct Stats {
+    uint64_t scheduled = 0;
+    uint64_t executed = 0;
+    uint64_t cancelled = 0;
+  };
+  const Stats& stats() const { return stats_; }
 
   // Total events ever scheduled (for stats).
-  uint64_t total_scheduled() const { return next_id_ - 1; }
+  uint64_t total_scheduled() const { return stats_.scheduled; }
+
+  // Approximate heap footprint of the queue's own structures (entries,
+  // slots, ring), for the memory-accounting gauges.
+  size_t ApproxBytes() const;
 
  private:
+  // 24 bytes; lives in ring buckets and the far heap. Entries are always
+  // live — cancellation removes them eagerly.
   struct Entry {
     SimTime when;
-    EventId id;  // also serves as FIFO tiebreak: lower id first
-    std::function<void()> fn;
+    uint64_t seq;   // FIFO tiebreak: lower seq fires first
+    uint32_t slot;  // index into slots_
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  // Two regions: entries[0, sorted_len) is sorted descending by (when, seq)
+  // — so its minimum is the region's back — and entries[sorted_len, end) is
+  // the unsorted append tail with a cached minimum. BucketPopMin merges the
+  // tail into the sorted region (one std::sort) when it grows past the
+  // threshold.
+  struct Bucket {
+    std::vector<Entry> entries;
+    size_t sorted_len = 0;
+    // Cached minimum over the tail region; kSimTimeMax when the tail is
+    // empty.
+    SimTime tail_min_when = kSimTimeMax;
+    uint64_t tail_min_seq = 0;
   };
+  // Callback storage. A slot's generation is odd while an event occupies it
+  // and even while free; ids embed the odd generation, so a fired or
+  // cancelled id fails the generation check.
+  struct Slot {
+    EventFn fn;
+    SimTime when = 0;
+    uint32_t gen = 0;
+    uint32_t next_free = kNoFreeSlot;
+  };
+  static constexpr uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr uint64_t kGenMask = 0xffffffull;  // 24-bit generation
 
-  // Discards cancelled entries until the heap top is live (or the heap is
-  // empty), restoring the class invariant.
-  void Prune();
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return ((static_cast<uint64_t>(gen) & kGenMask) << 32) |
+           (static_cast<uint64_t>(slot) + 1);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;  // ids scheduled but not yet fired
-  EventId next_id_ = 1;
+  int64_t OrdOf(SimTime when) const { return when >> width_log2_; }
+  Bucket& RingAt(int64_t ord) { return ring_[ord & ring_mask_]; }
+  const Bucket& RingAt(int64_t ord) const { return ring_[ord & ring_mask_]; }
+
+  uint32_t AllocSlot(SimTime when, EventFn fn);
+  void ReleaseSlot(uint32_t slot);
+  // Appends to the bucket's tail region, maintaining the tail minimum.
+  static void BucketAppend(Bucket& b, const Entry& e);
+  // Removes and returns the bucket's (when, seq)-minimum entry. The bucket
+  // must be non-empty.
+  static Entry BucketPopMin(Bucket& b);
+  // Earliest (when, seq) in the bucket; (kSimTimeMax, 0) when empty.
+  static void BucketMin(const Bucket& b, SimTime* when, uint64_t* seq);
+  // Recomputes the tail-region minimum by rescanning the tail.
+  static void RecomputeTailMin(Bucket& b);
+  // Advances scan_ord_ past empty buckets; returns the first non-empty
+  // ring bucket's ordinal, or base_ord_ + num_buckets if the ring is empty.
+  int64_t FirstNonEmptyOrd() const;
+  // Moves far-heap entries whose ordinal now fits the ring window into the
+  // ring. Call only when the ring is empty.
+  void RebaseToFar();
+  // Far heap primitives (min-heap by when, then seq).
+  void FarPush(Entry e);
+  Entry FarPop();
+
+  int width_log2_;
+  size_t num_buckets_;
+  uint64_t ring_mask_;  // num_buckets - 1 (power of two)
+  std::vector<Bucket> ring_;
+  // Ring window covers ordinals [base_ord_, base_ord_ + num_buckets).
+  int64_t base_ord_ = 0;
+  // First ordinal possibly holding entries; advanced lazily during peeks
+  // (mutable: advancing past empty buckets is logically const).
+  mutable int64_t scan_ord_ = 0;
+  size_t ring_live_ = 0;
+
+  std::vector<Entry> far_;  // min-heap
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
+
+  uint64_t next_seq_ = 1;
+  size_t live_ = 0;
+  // Time of the last popped event: the floor below which Schedule is
+  // illegal, and the re-anchor point when the queue empties.
+  SimTime floor_when_ = 0;
+  Stats stats_;
 };
 
 }  // namespace seaweed

@@ -10,7 +10,8 @@ FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
                                                 FaultPlan plan, uint64_t salt)
     : TransportDecorator(inner),
       plan_(std::move(plan)),
-      rng_(plan_.seed ^ salt ^ 0xfa117ULL) {
+      stream_seed_(plan_.seed ^ salt ^ 0xfa117ULL),
+      tx_seq_(static_cast<size_t>(inner->topology().num_endsystems()), 0) {
   obs::MetricsRegistry& m = obs()->metrics;
   burst_drops_metric_ = m.GetCounter("fault.burst_drops");
   partition_drops_metric_ = m.GetCounter("fault.partition_drops");
@@ -22,7 +23,7 @@ void FaultInjectingTransport::ChargeDrop(EndsystemIndex from, SimTime now,
   // Sender pays tx for the doomed datagram, same as Network::Send would
   // have; the bytes land in the dedicated dropped series.
   meter()->RecordTxDropped(from, now, msg.WireBytes() + kMessageHeaderBytes);
-  ++injected_drops_;
+  injected_drops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
@@ -38,16 +39,20 @@ bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
     return true;  // sent, but the partition ate it
   }
 
+  // One counter-hash generator per message: decisions depend only on
+  // (sender, sequence), never on cross-lane draw interleaving.
+  Rng msg_rng(MixSeed(stream_seed_, from, tx_seq_[from]++));
+
   const double loss = plan_.LossAt(now);
-  if (loss > 0 && rng_.Bernoulli(loss)) {
+  if (loss > 0 && msg_rng.Bernoulli(loss)) {
     ChargeDrop(from, now, *msg);
     burst_drops_metric_->Add();
     return true;
   }
 
-  const SimDuration extra = plan_.ExtraDelayAt(now, rng_);
+  const SimDuration extra = plan_.ExtraDelayAt(now, msg_rng);
   if (extra > 0) {
-    ++injected_delays_;
+    injected_delays_.fetch_add(1, std::memory_order_relaxed);
     delayed_metric_->Add();
     // The message enters the wire `extra` later; tx is charged then (and
     // skipped entirely if the sender crashed in the meantime).

@@ -11,7 +11,14 @@
 // Linked(), which the overlay heartbeat fast path consults; a partition
 // therefore drives failure detection exactly like a real link cut, while a
 // lossy-but-connected link keeps flapping heartbeats through.
+//
+// Randomness is counter-hashed per (sender, sequence): each message seeds a
+// local Rng from MixSeed(plan seed ^ salt, from, seq) rather than drawing
+// from one shared generator, so fault decisions are independent of event
+// interleaving across parallel simulator lanes.
 #pragma once
+
+#include <atomic>
 
 #include "sim/fault_plan.h"
 #include "sim/transport.h"
@@ -33,20 +40,26 @@ class FaultInjectingTransport : public TransportDecorator {
   const FaultPlan& plan() const { return plan_; }
 
   // Messages eaten by this layer (bursts + partitions).
-  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_drops() const {
+    return injected_drops_.load(std::memory_order_relaxed);
+  }
   // Messages forwarded late because of a delay/reorder window.
-  uint64_t injected_delays() const { return injected_delays_; }
+  uint64_t injected_delays() const {
+    return injected_delays_.load(std::memory_order_relaxed);
+  }
 
  private:
   void ChargeDrop(EndsystemIndex from, SimTime now, const WireMessage& msg);
 
   FaultPlan plan_;
-  Rng rng_;
+  uint64_t stream_seed_;
+  // Per-sender message sequence; slot touched only from the sender's lane.
+  std::vector<uint32_t> tx_seq_;
   obs::Counter* burst_drops_metric_;
   obs::Counter* partition_drops_metric_;
   obs::Counter* delayed_metric_;
-  uint64_t injected_drops_ = 0;
-  uint64_t injected_delays_ = 0;
+  std::atomic<uint64_t> injected_drops_{0};
+  std::atomic<uint64_t> injected_delays_{0};
 };
 
 }  // namespace seaweed

@@ -41,9 +41,19 @@ class Transport {
   using DropHandler = std::function<void(
       EndsystemIndex from, EndsystemIndex to, WireMessagePtr msg)>;
 
+  // Handler invoked on message delivery when installed with
+  // SetUniformDeliveryHandler: one closure for every endsystem (the receiver
+  // index is passed explicitly), instead of N per-endsystem closures.
+  using UniformDeliveryHandler = std::function<void(
+      EndsystemIndex from, EndsystemIndex to, WireMessagePtr msg)>;
+
   // Registers the receive upcall for an endsystem. Must be set before any
   // message can be delivered to it.
   virtual void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) = 0;
+  // Registers one receive upcall shared by all endsystems — O(1) storage
+  // where per-endsystem handlers would cost a closure per endsystem. A
+  // uniform handler takes precedence over per-endsystem handlers.
+  virtual void SetUniformDeliveryHandler(UniformDeliveryHandler handler) = 0;
   virtual void SetDropHandler(DropHandler handler,
                               SimDuration drop_notice_delay) = 0;
 
@@ -97,6 +107,9 @@ class TransportDecorator : public Transport {
 
   void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) override {
     inner_->SetDeliveryHandler(e, std::move(handler));
+  }
+  void SetUniformDeliveryHandler(UniformDeliveryHandler handler) override {
+    inner_->SetUniformDeliveryHandler(std::move(handler));
   }
   void SetDropHandler(DropHandler handler,
                       SimDuration drop_notice_delay) override {

@@ -1,0 +1,236 @@
+// Randomized stress tests for the calendar EventQueue against a naive
+// reference model (a sorted multimap-equivalent), plus targeted checks of
+// the FIFO equal-timestamp contract and cancellation edge cases. The queue's
+// lazily-sorted buckets, far-heap migration, and generation-counter slots
+// all have state that only a long adversarial op sequence exercises.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace seaweed {
+namespace {
+
+// Reference model: exact sorted storage, (when, seq) order.
+class ReferenceQueue {
+ public:
+  uint64_t Schedule(SimTime when) {
+    uint64_t id = next_id_++;
+    pending_[{when, next_seq_++}] = id;
+    return id;
+  }
+
+  bool Cancel(uint64_t id) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second == id) {
+        pending_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  SimTime PeekTime() const {
+    return pending_.empty() ? kSimTimeMax : pending_.begin()->first.first;
+  }
+
+  // Pops the earliest event; returns (when, id).
+  std::pair<SimTime, uint64_t> Pop() {
+    auto it = pending_.begin();
+    std::pair<SimTime, uint64_t> r{it->first.first, it->second};
+    pending_.erase(it);
+    return r;
+  }
+
+ private:
+  std::map<std::pair<SimTime, uint64_t>, uint64_t> pending_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_id_ = 1;
+};
+
+// One long adversarial run: random schedules (mixing sub-bucket, in-ring,
+// and far-future delays, with deliberate timestamp collisions), random
+// cancels of live and dead ids, pops, and full drains. After every op the
+// two queues must agree on size and peek time; every pop must agree on
+// (when, payload id).
+void StressRun(uint64_t seed, int ops) {
+  Rng rng(seed);
+  EventQueue q(/*bucket_width_log2=*/4, /*num_buckets=*/64);  // tiny ring:
+  // forces heavy far-heap traffic and RebaseToFar at small op counts.
+  ReferenceQueue ref;
+  SimTime now = 0;
+  // Live handles: (model id -> EventId). Popped/cancelled ids kept around
+  // to verify stale cancels fail.
+  std::vector<std::pair<uint64_t, EventId>> live;
+  std::vector<EventId> dead;
+  uint64_t popped_payload = 0;  // written by event callbacks
+
+  for (int op = 0; op < ops; ++op) {
+    const uint32_t kind = rng.NextBelow(100);
+    if (kind < 45 || ref.empty()) {
+      // Schedule. Delay mix: collisions (same `now`), sub-bucket, in-ring,
+      // far future.
+      SimDuration delay;
+      switch (rng.NextBelow(4)) {
+        case 0: delay = 0; break;
+        case 1: delay = static_cast<SimDuration>(rng.NextBelow(16)); break;
+        case 2: delay = static_cast<SimDuration>(rng.NextBelow(1 << 10)); break;
+        default:
+          delay = static_cast<SimDuration>(rng.NextBelow(1 << 14));
+          break;
+      }
+      const SimTime when = now + delay;
+      const uint64_t model_id = ref.Schedule(when);
+      EventId id = q.Schedule(
+          when, EventFn([model_id, &popped_payload] {
+            popped_payload = model_id;
+          }));
+      ASSERT_NE(id, kInvalidEventId);
+      live.push_back({model_id, id});
+    } else if (kind < 65 && !live.empty()) {
+      // Cancel a live event.
+      const size_t idx = rng.NextBelow(live.size());
+      auto [model_id, id] = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      ASSERT_TRUE(q.Cancel(id));
+      ASSERT_TRUE(ref.Cancel(model_id));
+      dead.push_back(id);
+    } else if (kind < 72 && !dead.empty()) {
+      // Cancel a dead id: must fail and change nothing.
+      const size_t before = q.size();
+      ASSERT_FALSE(q.Cancel(dead[rng.NextBelow(dead.size())]));
+      ASSERT_EQ(q.size(), before);
+    } else {
+      // Pop 1..4 events.
+      const uint32_t pops = 1 + rng.NextBelow(4);
+      for (uint32_t i = 0; i < pops && !ref.empty(); ++i) {
+        auto [ref_when, ref_id] = ref.Pop();
+        auto [when, fn] = q.Pop();
+        ASSERT_EQ(when, ref_when);
+        fn();
+        ASSERT_EQ(popped_payload, ref_id) << "pop order diverged at op "
+                                          << op;
+        now = when;
+        auto it = std::find_if(
+            live.begin(), live.end(),
+            [ref_id](const auto& p) { return p.first == ref_id; });
+        ASSERT_NE(it, live.end());
+        dead.push_back(it->second);
+        *it = live.back();
+        live.pop_back();
+      }
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+    ASSERT_EQ(q.PeekTime(), ref.PeekTime());
+  }
+  // Drain completely; order must match to the end.
+  while (!ref.empty()) {
+    auto [ref_when, ref_id] = ref.Pop();
+    auto [when, fn] = q.Pop();
+    ASSERT_EQ(when, ref_when);
+    fn();
+    ASSERT_EQ(popped_payload, ref_id);
+  }
+  ASSERT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, MatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(static_cast<int>(seed));
+    StressRun(seed, 4000);
+  }
+}
+
+TEST(EventQueueStress, DefaultGeometryLongRun) {
+  // Default ring geometry (the one the simulator uses), longer run.
+  Rng rng(42);
+  EventQueue q;
+  ReferenceQueue ref;
+  SimTime now = 0;
+  uint64_t popped = 0;
+  for (int op = 0; op < 30000; ++op) {
+    if (rng.NextBelow(100) < 55 || ref.empty()) {
+      SimDuration delay = static_cast<SimDuration>(
+          rng.NextBelow(2) ? rng.NextBelow(100 * kMillisecond)
+                           : rng.NextBelow(120 * kSecond));
+      SimTime when = now + delay;
+      uint64_t model_id = ref.Schedule(when);
+      q.Schedule(when, EventFn([model_id, &popped] { popped = model_id; }));
+    } else {
+      auto [ref_when, ref_id] = ref.Pop();
+      auto [when, fn] = q.Pop();
+      ASSERT_EQ(when, ref_when);
+      fn();
+      ASSERT_EQ(popped, ref_id);
+      now = when;
+    }
+  }
+  ASSERT_EQ(q.size(), ref.size());
+}
+
+TEST(EventQueueStress, EqualTimestampsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    q.Schedule(5 * kSecond, EventFn([i, &order] { order.push_back(i); }));
+  }
+  while (!q.empty()) {
+    auto [when, fn] = q.Pop();
+    EXPECT_EQ(when, 5 * kSecond);
+    fn();
+  }
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueStress, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(1, EventFn([] {}));
+  auto [when, fn] = q.Pop();
+  fn();
+  EXPECT_FALSE(q.Cancel(id));
+  // The slot is recycled by the next schedule; the stale id must still fail.
+  EventId id2 = q.Schedule(2, EventFn([] {}));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_TRUE(q.Cancel(id2));
+  EXPECT_FALSE(q.Cancel(id2));  // double-cancel
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueStress, CancelKeepsPeekExact) {
+  EventQueue q;
+  EventId early = q.Schedule(10, EventFn([] {}));
+  q.Schedule(20, EventFn([] {}));
+  EXPECT_EQ(q.PeekTime(), 10);
+  EXPECT_TRUE(q.Cancel(early));
+  // Deletion is eager: the peek must move immediately, not on next pop.
+  EXPECT_EQ(q.PeekTime(), 20);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueStress, StatsCountScheduledExecutedCancelled) {
+  EventQueue q;
+  EventId a = q.Schedule(1, EventFn([] {}));
+  q.Schedule(2, EventFn([] {}));
+  q.Schedule(3, EventFn([] {}));
+  q.Cancel(a);
+  q.Pop();
+  EXPECT_EQ(q.stats().scheduled, 3u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+  EXPECT_EQ(q.stats().executed, 1u);
+  EXPECT_EQ(q.total_scheduled(), 3u);
+}
+
+}  // namespace
+}  // namespace seaweed

@@ -99,7 +99,7 @@ TEST(RoutingTableTest, InsertsIntoPrefixSlot) {
   RoutingTable rt(owner, 4);
   NodeHandle other{NodeId::FromHex("b0000000000000000000000000000000"), 1};
   EXPECT_TRUE(rt.Insert(other));
-  auto& slot = rt.At(0, 0xb);
+  auto slot = rt.At(0, 0xb);
   ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(slot->id, other.id);
   // Same-slot second candidate is not kept.

@@ -396,7 +396,7 @@ TEST(MetadataStoreTest, UpsertKeepsFreshest) {
   EXPECT_TRUE(store.Upsert(MakeMetadata(NodeId(0, 1), 5)));
   EXPECT_FALSE(store.Upsert(MakeMetadata(NodeId(0, 1), 3)));  // stale
   EXPECT_TRUE(store.Upsert(MakeMetadata(NodeId(0, 1), 7)));
-  EXPECT_EQ(store.Find(NodeId(0, 1))->metadata.version, 7u);
+  EXPECT_EQ(store.Find(NodeId(0, 1))->version, 7u);
   EXPECT_EQ(store.size(), 1u);
 }
 
@@ -425,7 +425,7 @@ TEST(MetadataStoreTest, InRangeFiltering) {
   IdRange r{NodeId(0, 150), NodeId(0, 350), false};
   EXPECT_EQ(store.InRange(r, false).size(), 2u);
   EXPECT_EQ(store.InRange(r, true).size(), 1u);
-  EXPECT_EQ(store.InRange(r, true)[0]->metadata.owner, NodeId(0, 200));
+  EXPECT_EQ(store.InRange(r, true)[0]->owner, NodeId(0, 200));
 }
 
 TEST(MetadataStoreTest, EvictIf) {
@@ -433,9 +433,10 @@ TEST(MetadataStoreTest, EvictIf) {
   for (uint64_t i = 0; i < 10; ++i) {
     store.Upsert(MakeMetadata(NodeId(0, i), 1));
   }
-  size_t evicted = store.EvictIf([](const NodeId& owner) {
-    return owner.lo() % 2 == 0;  // keep evens
-  });
+  size_t evicted =
+      store.EvictIf([](const NodeId& owner, const MetadataStore::Record&) {
+        return owner.lo() % 2 == 0;  // keep evens
+      });
   EXPECT_EQ(evicted, 5u);
   EXPECT_EQ(store.size(), 5u);
 }
