@@ -116,6 +116,23 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "need --endsystems >= 2 and --hours > 0\n");
     return false;
   }
+  // Validate the transport spec up front so a typo is a usage error with
+  // the available layers listed, not a mid-construction crash. "udp"
+  // parses (seaweedd hosts it) but a simulation cannot run on it.
+  auto layers = ParseTransportSpec(args->transport);
+  bool has_udp = false;
+  if (layers.ok()) {
+    for (const auto& layer : *layers) has_udp = has_udp || layer.kind == "udp";
+  }
+  if (!layers.ok() || has_udp) {
+    std::fprintf(stderr, "--transport %s: %s\navailable layers: %s\n",
+                 args->transport.c_str(),
+                 layers.ok() ? "\"udp\" is the live socket transport "
+                               "(seaweedd only); simulations run in-memory"
+                             : layers.status().message().c_str(),
+                 KnownTransportLayers());
+    return false;
+  }
   return true;
 }
 

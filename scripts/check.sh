@@ -100,6 +100,19 @@ lane_determinism() {
   echo "1-thread and 2-thread runs byte-identical (stdout + obs JSONL)"
 }
 
+# Multi-process loopback differential: 3 seaweedd shards over real UDP
+# sockets must answer a GROUP BY query with the exact bytes the in-memory
+# simulation produces for the same seed and dataset, with a monotone
+# completeness-predictor stream (scripts/loopback_test.sh). Each build tree
+# gets its own port range so the stages cannot collide.
+loopback_smoke() {
+  local build="$1" base_port="$2"
+  require_binary "$build/tools/seaweedd"
+  require_binary "$build/tools/seaweed-cli"
+  echo "--- multi-process loopback differential ($build) ---"
+  SEAWEED_LOOPBACK_BASE_PORT="$base_port" scripts/loopback_test.sh "$build"
+}
+
 # 10^5-endsystem smoke on the laned engine: completes within the wall-clock
 # budget, 2 threads, encoded in-flight messages. Gated behind
 # SEAWEED_SCALE_SMOKE because it costs minutes, not seconds.
@@ -128,6 +141,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 differential build
 chaos_replay build
 lane_determinism build
+loopback_smoke build 19600
 if [[ "${SEAWEED_SCALE_SMOKE:-0}" == "1" ]]; then
   scale_smoke build
 fi
@@ -140,6 +154,7 @@ ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 differential build-asan
 chaos_replay build-asan
 lane_determinism build-asan
+loopback_smoke build-asan 19620
 
 echo
 echo "All checks passed."

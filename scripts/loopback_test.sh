@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Multi-process loopback differential: starts SHARDS seaweedd processes on
+# 127.0.0.1, waits for every endsystem to join the overlay, runs a GROUP BY
+# query with integer-valued aggregates through seaweed-cli, and asserts the
+# live cluster's FINAL line is byte-identical to the single-process
+# in-memory simulation (`seaweedd --reference`) for the same seed and
+# dataset. The CLI itself enforces that the completeness-predictor stream
+# is monotone (exit 3 on a violation).
+#
+# Integer aggregates (COUNT/SUM/MIN/MAX over int64 columns) are exact under
+# any merge order, so the live cluster — whose message arrival order is NOT
+# deterministic — must still produce the exact bytes of the simulation.
+#
+# Usage: scripts/loopback_test.sh [BUILD_DIR]
+#   BUILD_DIR defaults to "build".
+# Env:
+#   SEAWEED_LOOPBACK_BASE_PORT  first UDP port (default 19600; control
+#                               ports are BASE+100..BASE+100+SHARDS-1)
+#   SEAWEED_LOOPBACK_JOIN_TIMEOUT_S   bring-up budget (default 60)
+#   SEAWEED_LOOPBACK_QUERY_TIMEOUT_S  per-query budget (default 120)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+DAEMON="$BUILD/tools/seaweedd"
+CLI="$BUILD/tools/seaweed-cli"
+for bin in "$DAEMON" "$CLI"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL: required binary '$bin' is missing (build the '$BUILD' tree first)" >&2
+    exit 1
+  fi
+done
+
+N=12
+SHARDS=3
+SEED=7
+BASE_PORT="${SEAWEED_LOOPBACK_BASE_PORT:-19600}"
+JOIN_TIMEOUT_S="${SEAWEED_LOOPBACK_JOIN_TIMEOUT_S:-60}"
+QUERY_TIMEOUT_S="${SEAWEED_LOOPBACK_QUERY_TIMEOUT_S:-120}"
+SQL="SELECT App, COUNT(*), SUM(Bytes), MIN(Bytes), MAX(Bytes) FROM Flow GROUP BY App"
+
+WORK="$BUILD/loopback"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+PIDS=()
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+echo "--- loopback reference: in-memory simulation, N=$N seed=$SEED ---"
+"$DAEMON" --reference --endsystems "$N" --seed "$SEED" --query "$SQL" \
+    > "$WORK/reference.out"
+cat "$WORK/reference.out"
+
+# All shards must agree on the wall-clock epoch or their Transport::Now()
+# values (and therefore trace timestamps) diverge.
+EPOCH_US=$(( $(date +%s) * 1000000 ))
+
+echo "--- starting $SHARDS seaweedd shards (udp $BASE_PORT+, control $((BASE_PORT + 100))+) ---"
+for (( shard = 0; shard < SHARDS; shard++ )); do
+  "$DAEMON" --endsystems "$N" --shards "$SHARDS" --shard "$shard" \
+      --base-port "$BASE_PORT" --seed "$SEED" --epoch-us "$EPOCH_US" \
+      --profile fast --obs-dump "$WORK/obs_shard$shard.jsonl" \
+      > "$WORK/shard$shard.out" 2> "$WORK/shard$shard.err" &
+  PIDS+=($!)
+done
+
+# Bring-up barrier: sum the per-shard `joined` gauges until every
+# endsystem is in the overlay (or a daemon dies / the budget expires).
+joined_total() {
+  local total=0 shard line
+  for (( shard = 0; shard < SHARDS; shard++ )); do
+    line=$("$CLI" --port $((BASE_PORT + 100 + shard)) stats 2>/dev/null) || {
+      echo 0; return
+    }
+    total=$(( total + $(python3 -c \
+        'import json,sys; print(json.load(sys.stdin).get("joined", 0))' \
+        <<< "$line") ))
+  done
+  echo "$total"
+}
+
+deadline=$(( $(date +%s) + JOIN_TIMEOUT_S ))
+while :; do
+  for pid in "${PIDS[@]}"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: a seaweedd shard exited during bring-up" >&2
+      tail -5 "$WORK"/shard*.err >&2 || true
+      exit 1
+    fi
+  done
+  joined=$(joined_total)
+  if [[ "$joined" -eq "$N" ]]; then
+    echo "all $N endsystems joined"
+    break
+  fi
+  if [[ $(date +%s) -ge $deadline ]]; then
+    echo "FAIL: only $joined/$N endsystems joined within ${JOIN_TIMEOUT_S}s" >&2
+    tail -5 "$WORK"/shard*.err >&2 || true
+    exit 1
+  fi
+  sleep 0.5
+done
+
+echo "--- live query via seaweed-cli (monotone predictor enforced) ---"
+# Exit 3 from the CLI means the predictor stream went backwards — that is a
+# hard failure; let it propagate through set -e.
+"$CLI" --port $((BASE_PORT + 100)) --timeout-s "$QUERY_TIMEOUT_S" \
+    query "$SQL" > "$WORK/live.out" 2> "$WORK/live.err"
+cat "$WORK/live.err" >&2
+cat "$WORK/live.out"
+# The delay-aware half of the protocol must actually show up: at least one
+# completeness-predictor event on the stream, not just the final aggregate.
+if ! grep -q "^PREDICTOR " "$WORK/live.err"; then
+  echo "FAIL: no completeness-predictor event reached the client" >&2
+  exit 1
+fi
+
+echo "--- differential: live cluster vs in-memory simulation ---"
+if ! diff -u "$WORK/reference.out" "$WORK/live.out"; then
+  echo "FAIL: live cluster aggregate differs from the in-memory simulation" >&2
+  exit 1
+fi
+echo "aggregates byte-identical"
+
+# Clean shutdown through the control plane so --obs-dump files get written;
+# the EXIT trap mops up anything that ignores it.
+for (( shard = 0; shard < SHARDS; shard++ )); do
+  "$CLI" --port $((BASE_PORT + 100 + shard)) shutdown >/dev/null 2>&1 || true
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+for (( shard = 0; shard < SHARDS; shard++ )); do
+  if [[ ! -s "$WORK/obs_shard$shard.jsonl" ]]; then
+    echo "FAIL: shard $shard wrote no obs JSONL on shutdown" >&2
+    exit 1
+  fi
+done
+echo "obs JSONL dumped for all shards"
+echo "loopback test passed"

@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
 """Converts bench/sim_scale raw ResultWriter output into BENCH_sim_scale.json.
 
-Usage: scripts/sim_scale_to_json.py <raw.json> > BENCH_sim_scale.json
+Usage: scripts/sim_scale_to_json.py <raw.json> [note...] > BENCH_sim_scale.json
+
+Extra arguments are joined into a free-form "notes" field (e.g. recording
+that the run was capped with SEAWEED_SIM_SCALE_MAX_N).
 
 The raw file is what SEAWEED_BENCH_OUT captures: a "scale" table with one
 row per (endsystems, sim_hours, lanes, threads) configuration. The
@@ -58,6 +61,8 @@ def main() -> None:
         },
         "points": dict(sorted(points.items(), key=lambda kv: int(kv[0]))),
     }
+    if len(sys.argv) > 2:
+        out["notes"] = " ".join(sys.argv[2:])
     json.dump(out, sys.stdout, indent=2)
     print()
 

@@ -1,0 +1,82 @@
+#include "net/live_cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace seaweed::net {
+
+LiveCluster::LiveCluster(EventLoop* loop, const ShardMap& map,
+                         const LiveConfig& config)
+    : loop_(loop),
+      map_(map),
+      config_(config),
+      topology_(config.topology, map.num_endsystems),
+      meter_(map.num_endsystems, &obs_.metrics),
+      transport_(loop, map, &topology_, &meter_, &obs_) {
+  data_ = std::make_shared<AnemoneDataProvider>(
+      config_.anemone, map_.num_endsystems, config_.keep_tables,
+      config_.summary_wire_bytes);
+
+  // Identical id derivation to SeaweedCluster::Construct — byte-for-byte
+  // agreement across every shard and the --reference oracle.
+  Rng id_rng(config_.seed);
+  ids_.reserve(static_cast<size_t>(map_.num_endsystems));
+  for (int i = 0; i < map_.num_endsystems; ++i) {
+    ids_.push_back(NodeId::Random(id_rng));
+  }
+
+  overlay_ = std::make_unique<overlay::OverlayNetwork>(
+      loop_, &transport_, config_.pastry, config_.seed ^ 0xfeed);
+  overlay_->CreateNodes(ids_);
+  // With no oracle of who is already joined, every shard seeds its joins at
+  // endsystem 0 (shard 0 starts it first; everyone else retries until it
+  // answers).
+  overlay_->SetStaticBootstraps(
+      {overlay_->node(static_cast<EndsystemIndex>(0))->handle()});
+
+  seaweed_.reserve(ids_.size());
+  for (int i = 0; i < map_.num_endsystems; ++i) {
+    seaweed_.push_back(std::make_unique<SeaweedNode>(
+        overlay_.get(), overlay_->node(static_cast<EndsystemIndex>(i)),
+        data_.get(), config_.seaweed));
+  }
+}
+
+void LiveCluster::BringUpLocal() {
+  SimDuration at = 0;
+  for (EndsystemIndex e : map_.LocalEndsystems()) {
+    loop_->After(at, [this, e] { overlay_->BringUp(e); });
+    at += config_.bringup_stagger;
+  }
+}
+
+int LiveCluster::CountJoinedLocal() const {
+  int joined = 0;
+  for (EndsystemIndex e : map_.LocalEndsystems()) {
+    if (overlay_->node(e)->joined()) ++joined;
+  }
+  return joined;
+}
+
+std::optional<int> LiveCluster::LowestJoinedLocal() const {
+  for (EndsystemIndex e : map_.LocalEndsystems()) {
+    if (overlay_->node(e)->joined()) return static_cast<int>(e);
+  }
+  return std::nullopt;
+}
+
+Result<NodeId> LiveCluster::InjectQuery(int e, const std::string& sql,
+                                        QueryObserver observer,
+                                        SimDuration ttl) {
+  SEAWEED_CHECK(map_.IsLocal(static_cast<EndsystemIndex>(e)));
+  return seaweed_[static_cast<size_t>(e)]->InjectQuery(sql, std::move(observer),
+                                                       ttl);
+}
+
+void LiveCluster::CancelQuery(int e, const NodeId& query_id) {
+  SEAWEED_CHECK(map_.IsLocal(static_cast<EndsystemIndex>(e)));
+  seaweed_[static_cast<size_t>(e)]->CancelQuery(query_id);
+}
+
+}  // namespace seaweed::net

@@ -1,0 +1,79 @@
+#include "net/result_format.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace seaweed::net {
+
+namespace {
+
+std::string FormatDouble(double d, const char* fmt) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, d);
+  return std::string(buf);
+}
+
+// The aggregate outputs for one row (ungrouped: the top-level states;
+// grouped: one group's states), in select-item order.
+void AppendItems(const db::SelectQuery& query,
+                 const std::vector<db::AggState>& states, std::ostream& out) {
+  // `states` carries one entry per select item (non-aggregate items hold
+  // placeholder states), so indexing is positional.
+  for (size_t i = 0; i < query.items.size(); ++i) {
+    const db::SelectItem& item = query.items[i];
+    if (!item.is_aggregate) continue;  // group key is printed by the caller
+    out << ' ' << db::AggFuncName(item.func);
+    if (!item.column.empty()) out << '(' << item.column << ')';
+    out << '=';
+    if (i < states.size()) {
+      out << FormatAggOutput(states[i].Final(item.func));
+    } else {
+      out << "NULL";
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatValue(const db::Value& v) {
+  if (v.is_int64()) return std::to_string(v.AsInt64());
+  if (v.is_double()) return FormatDouble(v.AsDouble(), "%.17g");
+  return v.AsString();
+}
+
+std::string FormatAggOutput(const Result<db::Value>& v) {
+  if (!v.ok()) return "NULL";
+  return FormatValue(*v);
+}
+
+std::string FormatAggregateLine(const db::SelectQuery& query,
+                                const db::AggregateResult& result) {
+  std::ostringstream out;
+  out << "FINAL rows=" << result.rows_matched
+      << " endsystems=" << result.endsystems;
+  if (query.group_by.empty()) {
+    AppendItems(query, result.states, out);
+    return out.str();
+  }
+  out << " groups=" << result.groups.size();
+  // AggregateResult::Merge keeps groups sorted by key, so this order is the
+  // canonical one on both the live and the reference side.
+  for (const auto& [key, states] : result.groups) {
+    out << " {" << query.group_by << '=' << FormatValue(key);
+    AppendItems(query, states, out);
+    out << '}';
+  }
+  return out.str();
+}
+
+std::string FormatPredictorLine(const CompletenessPredictor& p) {
+  std::ostringstream out;
+  out << "PREDICTOR rows=" << FormatDouble(p.TotalRows(), "%.6g")
+      << " endsystems=" << p.endsystems()
+      << " now=" << FormatDouble(p.CompletenessAt(0), "%.6g")
+      << " +1h=" << FormatDouble(p.CompletenessAt(kHour), "%.6g");
+  return out.str();
+}
+
+}  // namespace seaweed::net

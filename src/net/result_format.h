@@ -1,0 +1,44 @@
+// Canonical text form of an aggregate result: the loopback differential's
+// comparison unit.
+//
+// The same formatting code runs in the live daemon (the "final" field of
+// result events) and in seaweedd --reference (the in-memory-sim oracle), so
+// the multi-process cluster and the single-process simulation are compared
+// byte for byte with zero tolerance. Doubles print with %.17g (shortest
+// round-trippable is not portable across libcs; 17 significant digits is),
+// int64s exactly, groups in their canonical sorted-key order.
+//
+// Note on float determinism: the differential intentionally queries
+// integer-valued columns (COUNT / SUM / MIN / MAX / AVG over int64 data),
+// whose double accumulators are exact below 2^53 regardless of merge
+// order. Merge *order* is already deterministic per query id (the vertex
+// tree is a pure function of ids), but live and sim runs derive different
+// query ids (injected_at differs), so order-sensitive float sums would be
+// the one legitimate divergence; exact integer arithmetic closes it.
+#pragma once
+
+#include <string>
+
+#include "db/ast.h"
+#include "db/query_exec.h"
+#include "seaweed/completeness.h"
+
+namespace seaweed::net {
+
+// One value, canonically: int64 as decimal, double as %.17g, string raw,
+// failed/empty aggregate (MIN of nothing, ...) as NULL.
+std::string FormatValue(const db::Value& v);
+std::string FormatAggOutput(const Result<db::Value>& v);
+
+// "FINAL rows=<n> endsystems=<n> <item>=<v> ..." for ungrouped queries;
+// grouped queries append " groups=<k>" and one " {<group_col>=<key> ...}"
+// block per group in sorted key order. Always a single line.
+std::string FormatAggregateLine(const db::SelectQuery& query,
+                                const db::AggregateResult& result);
+
+// "PREDICTOR rows=<total> endsystems=<n> now=<frac> +1h=<frac>" — the
+// human-readable stream line; %.6g keeps it stable enough to eyeball, the
+// monotonicity check runs on the raw JSON numbers instead.
+std::string FormatPredictorLine(const CompletenessPredictor& p);
+
+}  // namespace seaweed::net

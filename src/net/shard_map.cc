@@ -1,0 +1,97 @@
+#include "net/shard_map.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/jsonl_reader.h"
+
+namespace seaweed::net {
+
+std::vector<EndsystemIndex> ShardMap::LocalEndsystems() const {
+  std::vector<EndsystemIndex> out;
+  for (int e = self_shard; e < num_endsystems; e += num_shards()) {
+    out.push_back(static_cast<EndsystemIndex>(e));
+  }
+  return out;
+}
+
+Status ShardMap::Validate() const {
+  if (peers.empty()) return Status::InvalidArgument("shard map has no shards");
+  if (self_shard < 0 || self_shard >= num_shards()) {
+    return Status::InvalidArgument("self shard " + std::to_string(self_shard) +
+                                   " out of range (have " +
+                                   std::to_string(num_shards()) + " shards)");
+  }
+  if (num_endsystems < num_shards()) {
+    return Status::InvalidArgument(
+        "need at least one endsystem per shard: " +
+        std::to_string(num_endsystems) + " endsystems, " +
+        std::to_string(num_shards()) + " shards");
+  }
+  for (size_t i = 0; i < peers.size(); ++i) {
+    if (peers[i].host.empty() || peers[i].udp_port == 0 ||
+        peers[i].control_port == 0) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " has an empty host or zero port");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ShardMap> ParseShardMap(const std::string& json_text, int self_shard) {
+  auto parsed = obs::ParseJson(json_text);
+  if (!parsed.ok()) return parsed.status();
+  const obs::Json& root = *parsed;
+
+  ShardMap map;
+  map.self_shard = self_shard;
+  const obs::Json* endsystems = root.Find("endsystems");
+  if (endsystems == nullptr) {
+    return Status::InvalidArgument("peer config: missing \"endsystems\"");
+  }
+  map.num_endsystems = static_cast<int>(endsystems->AsInt());
+
+  const obs::Json* shards = root.Find("shards");
+  if (shards == nullptr || shards->kind != obs::Json::Kind::kArray) {
+    return Status::InvalidArgument("peer config: missing \"shards\" array");
+  }
+  for (const obs::Json& s : shards->items) {
+    PeerAddress addr;
+    if (const obs::Json* host = s.Find("host")) addr.host = host->AsString();
+    if (const obs::Json* p = s.Find("udp_port")) {
+      addr.udp_port = static_cast<uint16_t>(p->AsUint());
+    }
+    if (const obs::Json* p = s.Find("control_port")) {
+      addr.control_port = static_cast<uint16_t>(p->AsUint());
+    }
+    map.peers.push_back(std::move(addr));
+  }
+  Status valid = map.Validate();
+  if (!valid.ok()) return valid;
+  return map;
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path, int self_shard) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open peer config: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseShardMap(text.str(), self_shard);
+}
+
+ShardMap MakeLoopbackShardMap(int num_endsystems, int num_shards,
+                              int self_shard, uint16_t base_port) {
+  ShardMap map;
+  map.num_endsystems = num_endsystems;
+  map.self_shard = self_shard;
+  for (int p = 0; p < num_shards; ++p) {
+    PeerAddress addr;
+    addr.host = "127.0.0.1";
+    addr.udp_port = static_cast<uint16_t>(base_port + p);
+    addr.control_port = static_cast<uint16_t>(base_port + 100 + p);
+    map.peers.push_back(std::move(addr));
+  }
+  return map;
+}
+
+}  // namespace seaweed::net

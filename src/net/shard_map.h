@@ -1,0 +1,68 @@
+// ShardMap: how a live cluster's endsystem namespace is divided among
+// seaweedd processes.
+//
+// Endsystem e is hosted by shard e % P — a pure function of the index, so
+// every process derives the same ownership map from the same peer list with
+// no coordination. The peer list itself is the static bootstrap config the
+// daemons are started with: one UDP address (overlay datagrams) and one TCP
+// control port (the JSON query service) per shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/topology.h"
+
+namespace seaweed::net {
+
+struct PeerAddress {
+  std::string host = "127.0.0.1";
+  uint16_t udp_port = 0;
+  uint16_t control_port = 0;
+
+  bool operator==(const PeerAddress&) const = default;
+};
+
+struct ShardMap {
+  int num_endsystems = 0;
+  int self_shard = 0;
+  std::vector<PeerAddress> peers;  // one per shard
+
+  int num_shards() const { return static_cast<int>(peers.size()); }
+  int ShardOf(EndsystemIndex e) const {
+    return static_cast<int>(e) % num_shards();
+  }
+  bool IsLocal(EndsystemIndex e) const {
+    return ShardOf(e) == self_shard;
+  }
+  const PeerAddress& PeerOf(EndsystemIndex e) const {
+    return peers[static_cast<size_t>(ShardOf(e))];
+  }
+
+  // Endsystem indices hosted by `shard`, ascending.
+  std::vector<EndsystemIndex> LocalEndsystems() const;
+
+  // Validates shape: >= 1 shard, self in range, ports non-zero, at least
+  // one endsystem per shard.
+  Status Validate() const;
+};
+
+// Parses a peer-list JSON config:
+//
+//   {"endsystems": 12,
+//    "shards": [{"host": "127.0.0.1", "udp_port": 9401, "control_port": 9501},
+//               {"host": "127.0.0.1", "udp_port": 9402, "control_port": 9502}]}
+//
+// `self_shard` selects which entry this process is.
+Result<ShardMap> LoadShardMap(const std::string& path, int self_shard);
+Result<ShardMap> ParseShardMap(const std::string& json_text, int self_shard);
+
+// The generated form of the same config (what scripts/loopback_test.sh
+// writes): localhost shards with consecutive ports starting at `base_port`
+// (UDP) and `base_port + 100` (control).
+ShardMap MakeLoopbackShardMap(int num_endsystems, int num_shards,
+                              int self_shard, uint16_t base_port);
+
+}  // namespace seaweed::net

@@ -1,0 +1,118 @@
+// SocketTransport: the real-datagram Transport backend for live
+// deployments.
+//
+// One UDP socket per seaweedd process carries every overlay/seaweed message
+// as one datagram: a 13-byte frame header (magic, from, to, traffic
+// category) followed by the PR 3 typed wire encoding (tag + body) of the
+// WireMessage. Endsystem ownership comes from the ShardMap (e % P);
+// datagrams to remote endsystems go over the wire, local-to-local sends
+// take the same encode→decode path but skip the socket, so the codec is
+// exercised identically for every message and a shard of one process
+// behaves exactly like a loopback cluster of many.
+//
+// The bandwidth meter is charged exactly as the in-memory Network charges
+// it — WireBytes() + kMessageHeaderBytes per message, tx at the sender and
+// rx at the receiver — so tools/obs_report reads a live daemon's export
+// unchanged. Malformed input (truncated frames, bad magic, unknown tags,
+// foreign or out-of-range indices) is counted and dropped, never fatal:
+// the socket is an attack surface in a way the in-memory transport is not.
+//
+// Up/down is authoritative only for local endsystems. Remote endsystems
+// are assumed reachable (IsUp true): there is no oracle in a distributed
+// system, so remote failure detection falls to the overlay's heartbeat
+// timeouts, exactly as the paper intends. Drop notices (the sender-side
+// fast path) fire only for sends to local-but-down endsystems, mirroring
+// what a kernel would report for a closed local port.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/shard_map.h"
+#include "sim/transport.h"
+
+namespace seaweed::net {
+
+class SocketTransport : public Transport {
+ public:
+  // Frame header: magic + from + to + category.
+  static constexpr uint32_t kFrameMagic = 0x53574431;  // "SWD1"
+  static constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 1;
+  // Ceiling for one encoded message + header; above it the send is counted
+  // and dropped (UDP would truncate or reject it anyway).
+  static constexpr size_t kMaxDatagramBytes = 60000;
+
+  // Opens and binds the UDP socket for `map.self_shard` and registers it
+  // with `loop`. `topology`/`meter`/`obs` follow the Transport contract;
+  // the topology still supplies the proximity metric Pastry routes by
+  // (derived from the shared seed, so all processes agree on it).
+  SocketTransport(EventLoop* loop, const ShardMap& map,
+                  const Topology* topology, BandwidthMeter* meter,
+                  obs::Observability* obs);
+  ~SocketTransport() override;
+
+  // --- Transport ---
+  void SetDeliveryHandler(EndsystemIndex e, DeliveryHandler handler) override;
+  void SetUniformDeliveryHandler(UniformDeliveryHandler handler) override;
+  void SetDropHandler(DropHandler handler,
+                      SimDuration drop_notice_delay) override;
+  void SetUp(EndsystemIndex e, bool up) override;
+  bool IsUp(EndsystemIndex e) const override;
+  bool IsLocal(EndsystemIndex e) const override { return map_.IsLocal(e); }
+  bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
+            WireMessagePtr msg) override;
+
+  uint64_t messages_sent() const override { return messages_sent_; }
+  uint64_t messages_delivered() const override { return messages_delivered_; }
+  uint64_t messages_lost() const override { return messages_lost_; }
+
+  const Topology& topology() const override { return *topology_; }
+  Scheduler* scheduler() const override { return loop_; }
+  BandwidthMeter* meter() const override { return meter_; }
+  obs::Observability* obs() const override { return obs_; }
+
+  // --- Introspection (tests, the daemon's stats op) ---
+  int udp_fd() const { return fd_; }
+  uint64_t datagrams_rx() const;
+  uint64_t decode_rejects() const;
+
+ private:
+  void OnReadable();
+  // Parses and dispatches one datagram payload; counts rejects.
+  void HandleDatagram(const uint8_t* data, size_t len);
+  void DeliverLocal(EndsystemIndex from, EndsystemIndex to,
+                    TrafficCategory cat, WireMessagePtr msg);
+
+  EventLoop* loop_;
+  ShardMap map_;
+  const Topology* topology_;
+  BandwidthMeter* meter_;
+  obs::Observability* obs_;
+
+  int fd_ = -1;
+  std::vector<sockaddr_in> peer_addr_;  // one per shard
+
+  std::vector<DeliveryHandler> handlers_;
+  UniformDeliveryHandler uniform_handler_;
+  DropHandler drop_handler_;
+  SimDuration drop_notice_delay_ = kSecond;
+  std::vector<uint8_t> up_;  // authoritative for local endsystems only
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_lost_ = 0;
+
+  // net.* observability counters.
+  obs::Counter* datagrams_tx_ = nullptr;
+  obs::Counter* datagrams_rx_ = nullptr;
+  obs::Counter* bytes_tx_ = nullptr;
+  obs::Counter* bytes_rx_ = nullptr;
+  obs::Counter* decode_rejects_ = nullptr;
+  obs::Counter* oversize_drops_ = nullptr;
+  obs::Counter* send_errors_ = nullptr;
+};
+
+}  // namespace seaweed::net

@@ -5,7 +5,7 @@
 
 namespace seaweed::overlay {
 
-OverlayNetwork::OverlayNetwork(Simulator* sim, Transport* network,
+OverlayNetwork::OverlayNetwork(Scheduler* sim, Transport* network,
                                const PastryConfig& config, uint64_t seed)
     : sim_(sim), network_(network), config_(config), boot_seed_(seed) {
   obs::MetricsRegistry* reg = &network_->obs()->metrics;
@@ -81,6 +81,16 @@ void OverlayNetwork::FastHeartbeat(const NodeHandle& from,
       1 + kNodeHandleBytes + kMessageHeaderBytes;
   heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
   metrics_.heartbeats->Add();
+  if (!network_->IsLocal(to.address)) {
+    // The receiver's node object lives in another process: no fast path.
+    // Send a real heartbeat datagram (Send charges the meter itself).
+    auto pkt = std::make_shared<Packet>();
+    pkt->kind = Packet::Kind::kHeartbeat;
+    pkt->src = from;
+    pkt->category = TrafficCategory::kPastry;
+    network_->Send(from.address, to.address, TrafficCategory::kPastry, pkt);
+    return;
+  }
   network_->meter()->RecordTx(from.address, TrafficCategory::kPastry,
                               sim_->Now(), kHeartbeatBytes);
   // Linked (not IsUp): an injected partition must starve heartbeats exactly
@@ -117,7 +127,14 @@ std::optional<NodeHandle> OverlayNetwork::PickBootstrap(
   // The draw is counter-hashed per (joiner, attempt) so it does not depend
   // on how joins interleave across lanes.
   const size_t n = joined_list_.size();
-  if (n == 0) return std::nullopt;
+  if (n == 0) {
+    // Live mode: no locally-hosted member is joined yet, so fall back to the
+    // configured contact list (first contact that is not the joiner).
+    for (const NodeHandle& c : static_bootstraps_) {
+      if (c.address != joiner) return c;
+    }
+    return std::nullopt;
+  }
   if (n == 1) {
     if (joined_list_[0] == joiner) return std::nullopt;
     return nodes_[joined_list_[0]]->handle();

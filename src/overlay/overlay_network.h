@@ -40,8 +40,8 @@ struct OverlayMetrics {
 
 class OverlayNetwork {
  public:
-  OverlayNetwork(Simulator* sim, Transport* network, const PastryConfig& config,
-                 uint64_t seed);
+  OverlayNetwork(Scheduler* sim, Transport* network,
+                 const PastryConfig& config, uint64_t seed);
 
   // Creates one PastryNode per endsystem with the given ids (index i gets
   // ids[i]). All nodes start down. Must be called exactly once.
@@ -51,7 +51,7 @@ class OverlayNetwork {
   PastryNode* node(EndsystemIndex e) { return nodes_[e].get(); }
   const PastryNode* node(EndsystemIndex e) const { return nodes_[e].get(); }
 
-  Simulator* simulator() const { return sim_; }
+  Scheduler* simulator() const { return sim_; }
   Transport* network() const { return network_; }
   const PastryConfig& config() const { return config_; }
   obs::Observability* obs() const { return network_->obs(); }
@@ -71,6 +71,13 @@ class OverlayNetwork {
   // way).
   void FastHeartbeat(const NodeHandle& from, const NodeHandle& to);
   std::optional<NodeHandle> PickBootstrap(EndsystemIndex joiner);
+  // Configures well-known bootstrap contacts for live deployments, where the
+  // oracle joined-list is only the local shard. When set, PickBootstrap
+  // prefers a local joined member (cheap, no network) and falls back to a
+  // static contact other than the joiner itself.
+  void SetStaticBootstraps(std::vector<NodeHandle> contacts) {
+    static_bootstraps_ = std::move(contacts);
+  }
   // A node's membership (up && joined) changed. Applied to the dense joined
   // list at the window barrier (immediately in exclusive contexts).
   void OnJoinedChanged(EndsystemIndex e, bool member);
@@ -100,7 +107,7 @@ class OverlayNetwork {
 
   static constexpr uint32_t kNotJoined = 0xffffffffu;
 
-  Simulator* sim_;
+  Scheduler* sim_;
   Transport* network_;
   PastryConfig config_;
   uint64_t boot_seed_;
@@ -113,6 +120,8 @@ class OverlayNetwork {
   std::vector<uint32_t> joined_pos_;
   // Per-joiner bootstrap draw counter (touched from the joiner's lane only).
   std::vector<uint32_t> boot_seq_;
+  // Live-mode contact points (empty in simulation).
+  std::vector<NodeHandle> static_bootstraps_;
   std::atomic<uint64_t> heartbeats_sent_{0};
 };
 

@@ -48,7 +48,7 @@ void Packet::EncodeBody(Writer& w) const {
 Result<WireMessagePtr> Packet::Decode(Reader& r) {
   auto pkt = std::make_shared<Packet>();
   SEAWEED_ASSIGN_OR_RETURN(uint8_t kind_raw, r.GetU8());
-  if (kind_raw > static_cast<uint8_t>(Kind::kApp)) {
+  if (kind_raw > static_cast<uint8_t>(Kind::kHeartbeat)) {
     return Status::ParseError("bad packet kind " + std::to_string(kind_raw));
   }
   pkt->kind = static_cast<Kind>(kind_raw);

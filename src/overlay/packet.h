@@ -44,6 +44,9 @@ struct Packet : WireMessage {
     kProbe,           // liveness probe of a routing-table entry
     kProbeReply,
     kApp,             // application payload (routed or direct)
+    kHeartbeat,       // liveness heartbeat as a real datagram — used when the
+                      // receiver is not hosted locally (live deployments);
+                      // in-memory backends use the metered fast path instead
   };
 
   Kind kind = Kind::kApp;

@@ -323,6 +323,10 @@ void PastryNode::HandlePacket(EndsystemIndex from,
         DeliverLocally(pkt);
       }
       break;
+    case Packet::Kind::kHeartbeat:
+      // The prologue above (obituary erase + last_heard_ + Learn) is exactly
+      // the receiver half of a heartbeat; nothing more to do.
+      break;
   }
 }
 

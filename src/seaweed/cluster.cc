@@ -113,6 +113,11 @@ std::unique_ptr<TransportStack> SeaweedCluster::BuildTransportStack() {
       factories.push_back([plan = std::move(plan), salt](Transport* inner) {
         return std::make_unique<FaultInjectingTransport>(inner, plan, salt);
       });
+    } else if (layer.kind == "udp") {
+      SEAWEED_CHECK_MSG(false,
+                        "transport layer \"udp\" is the live socket "
+                        "transport and only seaweedd can host it; "
+                        "simulations use: serializing, faulty");
     } else {
       SEAWEED_CHECK_MSG(false, "unknown transport layer: " + layer.kind);
     }

@@ -206,7 +206,7 @@ class SeaweedNode : public overlay::PastryApp {
     obs::SpanId result_span = obs::kNoSpan;
   };
 
-  Simulator* sim() const { return overlay_->simulator(); }
+  Scheduler* sim() const { return overlay_->simulator(); }
 
   // --- Metadata plane ---
   void PushMetadataTick(uint64_t generation);

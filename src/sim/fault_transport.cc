@@ -31,7 +31,7 @@ bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
   SEAWEED_CHECK_MSG(msg != nullptr,
                     "FaultInjectingTransport::Send requires a message");
   if (!IsUp(from)) return false;
-  const SimTime now = simulator()->Now();
+  const SimTime now = scheduler()->Now();
 
   if (plan_.Partitioned(from, to, now)) {
     ChargeDrop(from, now, *msg);
@@ -56,7 +56,7 @@ bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
     delayed_metric_->Add();
     // The message enters the wire `extra` later; tx is charged then (and
     // skipped entirely if the sender crashed in the meantime).
-    simulator()->After(extra,
+    scheduler()->After(extra,
                        [this, from, to, cat, msg = std::move(msg)]() mutable {
                          inner()->Send(from, to, cat, std::move(msg));
                        });
@@ -68,7 +68,7 @@ bool FaultInjectingTransport::Send(EndsystemIndex from, EndsystemIndex to,
 
 bool FaultInjectingTransport::Linked(EndsystemIndex from,
                                      EndsystemIndex to) const {
-  if (plan_.Partitioned(from, to, simulator()->Now())) return false;
+  if (plan_.Partitioned(from, to, scheduler()->Now())) return false;
   return inner()->Linked(from, to);
 }
 

@@ -68,7 +68,7 @@ class Network : public Transport {
   }
 
   const Topology& topology() const override { return *topology_; }
-  Simulator* simulator() const override { return sim_; }
+  Scheduler* scheduler() const override { return sim_; }
   BandwidthMeter* meter() const override { return meter_; }
   obs::Observability* obs() const override { return obs_; }
 

@@ -1,0 +1,69 @@
+// Scheduler: the clock + timer seam between protocol code and whatever
+// drives it.
+//
+// Everything above the transport layer (PastryNode, SeaweedNode) schedules
+// work with After()/At()/Cancel() and reads the clock with Now(). In
+// simulation those calls land on the discrete-event Simulator; in a live
+// deployment they land on net::EventLoop, which implements the same
+// interface over a wall clock and an epoll timer queue. Protocol code is
+// written once against this interface and runs unmodified in both worlds.
+//
+// Time is SimTime microseconds in both cases; a wall-clock scheduler anchors
+// the same int64 microsecond axis to the Unix epoch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.h"
+#include "sim/event_queue.h"
+
+namespace seaweed {
+
+// A deferred cross-lane effect: plain-old-data payload plus an apply
+// function, buffered per lane during a window and applied at the barrier.
+// POD (no allocation, no destructor) because hot paths — e.g. cross-lane
+// heartbeats, of which a million-endsystem run produces ~10^8 — defer one of
+// these per occurrence.
+struct DeferEffect {
+  void (*fn)(void* ctx, uint64_t a, uint64_t b, uint64_t c, uint64_t d);
+  void* ctx;
+  uint64_t a = 0, b = 0, c = 0, d = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Current time in microseconds. Simulated time in the discrete-event
+  // engine; Unix-epoch-anchored wall time in a live event loop.
+  virtual SimTime Now() const = 0;
+
+  // Schedules `fn` at absolute time `when` (>= Now()). Returns an id usable
+  // with Cancel(), or kInvalidEventId when the event is not cancellable.
+  virtual EventId At(SimTime when, EventFn fn) = 0;
+
+  // Schedules `fn` after `delay` from now.
+  EventId After(SimDuration delay, EventFn fn) {
+    return At(Now() + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already fired or the id is
+  // stale.
+  virtual bool Cancel(EventId id) = 0;
+
+  // Applies `effect` now, or — in the laned simulator — at the current
+  // window's barrier. Single-threaded schedulers are always an exclusive
+  // context, so the default applies immediately.
+  virtual void Defer(const DeferEffect& effect) {
+    effect.fn(effect.ctx, effect.a, effect.b, effect.c, effect.d);
+  }
+
+  // The event lane an endsystem's callbacks run on (laned simulator only);
+  // 0 everywhere else.
+  virtual int LaneOfEndsystem(size_t e) const {
+    (void)e;
+    return 0;
+  }
+};
+
+}  // namespace seaweed

@@ -33,21 +33,14 @@
 #include "common/logging.h"
 #include "common/time_types.h"
 #include "sim/event_queue.h"
+#include "sim/scheduler.h"
 
 namespace seaweed {
 
-// A deferred cross-lane effect: plain-old-data payload plus an apply
-// function, buffered per lane during a window and applied at the barrier.
-// POD (no allocation, no destructor) because hot paths — e.g. cross-lane
-// heartbeats, of which a million-endsystem run produces ~10^8 — defer one of
-// these per occurrence.
-struct DeferEffect {
-  void (*fn)(void* ctx, uint64_t a, uint64_t b, uint64_t c, uint64_t d);
-  void* ctx;
-  uint64_t a = 0, b = 0, c = 0, d = 0;
-};
-
-class Simulator {
+// `final` so that calls through a concrete Simulator* (the engine's own hot
+// paths) devirtualize; protocol code holds a Scheduler* and pays the
+// virtual dispatch only where the seam is actually needed.
+class Simulator final : public Scheduler {
  public:
   Simulator();
   ~Simulator();
@@ -56,7 +49,7 @@ class Simulator {
 
   // Current simulated time: the executing lane's clock while a lane event
   // runs, the committed global clock otherwise.
-  SimTime Now() const {
+  SimTime Now() const override {
     const int lane = CurrentExecLane();
     if (lane >= 0) return lane_now_[lane];
     return now_;
@@ -64,7 +57,7 @@ class Simulator {
 
   // Schedules `fn` at absolute simulated time `when` (>= Now()) in the
   // calling context's lane (the control lane outside lane execution).
-  EventId At(SimTime when, EventFn fn) {
+  EventId At(SimTime when, EventFn fn) override {
     SEAWEED_DCHECK(when >= Now());
     const int lane = CurrentExecLane();
     return ScheduleIn(lane >= 1 ? lane : 0, when, std::move(fn));
@@ -84,12 +77,12 @@ class Simulator {
   EventId AtLane(int lane, SimTime when, EventFn fn);
 
   // Cancels a pending event.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   // Applies `effect` now (exclusive contexts) or at this window's barrier
   // (lane contexts). Barrier application order is deterministic: by lane,
   // then by defer order within the lane.
-  void Defer(const DeferEffect& effect);
+  void Defer(const DeferEffect& effect) override;
 
   // --- Lane configuration (before any events are scheduled) ---
 
@@ -105,7 +98,7 @@ class Simulator {
   int lanes() const { return num_lanes_; }  // 0 in legacy mode
   int threads() const { return threads_; }
   SimDuration lookahead() const { return lookahead_; }
-  int LaneOfEndsystem(size_t e) const {
+  int LaneOfEndsystem(size_t e) const override {
     return e < lane_of_.size() ? lane_of_[e] : 0;
   }
 

@@ -62,6 +62,15 @@ class Transport {
   virtual void SetUp(EndsystemIndex e, bool up) = 0;
   virtual bool IsUp(EndsystemIndex e) const = 0;
 
+  // True when endsystem `e` is hosted by this process — i.e. its node object
+  // lives in this address space and synchronous shortcuts (the overlay
+  // heartbeat fast path) may touch it directly. In-memory backends host
+  // everything; a socket backend hosts only its own shard.
+  virtual bool IsLocal(EndsystemIndex e) const {
+    (void)e;
+    return true;
+  }
+
   // True when traffic from `from` can currently reach `to` — i.e. `to` is up
   // AND no decorator severs the pair (partitions). Synchronous liveness
   // checks (the overlay heartbeat fast path) must consult this rather than
@@ -81,7 +90,9 @@ class Transport {
   virtual uint64_t messages_lost() const = 0;
 
   virtual const Topology& topology() const = 0;
-  virtual Simulator* simulator() const = 0;
+  // The clock/timer seam the stack above schedules against: the Simulator in
+  // simulation, a wall-clock event loop in a live deployment.
+  virtual Scheduler* scheduler() const = 0;
   virtual BandwidthMeter* meter() const = 0;
   // Never null: the observability domain shared by the stack above.
   virtual obs::Observability* obs() const = 0;
@@ -117,6 +128,7 @@ class TransportDecorator : public Transport {
   }
   void SetUp(EndsystemIndex e, bool up) override { inner_->SetUp(e, up); }
   bool IsUp(EndsystemIndex e) const override { return inner_->IsUp(e); }
+  bool IsLocal(EndsystemIndex e) const override { return inner_->IsLocal(e); }
   bool Linked(EndsystemIndex from, EndsystemIndex to) const override {
     return inner_->Linked(from, to);
   }
@@ -133,7 +145,7 @@ class TransportDecorator : public Transport {
   uint64_t messages_lost() const override { return inner_->messages_lost(); }
 
   const Topology& topology() const override { return inner_->topology(); }
-  Simulator* simulator() const override { return inner_->simulator(); }
+  Scheduler* scheduler() const override { return inner_->scheduler(); }
   BandwidthMeter* meter() const override { return inner_->meter(); }
   obs::Observability* obs() const override { return inner_->obs(); }
 

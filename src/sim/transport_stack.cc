@@ -42,14 +42,28 @@ Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
       }
     } else if (layer.kind == "faulty") {
       // Optional arg: fault-plan JSON path, loaded by the cluster.
+    } else if (layer.kind == "udp") {
+      // Real-datagram transport (net::SocketTransport). Parsed here so
+      // every tool reports it consistently, but it is a base transport,
+      // not a decorator: only seaweedd can instantiate it. Optional arg:
+      // peer-config JSON path.
     } else {
       return Status::InvalidArgument("unknown transport layer \"" +
-                                     layer.kind +
-                                     "\" (known: serializing, faulty)");
+                                     layer.kind + "\" (known: " +
+                                     KnownTransportLayers() + ")");
     }
     layers.push_back(std::move(layer));
   }
+  for (const auto& layer : layers) {
+    if (layer.kind == "udp" && layers.size() > 1) {
+      return Status::InvalidArgument(
+          "transport layer \"udp\" replaces the network and must be the "
+          "only layer in the spec");
+    }
+  }
   return layers;
 }
+
+const char* KnownTransportLayers() { return "serializing, faulty, udp"; }
 
 }  // namespace seaweed

@@ -59,8 +59,14 @@ struct TransportLayerSpec {
 
 // Splits "serializing,faulty:plan.json" into layer specs (outermost first)
 // and rejects unknown kinds. Known kinds: "serializing" (no arg), "faulty"
-// (optional fault-plan JSON path). The empty spec parses to no layers.
+// (optional fault-plan JSON path), and "udp" (optional peer-config path;
+// a base transport usable only by seaweedd, and only alone — see src/net).
+// The empty spec parses to no layers.
 Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
     const std::string& spec);
+
+// The comma-separated list of layer kinds ParseTransportSpec accepts —
+// keep error messages and --help text pointing at one source of truth.
+const char* KnownTransportLayers();
 
 }  // namespace seaweed

@@ -144,7 +144,8 @@ TEST(PacketCodecTest, ControlKindsRoundTrip) {
        {Packet::Kind::kJoinRequest, Packet::Kind::kJoinRow,
         Packet::Kind::kJoinLeafset, Packet::Kind::kNodeAnnounce,
         Packet::Kind::kLeafsetRequest, Packet::Kind::kLeafsetReply,
-        Packet::Kind::kProbe, Packet::Kind::kProbeReply}) {
+        Packet::Kind::kProbe, Packet::Kind::kProbeReply,
+        Packet::Kind::kHeartbeat}) {
     Packet pkt;
     pkt.kind = kind;
     pkt.src = NodeHandle{NodeId(1, 2), 5};
@@ -616,7 +617,7 @@ TEST(RandomizedFixpointTest, AllPacketKinds) {
   Rng rng(13);
   for (int iter = 0; iter < 200; ++iter) {
     Packet pkt;
-    pkt.kind = static_cast<Packet::Kind>(rng.NextBelow(9));
+    pkt.kind = static_cast<Packet::Kind>(rng.NextBelow(10));
     pkt.src = RandomHandle(rng);
     pkt.key = RandomId(rng);
     pkt.row = static_cast<uint8_t>(rng.NextBelow(40));

@@ -160,11 +160,34 @@ bool LoadDump(const char* path, Dump* out) {
 
 void PrintRunSummary(const Dump& d) {
   std::printf("== run summary ==\n");
-  std::printf("  messages: %" PRIu64 " sent, %" PRIu64 " delivered, %" PRIu64
-              " lost\n",
-              CounterOr0(d, "sim.msgs_sent"),
-              CounterOr0(d, "sim.msgs_delivered"),
-              CounterOr0(d, "sim.msgs_lost"));
+  // A simulation dump carries sim.* message counters; a live seaweedd dump
+  // carries net.* datagram counters instead. Print whichever transport the
+  // dump came from.
+  if (d.counters.count("net.datagrams_tx") != 0) {
+    std::printf("  datagrams: %" PRIu64 " tx, %" PRIu64
+                " rx (%" PRIu64 " decode rejects, %" PRIu64
+                " oversize drops, %" PRIu64 " send errors)\n",
+                CounterOr0(d, "net.datagrams_tx"),
+                CounterOr0(d, "net.datagrams_rx"),
+                CounterOr0(d, "net.decode_rejects"),
+                CounterOr0(d, "net.oversize_drops"),
+                CounterOr0(d, "net.send_errors"));
+  } else {
+    std::printf("  messages: %" PRIu64 " sent, %" PRIu64
+                " delivered, %" PRIu64 " lost\n",
+                CounterOr0(d, "sim.msgs_sent"),
+                CounterOr0(d, "sim.msgs_delivered"),
+                CounterOr0(d, "sim.msgs_lost"));
+  }
+  if (d.counters.count("server.requests") != 0) {
+    std::printf("  control plane: %" PRIu64 " requests (%" PRIu64
+                " bad), %" PRIu64 " queries submitted, %" PRIu64
+                " events pushed\n",
+                CounterOr0(d, "server.requests"),
+                CounterOr0(d, "server.bad_requests"),
+                CounterOr0(d, "server.queries_submitted"),
+                CounterOr0(d, "server.events_pushed"));
+  }
   if (auto it = d.gauges.find("sim.online_endsystems"); it != d.gauges.end()) {
     std::printf("  online endsystems: %" PRId64 " at dump, peak %" PRId64 "\n",
                 it->second.first, it->second.second);

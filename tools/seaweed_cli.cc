@@ -1,0 +1,292 @@
+// seaweed-cli: command-line client for seaweedd's line-JSON control port.
+//
+//   seaweed-cli [--host H] [--port P] submit "SELECT ..." [--ttl-s N]
+//   seaweed-cli ... query "SELECT ..." [--timeout-s N] [--no-check-monotone]
+//   seaweed-cli ... status <query_id>
+//   seaweed-cli ... cancel <query_id>
+//   seaweed-cli ... stats
+//   seaweed-cli ... shutdown
+//
+// `query` is the end-to-end verb the loopback harness drives: submit, then
+// stream predictor/result events until the aggregate covers every
+// endsystem, checking on the way that the §2.1 delay-aware contract holds —
+// the predicted row total and the covered-endsystem count must both grow
+// monotonically. The canonical FINAL line is the last thing on stdout, so
+// `seaweed-cli query ... | tail -1` is directly diffable against
+// `seaweedd --reference`.
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/query_service.h"
+#include "obs/jsonl_reader.h"
+
+namespace {
+
+using namespace seaweed;
+
+[[noreturn]] void Usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "seaweed-cli: " << error << "\n";
+  std::cerr <<
+      "usage: seaweed-cli [--host 127.0.0.1] [--port 9500] COMMAND ...\n"
+      "  submit SQL [--ttl-s N]   inject a query, print its id\n"
+      "  query SQL [--timeout-s N] [--no-check-monotone]\n"
+      "                           inject and stream until complete;\n"
+      "                           prints the canonical FINAL line last\n"
+      "  status QUERY_ID          one status snapshot\n"
+      "  cancel QUERY_ID          cancel an active query\n"
+      "  stats                    daemon counters as JSON\n"
+      "  shutdown                 stop the daemon\n";
+  exit(error.empty() ? 0 : 2);
+}
+
+class Client {
+ public:
+  Client(const std::string& host, uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) Fail("cannot create socket");
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const char* h = host == "localhost" ? "127.0.0.1" : host.c_str();
+    if (inet_pton(AF_INET, h, &addr.sin_addr) != 1) {
+      Fail("bad host (IPv4 dotted quad expected): " + host);
+    }
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Fail("cannot connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  void SendLine(const std::string& json) {
+    std::string line = json + "\n";
+    size_t off = 0;
+    while (off < line.size()) {
+      ssize_t n = send(fd_, line.data() + off, line.size() - off, 0);
+      if (n <= 0) Fail("send failed");
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  // Blocks until one full line arrives; exits on EOF/timeout.
+  std::string RecvLine() {
+    std::string line;
+    if (!RecvLineOrTimeout(&line)) Fail("connection closed by daemon");
+    return line;
+  }
+
+  // Like RecvLine, but a recv timeout (SetRecvTimeout) returns false
+  // instead of exiting, so callers can poll a deadline of their own.
+  bool RecvLineOrTimeout(std::string* line) {
+    while (true) {
+      size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      if (n <= 0) Fail("connection closed by daemon");
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  obs::Json Request(const std::string& json) {
+    SendLine(json);
+    return ParsedLine(RecvLine());
+  }
+
+  obs::Json ParsedLine(const std::string& line) {
+    auto parsed = obs::ParseJson(line);
+    if (!parsed.ok()) Fail("bad response: " + line);
+    return std::move(*parsed);
+  }
+
+  void SetRecvTimeout(int seconds) {
+    timeval tv{seconds, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) {
+    std::cerr << "seaweed-cli: " << msg << "\n";
+    exit(1);
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// Exits non-zero unless the response says ok:true.
+const obs::Json& CheckOk(const obs::Json& resp) {
+  const obs::Json* ok = resp.Find("ok");
+  if (ok == nullptr || !ok->b) {
+    const obs::Json* err = resp.Find("error");
+    std::cerr << "seaweed-cli: daemon error: "
+              << (err != nullptr ? err->AsString() : "unknown") << "\n";
+    exit(1);
+  }
+  return resp;
+}
+
+std::string SubmitJson(const std::string& sql, int ttl_s) {
+  std::string req = "{\"op\":\"submit\",\"sql\":\"" + net::JsonEscape(sql) +
+                    "\"";
+  if (ttl_s > 0) req += ",\"ttl_s\":" + std::to_string(ttl_s);
+  req += "}";
+  return req;
+}
+
+// How long to keep the stream open for a completeness predictor after the
+// final aggregate already arrived.
+constexpr int kPredictorGraceS = 15;
+
+int RunQuery(Client& client, const std::string& sql, int ttl_s, int timeout_s,
+             bool check_monotone) {
+  const obs::Json resp = CheckOk(client.Request(SubmitJson(sql, ttl_s)));
+  const std::string qid = resp.Find("query_id")->AsString();
+  std::cerr << "query_id=" << qid
+            << " origin=" << resp.Find("origin")->AsInt() << "\n";
+  CheckOk(client.Request("{\"op\":\"stream\",\"query_id\":\"" + qid + "\"}"));
+
+  // Short recv timeout so the loop can re-check its deadlines even when
+  // the daemon is quiet between push events.
+  client.SetRecvTimeout(2);
+  time_t deadline = time(nullptr) + (timeout_s > 0 ? timeout_s : 600);
+
+  double prev_rows = -1;
+  int64_t prev_endsystems = -1;
+  int predictor_events = 0;
+  bool complete = false;
+  std::string final_line;
+  // Stream until the aggregate covers every endsystem AND the delay-aware
+  // half of the protocol has shown up: at least one completeness predictor
+  // (in fast profiles the predictor can trail the final result). The
+  // predictor deliver is a single unacked datagram, so once the result is
+  // complete we only linger a short grace window for it rather than the
+  // whole deadline.
+  while (time(nullptr) < deadline && !(complete && predictor_events > 0)) {
+    std::string raw;
+    if (!client.RecvLineOrTimeout(&raw)) continue;
+    const obs::Json ev = client.ParsedLine(raw);
+    const obs::Json* kind = ev.Find("event");
+    if (kind == nullptr) continue;
+    if (kind->AsString() == "predictor") {
+      const double rows = ev.Find("total_rows")->AsDouble();
+      const int64_t endsystems = ev.Find("endsystems")->AsInt();
+      std::cerr << ev.Find("line")->AsString() << "\n";
+      ++predictor_events;
+      if (check_monotone) {
+        // Allow a hair of float slack on rows: predictors merge doubles.
+        if (rows < prev_rows - 1e-6 || endsystems < prev_endsystems) {
+          std::cerr << "seaweed-cli: MONOTONICITY VIOLATION: rows "
+                    << prev_rows << " -> " << rows << ", endsystems "
+                    << prev_endsystems << " -> " << endsystems << "\n";
+          return 3;
+        }
+        prev_rows = rows;
+        prev_endsystems = endsystems;
+      }
+    } else if (kind->AsString() == "result") {
+      const obs::Json* final_field = ev.Find("final");
+      if (final_field != nullptr) final_line = final_field->AsString();
+      const obs::Json* complete_field = ev.Find("complete");
+      std::cerr << "result: endsystems=" << ev.Find("endsystems")->AsInt()
+                << "/" << ev.Find("total")->AsInt() << "\n";
+      const bool was_complete = complete;
+      complete = complete_field != nullptr && complete_field->b;
+      if (complete && !was_complete) {
+        const time_t grace = time(nullptr) + kPredictorGraceS;
+        if (grace < deadline) deadline = grace;
+      }
+    }
+  }
+  if (complete) {
+    if (predictor_events == 0) {
+      std::cerr << "seaweed-cli: warning: no predictor event before the "
+                   "deadline\n";
+    }
+    std::cout << final_line << std::endl;
+    return 0;
+  }
+  std::cerr << "seaweed-cli: timed out waiting for completion\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 9500;
+  std::string command;
+  std::string arg;
+  int ttl_s = 0;
+  int timeout_s = 600;
+  bool check_monotone = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--host") host = value();
+    else if (flag == "--port") port = static_cast<uint16_t>(std::stoi(value()));
+    else if (flag == "--ttl-s") ttl_s = std::stoi(value());
+    else if (flag == "--timeout-s") timeout_s = std::stoi(value());
+    else if (flag == "--no-check-monotone") check_monotone = false;
+    else if (flag == "--help" || flag == "-h") Usage("");
+    else if (command.empty()) command = flag;
+    else if (arg.empty()) arg = flag;
+    else Usage("unexpected argument " + flag);
+  }
+  if (command.empty()) Usage("missing command");
+
+  Client client(host, port);
+
+  if (command == "submit") {
+    if (arg.empty()) Usage("submit needs a SQL string");
+    const obs::Json resp = CheckOk(client.Request(SubmitJson(arg, ttl_s)));
+    std::cout << resp.Find("query_id")->AsString() << std::endl;
+    return 0;
+  }
+  if (command == "query") {
+    if (arg.empty()) Usage("query needs a SQL string");
+    return RunQuery(client, arg, ttl_s, timeout_s, check_monotone);
+  }
+  if (command == "status" || command == "cancel") {
+    if (arg.empty()) Usage(command + " needs a query id");
+    const obs::Json resp = CheckOk(client.Request(
+        "{\"op\":\"" + command + "\",\"query_id\":\"" + arg + "\"}"));
+    if (command == "status") {
+      std::cout << "endsystems=" << resp.Find("endsystems")->AsInt()
+                << "/" << resp.Find("total")->AsInt() << " complete="
+                << (resp.Find("complete")->b ? "true" : "false") << "\n";
+      const obs::Json* final_field = resp.Find("final");
+      if (final_field != nullptr) {
+        std::cout << final_field->AsString() << std::endl;
+      }
+    }
+    return 0;
+  }
+  if (command == "stats" || command == "shutdown") {
+    client.SendLine("{\"op\":\"" + command + "\"}");
+    std::cout << client.RecvLine() << std::endl;
+    return 0;
+  }
+  Usage("unknown command " + command);
+}
