@@ -11,8 +11,16 @@
 //     --continuous MIN      make queries continuous with this period
 //     --seed S              master seed                   (default 1)
 //     --transport SPEC      transport decorator stack, outermost first:
-//                           e.g. "serializing", "faulty:plan.json", or
-//                           "serializing,faulty:plan.json"
+//                           e.g. "serializing", "faulty:plan.json",
+//                           "serializing,faulty:plan.json", or
+//                           "serializing,batching:20,faulty:plan.json"
+//     --batching            coalesce same-hop query descriptors into
+//                           batched wire messages (shorthand for naming
+//                           "batching" in --transport)
+//     --cache-eps SEC       bounded-divergence predictor cache staleness
+//                           bound in seconds (0 = caching off)
+//     --max-active-queries N  admission limit on concurrently active
+//                           origin queries (0 = unbounded)
 //     --serializing-transport  shorthand for --transport serializing:
 //                           round-trip every message through the wire
 //                           codec in flight (debug mode; stdout is
@@ -58,6 +66,9 @@ struct Args {
   double continuous_minutes = 0;
   uint64_t seed = 1;
   std::string transport;
+  bool batching = false;
+  double cache_eps_s = 0;
+  int max_active_queries = 0;
   int lanes = 0;
   int threads = 1;
   bool encode_in_flight = false;
@@ -99,6 +110,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->transport = args->transport.empty()
                             ? "serializing"
                             : "serializing," + args->transport;
+    } else if (flag == "--batching") {
+      args->batching = true;
+    } else if (flag == "--cache-eps" && (v = need_value())) {
+      args->cache_eps_s = std::atof(v);
+    } else if (flag == "--max-active-queries" && (v = need_value())) {
+      args->max_active_queries = std::atoi(v);
     } else if (flag == "--lanes" && (v = need_value())) {
       args->lanes = std::atoi(v);
     } else if (flag == "--threads" && (v = need_value())) {
@@ -187,6 +204,15 @@ int main(int argc, char** argv) {
       .WithLanes(args.lanes)
       .WithThreads(args.threads)
       .WithEncodeInFlight(args.encode_in_flight);
+  if (args.batching) options.seaweed().batching = true;
+  if (args.cache_eps_s < 0 || args.max_active_queries < 0) {
+    std::fprintf(stderr,
+                 "--cache-eps and --max-active-queries must be >= 0\n");
+    return 1;
+  }
+  options.seaweed().cache_eps =
+      static_cast<SimDuration>(args.cache_eps_s * kSecond);
+  options.seaweed().max_active_queries = args.max_active_queries;
   options.anemone().days = 7;
   options.anemone().workstation_flows_per_day = 40;
   auto config = options.Build();
@@ -255,10 +281,9 @@ int main(int argc, char** argv) {
 
   int64_t hours = duration / kHour;
   std::printf("\n--- bandwidth accounting (tx, per online endsystem) ---\n");
-  const char* names[] = {"pastry", "metadata", "dissemination", "predictor",
-                         "result"};
   for (int c = 0; c < kNumTrafficCategories; ++c) {
-    std::printf("  %-14s %8.2f B/s\n", names[c],
+    std::printf("  %-14s %8.2f B/s\n",
+                TrafficCategoryName(static_cast<TrafficCategory>(c)),
                 cluster.MeanTxPerOnline(0, hours, c));
   }
   std::printf("  %-14s %8.2f B/s\n", "total",

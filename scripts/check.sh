@@ -9,6 +9,8 @@
 #
 # SEAWEED_SCALE_SMOKE=1 additionally runs the 10^5-endsystem scale smoke
 # (laned engine, 2 threads) with a wall-clock budget; CI's scale job sets it.
+# SEAWEED_LOAD_SMOKE=1 additionally runs the multi-tenant query-load smoke
+# (bench/query_load, capped rates) on both trees; CI's load job sets it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,6 +74,21 @@ EOF
     exit 1
   fi
   echo "replays bit-identical"
+  # Same contract with dissemination batching in the stack: outbox flushes
+  # are scheduler events, so a batched chaos run must replay bit-identically
+  # too (batching changes timing and wire framing, never determinism).
+  local bflags=(--endsystems 60 --hours 2 --seed 7
+                --transport "serializing,batching:50,faulty:$plan"
+                --cache-eps 30
+                --query "SELECT COUNT(*), SUM(Bytes) FROM Flow")
+  echo "--- batched chaos replay determinism ($build) ---"
+  "$simbin" "${bflags[@]}" > "$build/sim_chaos_batched_a.out"
+  "$simbin" "${bflags[@]}" > "$build/sim_chaos_batched_b.out"
+  if ! diff -u "$build/sim_chaos_batched_a.out" "$build/sim_chaos_batched_b.out"; then
+    echo "FAIL: batched chaos run is not seed-deterministic" >&2
+    exit 1
+  fi
+  echo "batched replays bit-identical"
 }
 
 # Same laned simulation with 1 worker thread and with 2: stdout AND the obs
@@ -134,6 +151,34 @@ scale_smoke() {
   tail -2 "$build/sim_scale_smoke.out"
 }
 
+# Multi-tenant load smoke: bench/query_load in SEAWEED_LOAD_SMOKE form
+# (48 endsystems, 20 s arrival window, capped rates) with a wall-clock
+# budget. $2 narrows the rate list for slow (sanitizer) trees. Gated behind
+# SEAWEED_LOAD_SMOKE; CI's load job sets it.
+load_smoke() {
+  local build="$1" rates="${2:-}" budget="${3:-120}"
+  local loadbin="$build/bench/query_load"
+  require_binary "$loadbin"
+  echo "--- query-load smoke ($build, budget ${budget}s) ---"
+  local start
+  start=$(date +%s)
+  local rate_env=()
+  [[ -n "$rates" ]] && rate_env=("SEAWEED_LOAD_RATES=$rates")
+  env SEAWEED_LOAD_SMOKE=1 "${rate_env[@]}" \
+      SEAWEED_BENCH_OUT="$build/query_load_smoke.json" \
+      timeout "$budget" "$loadbin" > "$build/query_load_smoke.out" || {
+    echo "FAIL: query-load smoke exceeded ${budget}s or crashed" >&2
+    tail -5 "$build/query_load_smoke.out" >&2 || true
+    exit 1
+  }
+  echo "completed in $(( $(date +%s) - start ))s"
+  tail -5 "$build/query_load_smoke.out"
+  # The converter doubles as a schema check on the machine-readable output.
+  scripts/query_load_to_json.py "$build/query_load_smoke.json" smoke \
+      > /dev/null
+  echo "raw JSON converts cleanly"
+}
+
 echo "=== default build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
@@ -145,6 +190,9 @@ loopback_smoke build 19600
 if [[ "${SEAWEED_SCALE_SMOKE:-0}" == "1" ]]; then
   scale_smoke build
 fi
+if [[ "${SEAWEED_LOAD_SMOKE:-0}" == "1" ]]; then
+  load_smoke build "" 120
+fi
 
 echo
 echo "=== sanitizer build (ASan + UBSan) ==="
@@ -155,6 +203,12 @@ differential build-asan
 chaos_replay build-asan
 lane_determinism build-asan
 loopback_smoke build-asan 19620
+if [[ "${SEAWEED_LOAD_SMOKE:-0}" == "1" ]]; then
+  # Sanitizer instrumentation makes the sweep ~4x slower; one rate, both
+  # pipeline variants, is plenty to catch ASan/UBSan findings in the
+  # batching/caching/slicing paths.
+  load_smoke build-asan 4 360
+fi
 
 echo
 echo "All checks passed."

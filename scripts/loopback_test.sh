@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Multi-process loopback differential: starts SHARDS seaweedd processes on
-# 127.0.0.1, waits for every endsystem to join the overlay, runs a GROUP BY
-# query with integer-valued aggregates through seaweed-cli, and asserts the
-# live cluster's FINAL line is byte-identical to the single-process
-# in-memory simulation (`seaweedd --reference`) for the same seed and
-# dataset. The CLI itself enforces that the completeness-predictor stream
-# is monotone (exit 3 on a violation).
+# 127.0.0.1, waits for every endsystem to join the overlay, runs queries
+# with integer-valued aggregates through seaweed-cli, and asserts the live
+# cluster's FINAL lines are byte-identical to the single-process in-memory
+# simulation (`seaweedd --reference`) for the same seed and dataset. The
+# CLI itself enforces that the completeness-predictor stream is monotone
+# (exit 3 on a violation).
+#
+# Three phases:
+#   1. single query, default knobs — the strict-no-op baseline differential
+#   2. CONCURRENCY queries submitted simultaneously through shard 0's
+#      control port — the multi-tenant path, each FINAL diffed against its
+#      own --reference run
+#   3. same concurrent mix against a fresh cluster started with --batching
+#      --cache-eps 30 — dissemination batching and the bounded-divergence
+#      predictor cache must not change a single output byte
 #
 # Integer aggregates (COUNT/SUM/MIN/MAX over int64 columns) are exact under
 # any merge order, so the live cluster — whose message arrival order is NOT
@@ -15,7 +24,8 @@
 #   BUILD_DIR defaults to "build".
 # Env:
 #   SEAWEED_LOOPBACK_BASE_PORT  first UDP port (default 19600; control
-#                               ports are BASE+100..BASE+100+SHARDS-1)
+#                               ports are BASE+100..BASE+100+SHARDS-1;
+#                               phase 3 uses BASE+40 the same way)
 #   SEAWEED_LOOPBACK_JOIN_TIMEOUT_S   bring-up budget (default 60)
 #   SEAWEED_LOOPBACK_QUERY_TIMEOUT_S  per-query budget (default 120)
 set -euo pipefail
@@ -40,6 +50,21 @@ JOIN_TIMEOUT_S="${SEAWEED_LOOPBACK_JOIN_TIMEOUT_S:-60}"
 QUERY_TIMEOUT_S="${SEAWEED_LOOPBACK_QUERY_TIMEOUT_S:-120}"
 SQL="SELECT App, COUNT(*), SUM(Bytes), MIN(Bytes), MAX(Bytes) FROM Flow GROUP BY App"
 
+# Mixed point/range/GROUP BY, all integer-exact — the concurrent batch.
+# Group counts stay small (an unfiltered GROUP BY SrcPort has ~5.5k groups,
+# whose aggregation messages exceed the UDP datagram cap and can never
+# complete on the live path).
+CONC_SQL=(
+  "SELECT COUNT(*) FROM Flow"
+  "SELECT COUNT(*), SUM(Bytes) FROM Flow WHERE Bytes > 20000"
+  "SELECT COUNT(*) FROM Flow WHERE SrcPort = 80"
+  "SELECT MIN(Bytes), MAX(Bytes) FROM Flow"
+  "SELECT App, COUNT(*) FROM Flow GROUP BY App"
+  "SELECT SrcPort, COUNT(*), SUM(Bytes) FROM Flow WHERE Bytes > 1000000 GROUP BY SrcPort"
+  "SELECT SUM(Packets) FROM Flow WHERE DstPort = 443"
+  "SELECT App, SUM(Packets), MIN(Bytes) FROM Flow GROUP BY App"
+)
+
 WORK="$BUILD/loopback"
 rm -rf "$WORK"
 mkdir -p "$WORK"
@@ -60,58 +85,120 @@ echo "--- loopback reference: in-memory simulation, N=$N seed=$SEED ---"
 "$DAEMON" --reference --endsystems "$N" --seed "$SEED" --query "$SQL" \
     > "$WORK/reference.out"
 cat "$WORK/reference.out"
-
-# All shards must agree on the wall-clock epoch or their Transport::Now()
-# values (and therefore trace timestamps) diverge.
-EPOCH_US=$(( $(date +%s) * 1000000 ))
-
-echo "--- starting $SHARDS seaweedd shards (udp $BASE_PORT+, control $((BASE_PORT + 100))+) ---"
-for (( shard = 0; shard < SHARDS; shard++ )); do
-  "$DAEMON" --endsystems "$N" --shards "$SHARDS" --shard "$shard" \
-      --base-port "$BASE_PORT" --seed "$SEED" --epoch-us "$EPOCH_US" \
-      --profile fast --obs-dump "$WORK/obs_shard$shard.jsonl" \
-      > "$WORK/shard$shard.out" 2> "$WORK/shard$shard.err" &
-  PIDS+=($!)
+for i in "${!CONC_SQL[@]}"; do
+  "$DAEMON" --reference --endsystems "$N" --seed "$SEED" \
+      --query "${CONC_SQL[$i]}" > "$WORK/ref_q$i.out"
 done
 
-# Bring-up barrier: sum the per-shard `joined` gauges until every
-# endsystem is in the overlay (or a daemon dies / the budget expires).
-joined_total() {
-  local total=0 shard line
+# Starts SHARDS daemons on $1 (udp base port; control ports $1+100..) with
+# any extra flags, dumping obs JSONL with prefix $2, and blocks until every
+# endsystem joins. Populates PIDS.
+start_shards() {
+  local base=$1 obs_prefix=$2
+  shift 2
+  # All shards must agree on the wall-clock epoch or their Transport::Now()
+  # values (and therefore trace timestamps) diverge.
+  local epoch_us=$(( $(date +%s) * 1000000 ))
+  local shard
   for (( shard = 0; shard < SHARDS; shard++ )); do
-    line=$("$CLI" --port $((BASE_PORT + 100 + shard)) stats 2>/dev/null) || {
-      echo 0; return
-    }
-    total=$(( total + $(python3 -c \
-        'import json,sys; print(json.load(sys.stdin).get("joined", 0))' \
-        <<< "$line") ))
+    "$DAEMON" --endsystems "$N" --shards "$SHARDS" --shard "$shard" \
+        --base-port "$base" --seed "$SEED" --epoch-us "$epoch_us" \
+        --profile fast --obs-dump "$WORK/${obs_prefix}$shard.jsonl" "$@" \
+        > "$WORK/${obs_prefix}$shard.out" 2> "$WORK/${obs_prefix}$shard.err" &
+    PIDS+=($!)
   done
-  echo "$total"
-}
 
-deadline=$(( $(date +%s) + JOIN_TIMEOUT_S ))
-while :; do
-  for pid in "${PIDS[@]}"; do
-    if ! kill -0 "$pid" 2>/dev/null; then
-      echo "FAIL: a seaweedd shard exited during bring-up" >&2
-      tail -5 "$WORK"/shard*.err >&2 || true
+  # Bring-up barrier: sum the per-shard `joined` gauges until every
+  # endsystem is in the overlay (or a daemon dies / the budget expires).
+  local deadline=$(( $(date +%s) + JOIN_TIMEOUT_S ))
+  local joined total line pid
+  while :; do
+    for pid in "${PIDS[@]}"; do
+      if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: a seaweedd shard exited during bring-up" >&2
+        tail -5 "$WORK/${obs_prefix}"*.err >&2 || true
+        exit 1
+      fi
+    done
+    total=0
+    for (( shard = 0; shard < SHARDS; shard++ )); do
+      line=$("$CLI" --port $((base + 100 + shard)) stats 2>/dev/null) || line=""
+      if [[ -n "$line" ]]; then
+        total=$(( total + $(python3 -c \
+            'import json,sys; print(json.load(sys.stdin).get("joined", 0))' \
+            <<< "$line") ))
+      fi
+    done
+    joined=$total
+    if [[ "$joined" -eq "$N" ]]; then
+      echo "all $N endsystems joined"
+      break
+    fi
+    if [[ $(date +%s) -ge $deadline ]]; then
+      echo "FAIL: only $joined/$N endsystems joined within ${JOIN_TIMEOUT_S}s" >&2
+      tail -5 "$WORK/${obs_prefix}"*.err >&2 || true
       exit 1
     fi
+    sleep 0.5
   done
-  joined=$(joined_total)
-  if [[ "$joined" -eq "$N" ]]; then
-    echo "all $N endsystems joined"
-    break
-  fi
-  if [[ $(date +%s) -ge $deadline ]]; then
-    echo "FAIL: only $joined/$N endsystems joined within ${JOIN_TIMEOUT_S}s" >&2
-    tail -5 "$WORK"/shard*.err >&2 || true
+}
+
+# Clean shutdown of the cluster on udp base port $1 through the control
+# plane so --obs-dump files get written.
+stop_shards() {
+  local base=$1 shard pid
+  for (( shard = 0; shard < SHARDS; shard++ )); do
+    "$CLI" --port $((base + 100 + shard)) shutdown >/dev/null 2>&1 || true
+  done
+  for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+}
+
+# Submits every CONC_SQL query concurrently through shard 0 of the cluster
+# on udp base port $1 and diffs each FINAL against its reference. Output
+# prefix $2 keeps phases 2 and 3 apart in $WORK.
+run_concurrent() {
+  local base=$1 prefix=$2
+  local qpids=() i rc fail=0
+  for i in "${!CONC_SQL[@]}"; do
+    "$CLI" --port $((base + 100)) --timeout-s "$QUERY_TIMEOUT_S" \
+        query "${CONC_SQL[$i]}" \
+        > "$WORK/${prefix}_q$i.out" 2> "$WORK/${prefix}_q$i.err" &
+    qpids+=($!)
+  done
+  for i in "${!CONC_SQL[@]}"; do
+    rc=0
+    wait "${qpids[$i]}" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+      # Exit 3 from the CLI means the predictor stream went backwards.
+      echo "FAIL: concurrent query $i exited $rc: ${CONC_SQL[$i]}" >&2
+      cat "$WORK/${prefix}_q$i.err" >&2 || true
+      fail=1
+    fi
+  done
+  [[ $fail -eq 0 ]] || exit 1
+  for i in "${!CONC_SQL[@]}"; do
+    if ! diff -u "$WORK/ref_q$i.out" "$WORK/${prefix}_q$i.out"; then
+      echo "FAIL: concurrent query $i differs from the reference: ${CONC_SQL[$i]}" >&2
+      fail=1
+    fi
+  done
+  [[ $fail -eq 0 ]] || exit 1
+  # The delay-aware half of the protocol must show up under concurrency
+  # too. Predictor delivery is best-effort (a single unacked datagram per
+  # update), so require it for the batch, not per query.
+  if ! grep -lq "^PREDICTOR " "$WORK/${prefix}"_q*.err; then
+    echo "FAIL: no completeness-predictor event reached any concurrent client" >&2
     exit 1
   fi
-  sleep 0.5
-done
+  echo "${#CONC_SQL[@]} concurrent FINAL lines byte-identical to reference"
+}
 
-echo "--- live query via seaweed-cli (monotone predictor enforced) ---"
+echo "--- phase 1: $SHARDS shards (udp $BASE_PORT+, control $((BASE_PORT + 100))+), single query ---"
+start_shards "$BASE_PORT" obs_shard
+
 # Exit 3 from the CLI means the predictor stream went backwards — that is a
 # hard failure; let it propagate through set -e.
 "$CLI" --port $((BASE_PORT + 100)) --timeout-s "$QUERY_TIMEOUT_S" \
@@ -132,15 +219,9 @@ if ! diff -u "$WORK/reference.out" "$WORK/live.out"; then
 fi
 echo "aggregates byte-identical"
 
-# Clean shutdown through the control plane so --obs-dump files get written;
-# the EXIT trap mops up anything that ignores it.
-for (( shard = 0; shard < SHARDS; shard++ )); do
-  "$CLI" --port $((BASE_PORT + 100 + shard)) shutdown >/dev/null 2>&1 || true
-done
-for pid in "${PIDS[@]}"; do
-  wait "$pid" 2>/dev/null || true
-done
-PIDS=()
+echo "--- phase 2: ${#CONC_SQL[@]} concurrent queries through shard 0 ---"
+run_concurrent "$BASE_PORT" live
+stop_shards "$BASE_PORT"
 
 for (( shard = 0; shard < SHARDS; shard++ )); do
   if [[ ! -s "$WORK/obs_shard$shard.jsonl" ]]; then
@@ -149,4 +230,12 @@ for (( shard = 0; shard < SHARDS; shard++ )); do
   fi
 done
 echo "obs JSONL dumped for all shards"
+
+BATCH_PORT=$((BASE_PORT + 40))
+echo "--- phase 3: fresh cluster with --batching --cache-eps 30 (udp $BATCH_PORT+) ---"
+start_shards "$BATCH_PORT" obs_batched_shard --batching --cache-eps 30
+run_concurrent "$BATCH_PORT" batched
+stop_shards "$BATCH_PORT"
+echo "batching + caching changed no output byte"
+
 echo "loopback test passed"

@@ -568,84 +568,95 @@ void CompiledQuery::AccumulateUngroupedDense(const Table& table,
 }
 
 Result<AggregateResult> CompiledQuery::Execute(const Table& table) const {
-  AggregateResult result;
-  result.states.resize(inputs_.size());
-  result.endsystems = 1;
-  const size_t n = table.num_rows();
-  const size_t arity = inputs_.size();
+  AggregateCursor cursor(this, &table);
+  cursor.Step(std::numeric_limits<size_t>::max());
+  return cursor.Take();
+}
 
-  const Column* group_col =
-      group_column_ >= 0 ? &table.column(static_cast<size_t>(group_column_))
-                         : nullptr;
-  const bool dense_group = group_col != nullptr &&
-                           group_type_ == ColumnType::kString &&
-                           group_col->dict_size() <= kDenseGroupMaxDict;
+// ---------------------------------------------------------------------------
+// Resumable cursor (time-sliced execution)
+// ---------------------------------------------------------------------------
+
+AggregateCursor::AggregateCursor(const CompiledQuery* plan, const Table* table)
+    : plan_(plan), table_(table) {
+  result_.states.resize(plan_->inputs_.size());
+  result_.endsystems = 1;
+  total_rows_ = table_->num_rows();
+  const size_t arity = plan_->inputs_.size();
+
+  group_col_ = plan_->group_column_ >= 0
+                   ? &table_->column(static_cast<size_t>(plan_->group_column_))
+                   : nullptr;
+  dense_group_ = group_col_ != nullptr &&
+                 plan_->group_type_ == ColumnType::kString &&
+                 group_col_->dict_size() <= kDenseGroupMaxDict;
   // Dense GROUP BY accumulators: one AggState per (dict code, select item)
   // plus a per-code matched-row count deciding which groups exist.
-  std::vector<AggState> dense_states;
-  std::vector<int64_t> dense_rows;
-  const uint32_t* group_codes = nullptr;
-  if (dense_group) {
-    dense_states.resize(group_col->dict_size() * arity);
-    dense_rows.resize(group_col->dict_size(), 0);
-    group_codes = group_col->codes().data();
+  if (dense_group_) {
+    dense_states_.resize(group_col_->dict_size() * arity);
+    dense_rows_.resize(group_col_->dict_size(), 0);
+    group_codes_ = group_col_->codes().data();
   }
+  no_filter_ = plan_->pred_.always_true();
+}
 
-  const bool no_filter = pred_.always_true();
-  SelVector sel;
-  for (size_t batch = 0; batch < n; batch += kBatchSize) {
-    const uint32_t start = static_cast<uint32_t>(batch);
-    const uint32_t len =
-        static_cast<uint32_t>(std::min<size_t>(kBatchSize, n - batch));
-    if (no_filter && group_col == nullptr) {
-      result.rows_matched += len;
-      AccumulateUngroupedDense(table, start, len, &result);
+bool AggregateCursor::Step(size_t max_batches) {
+  const Table& table = *table_;
+  const size_t arity = plan_->inputs_.size();
+  for (size_t b = 0; b < max_batches && next_row_ < total_rows_; ++b) {
+    const uint32_t start = static_cast<uint32_t>(next_row_);
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<size_t>(kBatchSize, total_rows_ - next_row_));
+    next_row_ += len;
+    if (no_filter_ && group_col_ == nullptr) {
+      result_.rows_matched += len;
+      plan_->AccumulateUngroupedDense(table, start, len, &result_);
       continue;
     }
-    if (no_filter) {
-      SelAll(start, len, &sel);
+    if (no_filter_) {
+      SelAll(start, len, &sel_);
     } else {
-      pred_.FilterBatch(table, start, len, &sel);
+      plan_->pred_.FilterBatch(table, start, len, &sel_);
     }
-    result.rows_matched += sel.count;
-    if (sel.count == 0) continue;
+    result_.rows_matched += sel_.count;
+    if (sel_.count == 0) continue;
 
-    if (group_col == nullptr) {
-      AccumulateUngrouped(table, sel, &result);
+    if (group_col_ == nullptr) {
+      plan_->AccumulateUngrouped(table, sel_, &result_);
       continue;
     }
 
-    if (dense_group) {
-      for (uint32_t i = 0; i < sel.count; ++i) {
-        ++dense_rows[group_codes[sel.rows[i]]];
+    if (dense_group_) {
+      for (uint32_t i = 0; i < sel_.count; ++i) {
+        ++dense_rows_[group_codes_[sel_.rows[i]]];
       }
       for (size_t item = 0; item < arity; ++item) {
-        const AggInput& in = inputs_[item];
+        const CompiledQuery::AggInput& in = plan_->inputs_[item];
         if (in.is_group_column) continue;  // rendered from the group key
         if (in.column < 0 || in.type == ColumnType::kString) {
-          for (uint32_t i = 0; i < sel.count; ++i) {
-            dense_states[group_codes[sel.rows[i]] * arity + item]
+          for (uint32_t i = 0; i < sel_.count; ++i) {
+            dense_states_[group_codes_[sel_.rows[i]] * arity + item]
                 .AddCountOnly();
           }
-          result.states[item].count += sel.count;
+          result_.states[item].count += sel_.count;
           continue;
         }
         const Column& col = table.column(static_cast<size_t>(in.column));
-        AggState* global = &result.states[item];
+        AggState* global = &result_.states[item];
         if (in.type == ColumnType::kInt64) {
           const int64_t* p = col.ints().data();
-          for (uint32_t i = 0; i < sel.count; ++i) {
-            const uint32_t row = sel.rows[i];
+          for (uint32_t i = 0; i < sel_.count; ++i) {
+            const uint32_t row = sel_.rows[i];
             const double v = static_cast<double>(p[row]);
-            dense_states[group_codes[row] * arity + item].Add(v);
+            dense_states_[group_codes_[row] * arity + item].Add(v);
             global->Add(v);
           }
         } else {
           const double* p = col.doubles().data();
-          for (uint32_t i = 0; i < sel.count; ++i) {
-            const uint32_t row = sel.rows[i];
+          for (uint32_t i = 0; i < sel_.count; ++i) {
+            const uint32_t row = sel_.rows[i];
             const double v = p[row];
-            dense_states[group_codes[row] * arity + item].Add(v);
+            dense_states_[group_codes_[row] * arity + item].Add(v);
             global->Add(v);
           }
         }
@@ -655,16 +666,16 @@ Result<AggregateResult> CompiledQuery::Execute(const Table& table) const {
 
     // Fallback grouping (numeric or very-high-cardinality group keys):
     // Value-keyed sorted groups over the selection vector.
-    for (uint32_t i = 0; i < sel.count; ++i) {
-      const uint32_t row = sel.rows[i];
-      Value key = group_col->ValueAt(row);
-      std::vector<AggState>& gstates = result.GroupStates(key, arity);
+    for (uint32_t i = 0; i < sel_.count; ++i) {
+      const uint32_t row = sel_.rows[i];
+      Value key = group_col_->ValueAt(row);
+      std::vector<AggState>& gstates = result_.GroupStates(key, arity);
       for (size_t item = 0; item < arity; ++item) {
-        const AggInput& in = inputs_[item];
+        const CompiledQuery::AggInput& in = plan_->inputs_[item];
         if (in.is_group_column) continue;
         if (in.column < 0 || in.type == ColumnType::kString) {
           gstates[item].AddCountOnly();
-          result.states[item].AddCountOnly();
+          result_.states[item].AddCountOnly();
           continue;
         }
         const Column& col = table.column(static_cast<size_t>(in.column));
@@ -672,32 +683,39 @@ Result<AggregateResult> CompiledQuery::Execute(const Table& table) const {
                              ? static_cast<double>(col.Int64At(row))
                              : col.DoubleAt(row);
         gstates[item].Add(v);
-        result.states[item].Add(v);
+        result_.states[item].Add(v);
       }
     }
   }
+  return done();
+}
 
-  if (dense_group) {
+AggregateResult AggregateCursor::Take() {
+  const size_t arity = plan_->inputs_.size();
+  if (dense_group_) {
     // Emit only codes with matching rows, sorted by key (dictionary order
     // is insertion order, not value order).
+    const Column* group_col = group_col_;
     std::vector<uint32_t> present;
-    for (uint32_t code = 0; code < dense_rows.size(); ++code) {
-      if (dense_rows[code] > 0) present.push_back(code);
+    for (uint32_t code = 0; code < dense_rows_.size(); ++code) {
+      if (dense_rows_[code] > 0) present.push_back(code);
     }
     std::sort(present.begin(), present.end(),
               [group_col](uint32_t a, uint32_t b) {
                 return group_col->DictEntry(a) < group_col->DictEntry(b);
               });
-    result.groups.reserve(present.size());
+    result_.groups.reserve(present.size());
     for (uint32_t code : present) {
-      result.groups.emplace_back(
+      result_.groups.emplace_back(
           Value(group_col->DictEntry(code)),
           std::vector<AggState>(
-              dense_states.begin() + static_cast<ptrdiff_t>(code * arity),
-              dense_states.begin() + static_cast<ptrdiff_t>((code + 1) * arity)));
+              dense_states_.begin() + static_cast<ptrdiff_t>(code * arity),
+              dense_states_.begin() +
+                  static_cast<ptrdiff_t>((code + 1) * arity)));
     }
+    dense_group_ = false;  // groups emitted; Take() is one-shot
   }
-  return result;
+  return std::move(result_);
 }
 
 // ---------------------------------------------------------------------------

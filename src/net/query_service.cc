@@ -62,6 +62,7 @@ QueryService::QueryService(LiveCluster* cluster, uint16_t port)
   requests_ = reg->GetCounter("server.requests");
   bad_requests_ = reg->GetCounter("server.bad_requests");
   queries_submitted_ = reg->GetCounter("server.queries_submitted");
+  queries_shed_ = reg->GetCounter("server.queries_shed");
   events_pushed_ = reg->GetCounter("server.events_pushed");
   clients_connected_ = reg->GetGauge("server.clients_connected");
   queries_inflight_ = reg->GetGauge("server.queries_inflight");
@@ -294,6 +295,17 @@ void QueryService::HandleSubmit(Conn& conn, const std::string& sql,
 
   auto id = cluster_->InjectQuery(*origin, sql, std::move(observer), ttl);
   if (!id.ok()) {
+    // Admission-control shedding is back-pressure, not a failure: the reply
+    // carries "shed":true so clients (and the load driver) can distinguish
+    // "try again later" from a malformed or broken request, and it does not
+    // count against server.bad_requests.
+    if (id.status().code() == StatusCode::kUnavailable &&
+        id.status().message().rfind("load shed", 0) == 0) {
+      queries_shed_->Add();
+      SendLine(conn, "{\"ok\":false,\"shed\":true,\"error\":\"" +
+                         JsonEscape(id.status().message()) + "\"}");
+      return;
+    }
     ReplyError(conn, "inject: " + id.status().message());
     return;
   }

@@ -4,6 +4,9 @@
 //
 //   {"op":"submit","sql":"SELECT ...","ttl_s":3600}
 //       -> {"ok":true,"query_id":"<hex>","origin":<endsystem>}
+//       -> {"ok":false,"shed":true,"error":"load shed: ..."} when the
+//          admission limit (--max-active-queries) is reached: back-pressure,
+//          not a failure — retry later; counted in server.queries_shed
 //   {"op":"status","query_id":"<hex>"}
 //       -> {"ok":true,"query_id":...,"endsystems":n,"total":N,
 //           "rows":r,"complete":bool,"predictor_rows":x,"cancelled":bool}
@@ -106,6 +109,7 @@ class QueryService {
   obs::Counter* requests_ = nullptr;
   obs::Counter* bad_requests_ = nullptr;
   obs::Counter* queries_submitted_ = nullptr;
+  obs::Counter* queries_shed_ = nullptr;
   obs::Counter* events_pushed_ = nullptr;
   obs::Gauge* clients_connected_ = nullptr;
   obs::Gauge* queries_inflight_ = nullptr;

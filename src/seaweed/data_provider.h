@@ -18,6 +18,15 @@
 
 namespace seaweed {
 
+// A resumable execution handle for time-sliced local scans. When the
+// provider regenerates tables per execution (keep_tables=false), `owned_db`
+// holds the database the cursor scans so it stays alive across slices;
+// providers that keep tables resident leave it null.
+struct SlicedExecution {
+  std::unique_ptr<db::Database> owned_db;
+  std::unique_ptr<db::AggregateCursor> cursor;
+};
+
 class DataProvider {
  public:
   virtual ~DataProvider() = default;
@@ -41,6 +50,20 @@ class DataProvider {
     return Execute(endsystem, query);
   }
 
+  // Begins a time-sliced execution: the caller repeatedly Step()s the
+  // returned cursor, yielding between slices. The default is unsupported —
+  // callers fall back to the one-shot ExecuteCached path. The cursor's plan
+  // lives in `cache` under `key` and must not be re-bound while it runs.
+  virtual Result<SlicedExecution> BeginSlicedExecution(
+      int endsystem, const db::SelectQuery& query, db::PlanCache* cache,
+      const std::string& key) {
+    (void)endsystem;
+    (void)query;
+    (void)cache;
+    (void)key;
+    return Status::Unavailable("sliced execution unsupported");
+  }
+
   // Bytes charged on the wire when this endsystem's summary is pushed. May
   // be overridden to a calibrated constant (Table 1: h = 6,473 bytes)
   // when simulations run with scaled-down tables.
@@ -60,6 +83,10 @@ class AnemoneDataProvider : public DataProvider {
                                             const db::SelectQuery& query,
                                             db::PlanCache* cache,
                                             const std::string& key) override;
+  Result<SlicedExecution> BeginSlicedExecution(int endsystem,
+                                               const db::SelectQuery& query,
+                                               db::PlanCache* cache,
+                                               const std::string& key) override;
   uint32_t SummaryWireBytes(int endsystem) override;
 
   // Ground truth helper for experiments: exact matching row count.
@@ -87,6 +114,10 @@ class StaticDataProvider : public DataProvider {
                                             const db::SelectQuery& query,
                                             db::PlanCache* cache,
                                             const std::string& key) override;
+  Result<SlicedExecution> BeginSlicedExecution(int endsystem,
+                                               const db::SelectQuery& query,
+                                               db::PlanCache* cache,
+                                               const std::string& key) override;
   uint32_t SummaryWireBytes(int endsystem) override;
 
   db::Database* database(int endsystem) { return dbs_[static_cast<size_t>(endsystem)].get(); }

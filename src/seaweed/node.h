@@ -74,6 +74,29 @@ struct SeaweedConfig {
   SimDuration query_sweep_period = 10 * kMinute;
   // Views included in every metadata push (empty = none).
   std::vector<ReplicatedView> views;
+
+  // --- Multi-tenant pipeline (every knob off by default: strict no-op) ---
+  // Shared-fate dissemination batching: direct-contact child dispatches are
+  // held in a per-contact outbox for batch_flush_delay, then coalesced into
+  // one kBroadcastBatch per hop. Retry/ack machinery is per entry, so a
+  // partially-processed batch retries only the unacked descriptors.
+  bool batching = false;
+  SimDuration batch_flush_delay = 20 * kMillisecond;
+  // Bounded-divergence predictor caching: a predictor computed for the same
+  // (range, query shape) within cache_eps of now and against an unchanged
+  // metadata store is served from cache, skipping the replica scan; the
+  // reuse age rides the wire as the predictor's divergence. 0 disables.
+  SimDuration cache_eps = 0;
+  // Admission control: > 0 bounds queries this node will originate
+  // concurrently; injections beyond the bound are load-shed with
+  // Status::Unavailable (distinguishable from execution failures).
+  // 0 = unbounded.
+  int max_active_queries = 0;
+  // SaGe-style time-sliced local execution: > 0 caps the ~1024-row batches
+  // scanned per slice; long scans yield exec_slice_yield between slices so
+  // concurrent queries interleave instead of convoying. 0 = one-shot.
+  int exec_slice_batches = 0;
+  SimDuration exec_slice_yield = 1 * kMillisecond;
 };
 
 // Origin-side observation hooks, invoked on the injecting endsystem.
@@ -140,6 +163,9 @@ class SeaweedNode : public overlay::PastryApp {
   bool HasActiveQuery(const NodeId& query_id) const {
     return active_.count(query_id) > 0;
   }
+  // Admission control: true when this node already originates
+  // max_active_queries queries and a new injection would be shed.
+  bool AtAdmissionLimit() const;
 
  private:
   struct ChildRange {
@@ -204,6 +230,24 @@ class SeaweedNode : public overlay::PastryApp {
     obs::SpanId root_span = obs::kNoSpan;
     obs::SpanId dissem_span = obs::kNoSpan;
     obs::SpanId result_span = obs::kNoSpan;
+    // Per-query egress accounting ("query.<id>.tx_bytes"), resolved lazily
+    // on the first send this node makes for the query.
+    obs::Counter* tx_bytes = nullptr;
+  };
+
+  // Pending coalesced dispatches for one direct contact (batching).
+  struct Outbox {
+    overlay::NodeHandle contact;
+    std::vector<SeaweedMessage::BatchEntry> entries;
+    bool flush_scheduled = false;
+  };
+
+  // Bounded-divergence predictor cache entry: valid while the metadata
+  // store's epoch is unchanged and now - computed_at <= cache_eps.
+  struct CachedPredictor {
+    CompletenessPredictor predictor;
+    SimTime computed_at = 0;
+    uint64_t metadata_epoch = 0;
   };
 
   Scheduler* sim() const { return overlay_->simulator(); }
@@ -234,6 +278,16 @@ class SeaweedNode : public overlay::PastryApp {
   IdRange MyCell() const;
   bool CoveredByLeafset(const IdRange& range) const;
   void DispatchChild(ActiveQuery& aq, RangeTask& task, ChildRange& child);
+  // Batching: queues the child descriptor in the contact's outbox and
+  // schedules a deterministic flush; the child's retry timer is armed at
+  // enqueue time exactly as for an immediate send.
+  void EnqueueBatchedDispatch(ActiveQuery& aq, ChildRange& child);
+  void FlushOutbox(const NodeId& contact_id);
+  void HandleBroadcastBatch(const overlay::NodeHandle& from,
+                            const SeaweedMessagePtr& msg);
+  // Drop-notice fast path shared by kBroadcast and kBroadcastBatch entries:
+  // reissues the child covering (query_id, range) via routing.
+  void ReissueChildOnDrop(const NodeId& query_id, const IdRange& range);
   void CheckTaskTimeout(const NodeId& query_id, const std::string& token);
   void FinishTaskIfDone(ActiveQuery& aq, RangeTask& task);
   void ReportTask(ActiveQuery& aq, RangeTask& task);
@@ -243,6 +297,12 @@ class SeaweedNode : public overlay::PastryApp {
   void EnsureQueryActive(const Query& query);
   void ScheduleLocalExecution(const NodeId& query_id);
   void ExecuteAndSubmit(const NodeId& query_id);
+  // Time-sliced execution: runs one quantum of `exec` and either yields
+  // (rescheduling itself) or submits the finished leaf result.
+  void StepSlicedExecution(const NodeId& query_id,
+                           std::shared_ptr<SlicedExecution> exec,
+                           obs::SpanId span);
+  void FinishLeafExecution(const NodeId& query_id, db::AggregateResult result);
   NodeId LeafParentVertex(const Query& query) const;
   bool IsLikelyRootFor(const NodeId& key) const;
   void SubmitLeafResult(const NodeId& query_id);
@@ -273,6 +333,8 @@ class SeaweedNode : public overlay::PastryApp {
                    TrafficCategory category);
   void RouteSeaweed(const NodeId& key, const SeaweedMessagePtr& msg,
                     TrafficCategory category);
+  // Charges `bytes` of egress to the query's "query.<id>.tx_bytes" counter.
+  void ChargeQueryTx(ActiveQuery& aq, uint32_t bytes);
 
   // Opens the origin-side lifecycle spans and bumps injection metrics.
   void StartQueryTrace(ActiveQuery& aq, const char* kind);
@@ -302,6 +364,12 @@ class SeaweedNode : public overlay::PastryApp {
     obs::Counter* duplicates_suppressed;
     obs::Counter* dissem_fastpath_reissues;
     obs::Counter* result_reroutes;
+    obs::Counter* batch_flushes;
+    obs::Counter* batch_entries;
+    obs::Counter* pred_cache_hits;
+    obs::Counter* pred_cache_misses;
+    obs::Counter* queries_shed;
+    obs::Counter* exec_slices;
     obs::Histogram* dissem_fanout;
     obs::Histogram* predictor_latency_us;
     obs::Histogram* result_latency_us;
@@ -331,6 +399,12 @@ class SeaweedNode : public overlay::PastryApp {
   // Volatile (lost on failure, rebuilt on rejoin).
   MetadataStore metadata_;
   std::map<NodeId, ActiveQuery> active_;
+  // Batching outboxes, keyed by contact id (std::map for deterministic
+  // flush-callback content regardless of lane interleaving).
+  std::map<NodeId, Outbox> outboxes_;
+  // Predictor cache keyed by (range token, query fingerprint).
+  std::map<std::pair<std::string, std::string>, CachedPredictor>
+      predictor_cache_;
   // Cancelled-query tombstones: query_id -> expiry of the suppression.
   std::map<NodeId, SimTime> cancelled_;
   // (query, vertex, child, version) -> time we last forwarded that exact

@@ -19,6 +19,8 @@ const char* TrafficCategoryName(TrafficCategory c) {
       return "predictor";
     case TrafficCategory::kResult:
       return "result";
+    case TrafficCategory::kBatched:
+      return "batched";
   }
   return "?";
 }

@@ -59,8 +59,10 @@ struct TransportLayerSpec {
 
 // Splits "serializing,faulty:plan.json" into layer specs (outermost first)
 // and rejects unknown kinds. Known kinds: "serializing" (no arg), "faulty"
-// (optional fault-plan JSON path), and "udp" (optional peer-config path;
-// a base transport usable only by seaweedd, and only alone — see src/net).
+// (optional fault-plan JSON path), "udp" (optional peer-config path; a base
+// transport usable only by seaweedd, and only alone — see src/net), and
+// "batching" (optional flush delay in whole milliseconds; enables the
+// SeaweedNode dissemination outboxes rather than wrapping the wire).
 // The empty spec parses to no layers.
 Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
     const std::string& spec);

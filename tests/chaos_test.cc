@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "obs/export.h"
 #include "seaweed/cluster_options.h"
@@ -142,6 +143,112 @@ TEST(ChaosTest, ExactlyOnceAggregationSurvivesChaos) {
   EXPECT_EQ(latest.rows_matched, exact_rows);
   EXPECT_EQ(latest.endsystems, n);
   EXPECT_DOUBLE_EQ(latest.states[0].sum, 100.0 * static_cast<double>(exact_rows));
+}
+
+TEST(ChaosTest, BatchedDisseminationSurvivesChaos) {
+  // Same chaos schedule, but with the multi-tenant pipeline on: several
+  // concurrent queries coalesced into batched dissemination hops, the
+  // bounded-divergence predictor cache, admission limits, and time-sliced
+  // execution. A dropped batch is retried per entry (retries bypass the
+  // outbox), so exactly-once must survive partial batch loss: no query may
+  // ever overcount, and each must converge to its exact global aggregate.
+  const int n = 32;
+  // The burst opens 400ms after injection: the origin's routed kBroadcast
+  // (which has no retry — the original soak injects pre-fault for the same
+  // reason) lands clean, while the batched tree dissemination below it,
+  // stretched by the 100ms flush windows, runs straight into 25% loss.
+  FaultPlan plan;
+  plan.WithSeed(99)
+      .AddBurst(15 * kMinute + 400 * kMillisecond, 45 * kMinute, 0.25)
+      .AddDelayWindow(20 * kMinute, 35 * kMinute, 200 * kMillisecond,
+                      300 * kMillisecond)
+      .AddReorderWindow(36 * kMinute, 46 * kMinute, 0.3, 500 * kMillisecond)
+      .AddCrash(5, 50 * kMinute, 65 * kMinute)
+      .AddCrash(11, 52 * kMinute, 68 * kMinute);
+  ClusterOptions opts;
+  opts.WithEndsystems(n)
+      .WithSeed(7)
+      .WithSummaryWireBytes(0)
+      .WithTransport("batching:100")
+      .WithFaultPlan(plan);
+  opts.seaweed().result_refresh_period = 5 * kMinute;
+  opts.seaweed().cache_eps = 30 * kSecond;
+  opts.seaweed().max_active_queries = 8;
+  opts.seaweed().exec_slice_batches = 2;
+  SeaweedCluster cluster(opts, MakeToyData(n));
+  ASSERT_NE(cluster.fault_transport(), nullptr);
+  ASSERT_TRUE(cluster.config().seaweed.batching);
+
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(10 * kMinute);
+  ASSERT_EQ(cluster.CountJoined(), n);
+
+  const int64_t exact_rows = ToyMatching(n);
+  const int kQueries = 3;
+  std::vector<db::AggregateResult> latest(kQueries);
+  std::vector<bool> predictor_ok(kQueries, true);
+  std::vector<bool> got_predictor(kQueries, false);
+  bool overcounted = false;
+
+  cluster.sim().At(15 * kMinute, [&] {
+    const char* sql[kQueries] = {
+        "SELECT SUM(bytes), COUNT(*) FROM Flow WHERE port = 80",
+        "SELECT COUNT(*) FROM Flow WHERE port = 80",
+        "SELECT COUNT(*) FROM Flow WHERE port = 443",
+    };
+    for (int q = 0; q < kQueries; ++q) {
+      QueryObserver obs;
+      obs.on_predictor = [&, q](const NodeId&,
+                                const CompletenessPredictor& p) {
+        got_predictor[q] = true;
+        double prev = 0;
+        for (SimDuration h : {SimDuration{0}, kMinute, kHour, 12 * kHour}) {
+          double c = p.CompletenessAt(h);
+          if (c < prev - 1e-9 || c < 0 || c > 1 + 1e-9) {
+            predictor_ok[q] = false;
+          }
+          prev = c;
+        }
+      };
+      obs.on_result = [&, q](const NodeId&, const db::AggregateResult& r) {
+        latest[q] = r;
+        if (r.rows_matched > exact_rows || r.endsystems > n) {
+          overcounted = true;
+        }
+      };
+      auto qid = cluster.InjectQuery(0, sql[q], std::move(obs),
+                                     /*ttl=*/6 * kHour);
+      ASSERT_TRUE(qid.ok()) << qid.status();
+    }
+  });
+
+  cluster.sim().RunUntil(3 * kHour);
+
+  // The batch machinery engaged under fire, and some dissemination was
+  // reissued (the partial-batch retry path is what this soak is about).
+  EXPECT_GT(CounterValue(cluster, "seaweed.batch_entries"), 0u);
+  uint64_t reissues =
+      CounterValue(cluster, "seaweed.dissem_reissues") +
+      CounterValue(cluster, "seaweed.dissem_fastpath_reissues");
+  EXPECT_GT(reissues, 0u);
+
+  EXPECT_FALSE(overcounted);
+  // Predictor delivery is a single best-effort send (results are the
+  // hardened plane), so a burst can eat one: require most to land, and
+  // monotonicity for every one that did.
+  int predictors = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    predictors += got_predictor[q] ? 1 : 0;
+    EXPECT_TRUE(predictor_ok[q]) << "query " << q;
+    EXPECT_EQ(latest[q].endsystems, n) << "query " << q;
+  }
+  EXPECT_GE(predictors, kQueries - 1);
+  EXPECT_EQ(latest[0].rows_matched, exact_rows);
+  ASSERT_FALSE(latest[0].states.empty());
+  EXPECT_DOUBLE_EQ(latest[0].states[0].sum,
+                   100.0 * static_cast<double>(exact_rows));
+  EXPECT_EQ(latest[1].rows_matched, exact_rows);
+  EXPECT_EQ(latest[2].rows_matched, exact_rows);
 }
 
 // One full run of a smaller chaos scenario, returning the obs exports.

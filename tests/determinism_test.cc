@@ -5,8 +5,10 @@
 // the schedule is partitioned by lane, windows are synchronized by
 // lookahead, and thread count only changes who executes a lane's window,
 // never the committed event order.
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -20,13 +22,26 @@ namespace {
 struct RunArtifacts {
   uint64_t events_executed = 0;
   uint64_t messages_sent = 0;
+  uint64_t batch_entries = 0;
   int joined = 0;
   std::string metrics_jsonl;
   std::string trace_jsonl;
+  std::vector<db::AggregateResult> finals;
+};
+
+// Multi-tenant pipeline knobs for a run; all off reproduces the classic
+// single-query configuration the original determinism tests were written
+// against.
+struct MultiTenantKnobs {
+  bool batching = false;
+  SimDuration cache_eps = 0;
+  int exec_slice_batches = 0;
+  int num_queries = 1;
 };
 
 RunArtifacts RunSeededCluster(int endsystems, int lanes, int threads,
-                              SimDuration duration) {
+                              SimDuration duration,
+                              const MultiTenantKnobs& knobs = {}) {
   FarsiteModelConfig trace_cfg;
   trace_cfg.seed = 11;
   AvailabilityTrace trace =
@@ -39,16 +54,36 @@ RunArtifacts RunSeededCluster(int endsystems, int lanes, int threads,
       .WithLanes(lanes)
       .WithThreads(threads)
       .WithEncodeInFlight(true);
+  opts.seaweed().batching = knobs.batching;
+  opts.seaweed().cache_eps = knobs.cache_eps;
+  opts.seaweed().exec_slice_batches = knobs.exec_slice_batches;
   SeaweedCluster cluster(opts.BuildOrDie());
   cluster.DriveFromTrace(trace, duration);
 
   const SimTime inject_at = duration / 4;
-  cluster.sim().At(inject_at, [&cluster, duration, inject_at] {
+  auto finals =
+      std::make_shared<std::vector<db::AggregateResult>>(knobs.num_queries);
+  static const char* kSql[] = {
+      "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000",
+      "SELECT SUM(Bytes) FROM Flow WHERE SrcPort = 80",
+      "SELECT COUNT(*) FROM Flow WHERE Bytes > 0",
+  };
+  const int num_queries = knobs.num_queries;
+  cluster.sim().At(inject_at, [&cluster, duration, inject_at, finals,
+                               num_queries] {
     for (int e = 0; e < cluster.config().num_endsystems; ++e) {
       if (cluster.pastry_node(e)->joined()) {
-        (void)cluster.InjectQuery(
-            e, "SELECT COUNT(*) FROM Flow WHERE Bytes > 20000",
-            QueryObserver{}, duration - inject_at);
+        // Same-origin simultaneous injections share dissemination hops —
+        // the shape that actually exercises the batching outboxes.
+        for (int q = 0; q < num_queries; ++q) {
+          QueryObserver obs;
+          obs.on_result = [finals, q](const NodeId&,
+                                      const db::AggregateResult& r) {
+            (*finals)[q] = r;
+          };
+          (void)cluster.InjectQuery(e, kSql[q % 3], std::move(obs),
+                                    duration - inject_at);
+        }
         return;
       }
     }
@@ -60,7 +95,10 @@ RunArtifacts RunSeededCluster(int endsystems, int lanes, int threads,
   RunArtifacts a;
   a.events_executed = cluster.sim().events_executed();
   a.messages_sent = cluster.network().messages_sent();
+  a.batch_entries =
+      cluster.obs().metrics.GetCounter("seaweed.batch_entries")->value();
   a.joined = cluster.CountJoined();
+  a.finals = *finals;
   std::ostringstream metrics;
   obs::WriteMetricsJsonl(cluster.obs().metrics, metrics);
   a.metrics_jsonl = metrics.str();
@@ -102,6 +140,58 @@ TEST(LaneDeterminism, RepeatedRunIsByteIdentical) {
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(a.metrics_jsonl, b.metrics_jsonl);
   EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+}
+
+TEST(LaneDeterminism, BatchedRunIsThreadCountDeterministic) {
+  // The full multi-tenant pipeline — outbox batching, the bounded-divergence
+  // predictor cache, and time-sliced execution — must preserve the lane
+  // determinism contract: thread count never changes committed event order,
+  // so two runs differing only in worker threads stay byte-identical.
+  MultiTenantKnobs knobs;
+  knobs.batching = true;
+  knobs.cache_eps = 30 * kSecond;
+  knobs.exec_slice_batches = 4;
+  knobs.num_queries = 3;
+  const SimDuration kDuration = 25 * kMinute;
+  RunArtifacts t1 = RunSeededCluster(600, /*lanes=*/4, /*threads=*/1,
+                                     kDuration, knobs);
+  RunArtifacts t2 = RunSeededCluster(600, /*lanes=*/4, /*threads=*/2,
+                                     kDuration, knobs);
+
+  // The pipeline actually engaged — a batch-free run proves nothing.
+  EXPECT_GT(t1.batch_entries, 0u);
+
+  EXPECT_EQ(t1.events_executed, t2.events_executed);
+  EXPECT_EQ(t1.messages_sent, t2.messages_sent);
+  EXPECT_EQ(t1.joined, t2.joined);
+  EXPECT_EQ(t1.metrics_jsonl, t2.metrics_jsonl);
+  EXPECT_EQ(t1.trace_jsonl, t2.trace_jsonl);
+  EXPECT_EQ(t1.finals, t2.finals);
+}
+
+TEST(LaneDeterminism, BatchingOnOffSameFinalAggregates) {
+  // Batching and caching change message timing and wire layout, never
+  // query answers: a run with the pipeline on must converge to the same
+  // final aggregate per query as the plain run.
+  MultiTenantKnobs off;
+  off.num_queries = 3;
+  MultiTenantKnobs on = off;
+  on.batching = true;
+  on.cache_eps = 30 * kSecond;
+  on.exec_slice_batches = 4;
+  const SimDuration kDuration = 40 * kMinute;
+  RunArtifacts plain = RunSeededCluster(300, /*lanes=*/0, /*threads=*/1,
+                                        kDuration, off);
+  RunArtifacts batched = RunSeededCluster(300, /*lanes=*/0, /*threads=*/1,
+                                          kDuration, on);
+
+  EXPECT_EQ(plain.batch_entries, 0u);
+  EXPECT_GT(batched.batch_entries, 0u);
+  ASSERT_EQ(plain.finals.size(), batched.finals.size());
+  for (size_t q = 0; q < plain.finals.size(); ++q) {
+    EXPECT_GT(plain.finals[q].endsystems, 0) << "query " << q;
+    EXPECT_EQ(plain.finals[q], batched.finals[q]) << "query " << q;
+  }
 }
 
 TEST(LaneDeterminism, LaneGaugesPublished) {

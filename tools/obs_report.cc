@@ -6,8 +6,11 @@
 //   - per-category bandwidth breakdown (from the "bw.tx.*" / "bw.rx.*"
 //     timeseries — the same storage BandwidthMeter accounts into, so the
 //     totals here equal the meter's byte-for-byte)
-//   - top queries by delivery latency (from "disseminate" /
-//     "result_delivery" trace spans)
+//   - per-query report (egress bytes from "query.<id>.tx_bytes",
+//     time-to-predictor / time-to-result from "disseminate" /
+//     "result_delivery" trace spans, metadata-lookup cache hits)
+//   - multi-tenant pipeline counters (dissemination batching, predictor
+//     cache, admission control) when any are nonzero
 //   - repair / recovery counters (leafset repairs, metadata re-replication,
 //     aggregation-tree handovers and re-propagations)
 //   - latency and size histograms
@@ -56,6 +59,7 @@ struct SpanData {
   std::string query;  // "query" attr when present
   std::string kind;
   std::string sql;
+  bool cache_hit = false;  // "cache_hit" attr on metadata_lookup spans
 };
 
 struct Dump {
@@ -151,6 +155,8 @@ bool LoadDump(const char* path, Dump* out) {
         if (const Json* q = attrs->Find("query")) s.query = q->AsString();
         if (const Json* q = attrs->Find("kind")) s.kind = q->AsString();
         if (const Json* q = attrs->Find("sql")) s.sql = q->AsString();
+        if (const Json* q = attrs->Find("cache_hit"))
+          s.cache_hit = q->AsInt() != 0;
       }
       out->spans.push_back(std::move(s));
     }
@@ -249,18 +255,25 @@ void PrintBandwidth(const Dump& d) {
               tx_counter, rx_counter, ok ? "match" : "MISMATCH");
 }
 
-void PrintTopQueries(const Dump& d, size_t top_n) {
-  // Per trace: query label from the root "query" span, latencies from the
-  // closed "disseminate" (injection -> first aggregated predictor) and
-  // "result_delivery" (injection -> first delivered result) child spans.
+// Per trace: query label from the root "query" span, latencies from the
+// closed "disseminate" (injection -> first aggregated predictor) and
+// "result_delivery" (injection -> first delivered result) child spans,
+// egress bytes from the per-query "query.<id>.tx_bytes" counter that
+// SeaweedNode charges every descriptor, retry, and aggregation send to
+// (batched descriptors are charged their per-entry share of the batch
+// frame, so the column stays meaningful with dissemination batching on).
+void PrintPerQuery(const Dump& d, size_t top_n) {
   struct QueryInfo {
     std::string query;
     std::string kind;
     std::string sql;
     SimTime dissem = -1;
     SimTime result = -1;
+    uint64_t tx_bytes = 0;
     int aggregation_rounds = 0;
     int predictor_merges = 0;
+    int lookups = 0;
+    int lookup_cache_hits = 0;
   };
   std::unordered_map<std::string, QueryInfo> by_trace;
   for (const SpanData& s : d.spans) {
@@ -277,14 +290,18 @@ void PrintTopQueries(const Dump& d, size_t top_n) {
       ++q.aggregation_rounds;
     } else if (s.name == "predictor_merge") {
       ++q.predictor_merges;
+    } else if (s.name == "metadata_lookup") {
+      ++q.lookups;
+      if (s.cache_hit) ++q.lookup_cache_hits;
     }
   }
   std::vector<QueryInfo> queries;
   for (auto& [trace, q] : by_trace) {
     if (q.query.empty()) q.query = trace.substr(0, 8);
+    q.tx_bytes = CounterOr0(d, "query." + q.query + ".tx_bytes");
     if (q.dissem >= 0 || q.result >= 0) queries.push_back(std::move(q));
   }
-  std::printf("\n== top queries by latency ==\n");
+  std::printf("\n== per-query report ==\n");
   if (queries.empty()) {
     std::printf("  (no closed query-lifecycle spans in dump)\n");
     return;
@@ -294,17 +311,56 @@ void PrintTopQueries(const Dump& d, size_t top_n) {
               return std::max(a.result, a.dissem) >
                      std::max(b.result, b.dissem);
             });
-  std::printf("  %-10s %-14s %14s %14s %8s %8s\n", "query", "kind",
-              "predictor", "result", "rounds", "merges");
+  std::printf("  %-10s %-14s %12s %14s %14s %7s %7s %10s\n", "query", "kind",
+              "tx bytes", "predictor", "result", "rounds", "merges",
+              "lookups");
+  uint64_t tx_total = 0;
   for (size_t i = 0; i < queries.size() && i < top_n; ++i) {
     const QueryInfo& q = queries[i];
-    std::printf("  %-10s %-14s %14s %14s %8d %8d\n", q.query.c_str(),
-                q.kind.c_str(),
+    char lookups[32];
+    std::snprintf(lookups, sizeof(lookups), "%d (%d hit)", q.lookups,
+                  q.lookup_cache_hits);
+    std::printf("  %-10s %-14s %12" PRIu64 " %14s %14s %7d %7d %10s\n",
+                q.query.c_str(), q.kind.c_str(), q.tx_bytes,
                 q.dissem >= 0 ? FormatDuration(q.dissem).c_str() : "-",
                 q.result >= 0 ? FormatDuration(q.result).c_str() : "-",
-                q.aggregation_rounds, q.predictor_merges);
+                q.aggregation_rounds, q.predictor_merges, lookups);
     if (!q.sql.empty()) std::printf("      sql: %s\n", q.sql.c_str());
   }
+  for (const QueryInfo& q : queries) tx_total += q.tx_bytes;
+  if (queries.size() > top_n) {
+    std::printf("  ... %zu more queries\n", queries.size() - top_n);
+  }
+  std::printf("  %zu queries, %" PRIu64
+              " attributed tx bytes (query.*.tx_bytes)\n",
+              queries.size(), tx_total);
+}
+
+// Multi-tenant pipeline counters: dissemination batching, the
+// bounded-divergence predictor cache, and admission control. All zeros
+// on a run with the pipeline off — the knobs default to no-op.
+void PrintPipeline(const Dump& d) {
+  const uint64_t flushes = CounterOr0(d, "seaweed.batch_flushes");
+  const uint64_t entries = CounterOr0(d, "seaweed.batch_entries");
+  const uint64_t hits = CounterOr0(d, "seaweed.pred_cache_hits");
+  const uint64_t misses = CounterOr0(d, "seaweed.pred_cache_misses");
+  const uint64_t shed = CounterOr0(d, "server.queries_shed");
+  if (flushes + entries + hits + misses + shed == 0) return;
+  std::printf("\n== multi-tenant pipeline ==\n");
+  std::printf("  %-36s %12" PRIu64 "\n", "batch flushes", flushes);
+  std::printf("  %-36s %12" PRIu64 "\n", "batched descriptors", entries);
+  if (flushes > 0) {
+    std::printf("  %-36s %12.2f\n", "descriptors per batch",
+                static_cast<double>(entries) / static_cast<double>(flushes));
+  }
+  std::printf("  %-36s %12" PRIu64 "\n", "predictor cache hits", hits);
+  std::printf("  %-36s %12" PRIu64 "\n", "predictor cache misses", misses);
+  if (hits + misses > 0) {
+    std::printf("  %-36s %11.1f%%\n", "predictor cache hit rate",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+  }
+  std::printf("  %-36s %12" PRIu64 "\n", "queries load-shed", shed);
 }
 
 void PrintRepairs(const Dump& d) {
@@ -353,7 +409,8 @@ int main(int argc, char** argv) {
   std::printf("obs_report: %s\n\n", argv[1]);
   PrintRunSummary(dump);
   PrintBandwidth(dump);
-  PrintTopQueries(dump, /*top_n=*/10);
+  PrintPerQuery(dump, /*top_n=*/10);
+  PrintPipeline(dump);
   PrintRepairs(dump);
   PrintHistograms(dump);
   return 0;
