@@ -11,6 +11,9 @@
 # (laned engine, 2 threads) with a wall-clock budget; CI's scale job sets it.
 # SEAWEED_LOAD_SMOKE=1 additionally runs the multi-tenant query-load smoke
 # (bench/query_load, capped rates) on both trees; CI's load job sets it.
+# SEAWEED_LIVE_CHAOS=1 additionally runs the process-level chaos harness
+# (scripts/live_chaos_test.sh: SIGKILL + --rejoin + client failover under a
+# faulty-udp plan) on the default tree; CI's live-chaos job sets it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -130,6 +133,26 @@ loopback_smoke() {
   SEAWEED_LOOPBACK_BASE_PORT="$base_port" scripts/loopback_test.sh "$build"
 }
 
+# Process-level chaos harness: 4 seaweedd shards over faulty UDP (5% loss +
+# delay jitter), one SIGKILLed mid-query and restarted with --rejoin, every
+# control client force-dropped, the client's own shard killed under it.
+# Asserts never-overcount, a monotone predictor, FINAL byte-identical to the
+# reference simulation, and a working exit-code-4 "server lost my query"
+# path. Wall-clock bounded; gated behind SEAWEED_LIVE_CHAOS because it costs
+# minutes on a loaded machine.
+live_chaos() {
+  local build="$1" base_port="$2"
+  require_binary "$build/tools/seaweedd"
+  require_binary "$build/tools/seaweed-cli"
+  local budget="${SEAWEED_LIVE_CHAOS_BUDGET_S:-600}"
+  echo "--- live chaos harness ($build, budget ${budget}s) ---"
+  SEAWEED_CHAOS_BASE_PORT="$base_port" timeout "$budget" \
+      scripts/live_chaos_test.sh "$build" || {
+    echo "FAIL: live chaos harness exceeded ${budget}s or failed" >&2
+    exit 1
+  }
+}
+
 # 10^5-endsystem smoke on the laned engine: completes within the wall-clock
 # budget, 2 threads, encoded in-flight messages. Gated behind
 # SEAWEED_SCALE_SMOKE because it costs minutes, not seconds.
@@ -192,6 +215,9 @@ if [[ "${SEAWEED_SCALE_SMOKE:-0}" == "1" ]]; then
 fi
 if [[ "${SEAWEED_LOAD_SMOKE:-0}" == "1" ]]; then
   load_smoke build "" 120
+fi
+if [[ "${SEAWEED_LIVE_CHAOS:-0}" == "1" ]]; then
+  live_chaos build 19900
 fi
 
 echo

@@ -23,9 +23,13 @@
 # Usage: scripts/loopback_test.sh [BUILD_DIR]
 #   BUILD_DIR defaults to "build".
 # Env:
-#   SEAWEED_LOOPBACK_BASE_PORT  first UDP port (default 19600; control
-#                               ports are BASE+100..BASE+100+SHARDS-1;
-#                               phase 3 uses BASE+40 the same way)
+#   SEAWEED_LOOPBACK_BASE_PORT  first UDP port (control ports are
+#                               BASE+100..BASE+100+SHARDS-1; phase 3 uses
+#                               BASE+40 the same way). When unset, the
+#                               script probes candidate ranges and picks
+#                               the first one that is entirely free, so a
+#                               lingering daemon from an aborted run can't
+#                               wedge the next one.
 #   SEAWEED_LOOPBACK_JOIN_TIMEOUT_S   bring-up budget (default 60)
 #   SEAWEED_LOOPBACK_QUERY_TIMEOUT_S  per-query budget (default 120)
 set -euo pipefail
@@ -45,15 +49,59 @@ done
 N=12
 SHARDS=3
 SEED=7
-BASE_PORT="${SEAWEED_LOOPBACK_BASE_PORT:-19600}"
 JOIN_TIMEOUT_S="${SEAWEED_LOOPBACK_JOIN_TIMEOUT_S:-60}"
 QUERY_TIMEOUT_S="${SEAWEED_LOOPBACK_QUERY_TIMEOUT_S:-120}"
+
+# True when every UDP and TCP port this run needs, at base port $1, can be
+# bound right now (both phases: udp BASE/BASE+40, control +100/+140).
+ports_free() {
+  python3 - "$1" "$SHARDS" <<'EOF'
+import socket, sys
+base, shards = int(sys.argv[1]), int(sys.argv[2])
+socks = []
+try:
+    for off in (0, 40):
+        for s in range(shards):
+            u = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            u.bind(("127.0.0.1", base + off + s))
+            socks.append(u)
+            t = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            t.bind(("127.0.0.1", base + off + 100 + s))
+            socks.append(t)
+except OSError:
+    sys.exit(1)
+finally:
+    for s in socks:
+        s.close()
+EOF
+}
+
+if [[ -n "${SEAWEED_LOOPBACK_BASE_PORT:-}" ]]; then
+  BASE_PORT="$SEAWEED_LOOPBACK_BASE_PORT"
+  if ! ports_free "$BASE_PORT"; then
+    echo "FAIL: requested port range at $BASE_PORT is busy" >&2
+    exit 1
+  fi
+else
+  BASE_PORT=""
+  for cand in 19600 19860 20120 20380 20640; do
+    if ports_free "$cand"; then
+      BASE_PORT="$cand"
+      break
+    fi
+    echo "port range at $cand is busy; trying the next candidate" >&2
+  done
+  if [[ -z "$BASE_PORT" ]]; then
+    echo "FAIL: no free loopback port range found" >&2
+    exit 1
+  fi
+fi
 SQL="SELECT App, COUNT(*), SUM(Bytes), MIN(Bytes), MAX(Bytes) FROM Flow GROUP BY App"
 
 # Mixed point/range/GROUP BY, all integer-exact — the concurrent batch.
-# Group counts stay small (an unfiltered GROUP BY SrcPort has ~5.5k groups,
-# whose aggregation messages exceed the UDP datagram cap and can never
-# complete on the live path).
+# The unfiltered GROUP BY SrcPort (~5.5k groups) encodes past the UDP
+# datagram cap: it rides on SocketTransport's fragmentation path and used
+# to be impossible on the live path.
 CONC_SQL=(
   "SELECT COUNT(*) FROM Flow"
   "SELECT COUNT(*), SUM(Bytes) FROM Flow WHERE Bytes > 20000"
@@ -63,6 +111,7 @@ CONC_SQL=(
   "SELECT SrcPort, COUNT(*), SUM(Bytes) FROM Flow WHERE Bytes > 1000000 GROUP BY SrcPort"
   "SELECT SUM(Packets) FROM Flow WHERE DstPort = 443"
   "SELECT App, SUM(Packets), MIN(Bytes) FROM Flow GROUP BY App"
+  "SELECT SrcPort, COUNT(*), SUM(Bytes) FROM Flow GROUP BY SrcPort"
 )
 
 WORK="$BUILD/loopback"
@@ -71,15 +120,22 @@ mkdir -p "$WORK"
 
 PIDS=()
 cleanup() {
-  local pid
+  local pid deadline
   for pid in "${PIDS[@]:-}"; do
     kill "$pid" 2>/dev/null || true
   done
+  # Grace period for clean exits, then make sure nothing lingers: an
+  # orphaned daemon would hold the port range against the next run.
+  deadline=$(( $(date +%s) + 5 ))
   for pid in "${PIDS[@]:-}"; do
+    while kill -0 "$pid" 2>/dev/null && [[ $(date +%s) -lt $deadline ]]; do
+      sleep 0.2
+    done
+    kill -9 "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
   done
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 echo "--- loopback reference: in-memory simulation, N=$N seed=$SEED ---"
 "$DAEMON" --reference --endsystems "$N" --seed "$SEED" --query "$SQL" \

@@ -24,6 +24,7 @@
 #include "net/socket_transport.h"
 #include "obs/obs.h"
 #include "seaweed/node.h"
+#include "sim/transport_stack.h"
 
 namespace seaweed::net {
 
@@ -41,6 +42,16 @@ struct LiveConfig {
   uint64_t seed = 1;
   // Delay between successive local bring-ups (join pacing).
   SimDuration bringup_stagger = 200 * kMillisecond;
+  // Decorator spec stacked over the socket transport, outermost first —
+  // e.g. "serializing,faulty:plan.json" or the equivalent
+  // "serializing,faulty:plan.json,udp" (the trailing "udp" names the base
+  // this cluster always provides). Fault injection runs off the wall-clock
+  // scheduler with counters under net.fault.*.
+  std::string transport;
+  // Warm re-join after a crash: bootstrap this shard's endsystems through a
+  // remote shard's contact instead of the cold synchronized start (where
+  // endsystem 0 must self-seed the ring). Counted in net.rejoins.
+  bool rejoin = false;
 };
 
 class LiveCluster {
@@ -67,7 +78,11 @@ class LiveCluster {
   const ShardMap& map() const { return map_; }
   const LiveConfig& config() const { return config_; }
   obs::Observability& obs() { return obs_; }
+  // The socket base (stats, fd introspection)…
   SocketTransport& transport() { return transport_; }
+  // …and the decorated top of the stack the overlay actually sends through.
+  Transport& wire() { return *stack_->top(); }
+  const TransportStack& stack() const { return *stack_; }
   overlay::OverlayNetwork& overlay() { return *overlay_; }
   SeaweedNode* seaweed_node(int e) {
     return seaweed_[static_cast<size_t>(e)].get();
@@ -79,6 +94,9 @@ class LiveCluster {
   ShardMap map_;
   LiveConfig config_;
 
+  // Builds the decorator stack named by config_.transport over transport_.
+  std::unique_ptr<TransportStack> BuildTransportStack();
+
   // Same declaration-order contract as SeaweedCluster: obs before meter and
   // transport (both publish into it at construction).
   obs::Observability obs_;
@@ -88,8 +106,10 @@ class LiveCluster {
 
   std::shared_ptr<DataProvider> data_;
   std::vector<NodeId> ids_;
+  std::unique_ptr<TransportStack> stack_;
   std::unique_ptr<overlay::OverlayNetwork> overlay_;
   std::vector<std::unique_ptr<SeaweedNode>> seaweed_;
+  obs::Counter* rejoins_ = nullptr;
 };
 
 }  // namespace seaweed::net

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "db/sql_parser.h"
@@ -64,6 +65,7 @@ QueryService::QueryService(LiveCluster* cluster, uint16_t port)
   queries_submitted_ = reg->GetCounter("server.queries_submitted");
   queries_shed_ = reg->GetCounter("server.queries_shed");
   events_pushed_ = reg->GetCounter("server.events_pushed");
+  clients_disconnected_ = reg->GetCounter("server.clients_disconnected");
   clients_connected_ = reg->GetGauge("server.clients_connected");
   queries_inflight_ = reg->GetGauge("server.queries_inflight");
 
@@ -151,10 +153,13 @@ void QueryService::OnConnEvent(int fd, uint32_t events) {
 void QueryService::CloseConn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  // Subscriptions die with the connection: a client that vanished
+  // mid-stream must never hold a stale fd in any subscriber set.
   for (auto& [key, q] : queries_) q.subscribers.erase(fd);
   loop_->UnwatchFd(fd);
   close(fd);
   conns_.erase(it);
+  clients_disconnected_->Add();
   clients_connected_->Set(static_cast<int64_t>(conns_.size()));
 }
 
@@ -216,6 +221,22 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
 
   if (op_name == "stats") {
     SendLine(conn, StatsJson());
+    return;
+  }
+
+  if (op_name == "drop_clients") {
+    // Chaos/maintenance: sever every control connection, the requester
+    // included, after the reply had a beat to flush. Clients with an
+    // active stream exercise reconnect-with-resubscribe; the daemon's own
+    // query state is untouched.
+    SendLine(conn, "{\"ok\":true,\"dropped\":" +
+                       std::to_string(conns_.size()) + "}");
+    loop_->After(50 * kMillisecond, [this] {
+      std::vector<int> fds;
+      fds.reserve(conns_.size());
+      for (const auto& [fd, c] : conns_) fds.push_back(fd);
+      for (int fd : fds) CloseConn(fd);
+    });
     return;
   }
 

@@ -19,6 +19,11 @@
 //   {"op":"stats"}
 //       -> {"ok":true,"shard":p,"endsystems":N,"local":m,"joined":k,
 //           "queries":q,"counters":{...every obs counter...}}
+//   {"op":"drop_clients"}                    -> {"ok":true,"dropped":n},
+//       then every control connection (the requester included) is severed —
+//       a chaos/maintenance op that exercises client
+//       reconnect-with-resubscribe; drops count in
+//       server.clients_disconnected like any other disconnect
 //   {"op":"shutdown"}                        -> {"ok":true}, loop stops
 //
 // Every parse failure or unknown op is answered with
@@ -111,6 +116,7 @@ class QueryService {
   obs::Counter* queries_submitted_ = nullptr;
   obs::Counter* queries_shed_ = nullptr;
   obs::Counter* events_pushed_ = nullptr;
+  obs::Counter* clients_disconnected_ = nullptr;
   obs::Gauge* clients_connected_ = nullptr;
   obs::Gauge* queries_inflight_ = nullptr;
 };

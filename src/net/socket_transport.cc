@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "common/logging.h"
@@ -52,6 +54,10 @@ SocketTransport::SocketTransport(EventLoop* loop, const ShardMap& map,
   decode_rejects_ = reg->GetCounter("net.decode_rejects");
   oversize_drops_ = reg->GetCounter("net.oversize_drops");
   send_errors_ = reg->GetCounter("net.send_errors");
+  tx_fragmented_ = reg->GetCounter("net.tx_fragmented");
+  frags_rx_ = reg->GetCounter("net.frags_rx");
+  reassembled_ = reg->GetCounter("net.reassembled");
+  reassembly_drops_ = reg->GetCounter("net.reassembly_drops");
 
   fd_ = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   SEAWEED_CHECK_MSG(fd_ >= 0, "cannot create UDP socket");
@@ -127,7 +133,7 @@ bool SocketTransport::Send(EndsystemIndex from, EndsystemIndex to,
   w.PutU32(to);
   w.PutU8(static_cast<uint8_t>(cat));
   msg->Encode(w);
-  if (w.size() > kMaxDatagramBytes) {
+  if (w.size() - kFrameHeaderBytes > kMaxMessageBytes) {
     oversize_drops_->Add();
     ++messages_lost_;
     return true;
@@ -151,16 +157,49 @@ bool SocketTransport::Send(EndsystemIndex from, EndsystemIndex to,
     return true;
   }
 
+  if (w.size() <= kMaxDatagramBytes) {
+    if (!SendDatagram(w, to)) ++messages_lost_;
+    return true;
+  }
+
+  // Too big for one datagram: split the encoded message (everything after
+  // the frame header) into kFragMagic fragments the receiver reassembles.
+  // Any lost fragment loses the whole message, exactly like a lost whole
+  // frame; retries remain the protocol's job.
+  const uint8_t* payload = w.bytes().data() + kFrameHeaderBytes;
+  const size_t payload_len = w.size() - kFrameHeaderBytes;
+  const size_t chunk_max = kMaxDatagramBytes - kFragHeaderBytes;
+  const size_t count = (payload_len + chunk_max - 1) / chunk_max;
+  const uint32_t msg_id = next_frag_msg_id_++;
+  tx_fragmented_->Add();
+  bool all_sent = true;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t off = i * chunk_max;
+    const size_t chunk = std::min(chunk_max, payload_len - off);
+    Writer fw;
+    fw.PutU32(kFragMagic);
+    fw.PutU32(from);
+    fw.PutU32(to);
+    fw.PutU8(static_cast<uint8_t>(cat));
+    fw.PutU32(msg_id);
+    fw.PutU16(static_cast<uint16_t>(i));
+    fw.PutU16(static_cast<uint16_t>(count));
+    fw.PutBytes(payload + off, chunk);
+    all_sent = SendDatagram(fw, to) && all_sent;
+  }
+  if (!all_sent) ++messages_lost_;
+  return true;
+}
+
+bool SocketTransport::SendDatagram(const Writer& w, EndsystemIndex to) {
   const sockaddr_in& addr = peer_addr_[static_cast<size_t>(map_.ShardOf(to))];
   ssize_t n = sendto(fd_, w.bytes().data(), w.size(), 0,
                      reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (n != static_cast<ssize_t>(w.size())) {
-    // Full socket buffer or transient kernel refusal: the message is lost
-    // exactly as a congested wire would lose it; retries are the protocol's
-    // job.
+    // Full socket buffer or transient kernel refusal: the datagram is lost
+    // exactly as a congested wire would lose it.
     send_errors_->Add();
-    ++messages_lost_;
-    return true;
+    return false;
   }
   datagrams_tx_->Add();
   bytes_tx_->Add(static_cast<uint64_t>(w.size()));
@@ -204,8 +243,12 @@ void SocketTransport::HandleDatagram(const uint8_t* data, size_t len) {
 
   Reader r(data, len);
   auto magic = r.GetU32();
-  if (!magic.ok() || *magic != kFrameMagic) {
+  if (!magic.ok() || (*magic != kFrameMagic && *magic != kFragMagic)) {
     decode_rejects_->Add();
+    return;
+  }
+  if (*magic == kFragMagic) {
+    HandleFragment(data, len);
     return;
   }
   auto from = r.GetU32();
@@ -225,19 +268,128 @@ void SocketTransport::HandleDatagram(const uint8_t* data, size_t len) {
     decode_rejects_->Add();
     return;
   }
-  const auto cat = static_cast<TrafficCategory>(*cat_raw);
-  if (!IsUp(*to)) {
+  DeliverRemote(*from, *to, static_cast<TrafficCategory>(*cat_raw),
+                std::move(*msg));
+}
+
+void SocketTransport::DeliverRemote(EndsystemIndex from, EndsystemIndex to,
+                                    TrafficCategory cat, WireMessagePtr msg) {
+  if (!IsUp(to)) {
     ++messages_lost_;
     return;
   }
-  meter_->RecordRx(*to, cat, loop_->Now(),
-                   (*msg)->WireBytes() + kMessageHeaderBytes);
+  meter_->RecordRx(to, cat, loop_->Now(),
+                   msg->WireBytes() + kMessageHeaderBytes);
   ++messages_delivered_;
   if (uniform_handler_) {
-    uniform_handler_(*from, *to, std::move(*msg));
-  } else if (*to < handlers_.size() && handlers_[*to]) {
-    handlers_[*to](*from, std::move(*msg));
+    uniform_handler_(from, to, std::move(msg));
+  } else if (to < handlers_.size() && handlers_[to]) {
+    handlers_[to](from, std::move(msg));
   }
+}
+
+void SocketTransport::HandleFragment(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  (void)r.GetU32();  // magic, already validated by the caller
+  auto from = r.GetU32();
+  auto to = r.GetU32();
+  auto cat_raw = r.GetU8();
+  auto msg_id = r.GetU32();
+  auto index = r.GetU16();
+  auto count = r.GetU16();
+  // Reject malformed headers, and fragment counts no honest sender would
+  // produce: count == 1 never fragments, and a count whose minimum payload
+  // already exceeds kMaxMessageBytes is a memory-exhaustion probe.
+  constexpr size_t kChunkMax = kMaxDatagramBytes - kFragHeaderBytes;
+  if (!from.ok() || !to.ok() || !cat_raw.ok() || !msg_id.ok() ||
+      !index.ok() || !count.ok() ||
+      *from >= static_cast<uint32_t>(map_.num_endsystems) ||
+      *to >= static_cast<uint32_t>(map_.num_endsystems) ||
+      *cat_raw >= kNumTrafficCategories || !IsLocal(*to) ||
+      *count < 2 || *index >= *count || r.remaining() == 0 ||
+      (static_cast<size_t>(*count) - 1) * kChunkMax > kMaxMessageBytes) {
+    decode_rejects_->Add();
+    return;
+  }
+  frags_rx_->Add();
+
+  const uint64_t key = (static_cast<uint64_t>(*from) << 32) | *msg_id;
+  auto it = reassembly_.find(key);
+  if (it == reassembly_.end()) {
+    Reassembly entry;
+    entry.to = *to;
+    entry.cat = static_cast<TrafficCategory>(*cat_raw);
+    entry.frag_count = *count;
+    entry.chunks.resize(*count);
+    it = reassembly_.emplace(key, std::move(entry)).first;
+    ScheduleReassemblySweep();
+  }
+  Reassembly& entry = it->second;
+  if (entry.to != *to || entry.frag_count != *count) {
+    // A different message is squatting on this (sender, id) — sender
+    // restarted and reused ids, or the datagram is forged. Drop both.
+    decode_rejects_->Add();
+    reassembly_drops_->Add();
+    DropReassembly(it);
+    return;
+  }
+  entry.deadline = loop_->Now() + kReassemblyTimeout;
+  std::vector<uint8_t>& slot = entry.chunks[*index];
+  if (!slot.empty()) return;  // duplicate fragment
+  const size_t chunk = r.remaining();
+  if (reassembly_bytes_ + chunk > kMaxReassemblyBytes) {
+    // Memory pressure: shed this whole reassembly rather than the socket.
+    reassembly_drops_->Add();
+    DropReassembly(it);
+    return;
+  }
+  slot.assign(data + (len - chunk), data + len);
+  entry.bytes += chunk;
+  reassembly_bytes_ += chunk;
+  if (++entry.received < entry.frag_count) return;
+
+  // Whole message present: stitch and decode exactly like a single frame.
+  std::vector<uint8_t> payload;
+  payload.reserve(entry.bytes);
+  for (const std::vector<uint8_t>& c : entry.chunks) {
+    payload.insert(payload.end(), c.begin(), c.end());
+  }
+  const EndsystemIndex mfrom = *from;
+  const EndsystemIndex mto = entry.to;
+  const TrafficCategory mcat = entry.cat;
+  DropReassembly(it);
+  Reader mr(payload.data(), payload.size());
+  auto msg = DecodeWireMessage(mr);
+  if (!msg.ok() || !mr.AtEnd()) {
+    decode_rejects_->Add();
+    return;
+  }
+  reassembled_->Add();
+  DeliverRemote(mfrom, mto, mcat, std::move(*msg));
+}
+
+void SocketTransport::DropReassembly(
+    std::map<uint64_t, Reassembly>::iterator it) {
+  reassembly_bytes_ -= it->second.bytes;
+  reassembly_.erase(it);
+}
+
+void SocketTransport::ScheduleReassemblySweep() {
+  if (sweep_scheduled_) return;
+  sweep_scheduled_ = true;
+  loop_->After(kReassemblyTimeout / 2, [this]() {
+    sweep_scheduled_ = false;
+    const SimTime now = loop_->Now();
+    for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+      auto next = std::next(it);
+      if (it->second.deadline <= now) {
+        reassembly_drops_->Add();
+        DropReassembly(it);
+      }
+      it = next;
+    }
+    if (!reassembly_.empty()) ScheduleReassemblySweep();
+  });
 }
 
 uint64_t SocketTransport::datagrams_rx() const {
@@ -246,6 +398,10 @@ uint64_t SocketTransport::datagrams_rx() const {
 
 uint64_t SocketTransport::decode_rejects() const {
   return static_cast<uint64_t>(decode_rejects_->value());
+}
+
+uint64_t SocketTransport::tx_fragmented() const {
+  return static_cast<uint64_t>(tx_fragmented_->value());
 }
 
 }  // namespace seaweed::net

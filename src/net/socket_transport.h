@@ -4,7 +4,12 @@
 // One UDP socket per seaweedd process carries every overlay/seaweed message
 // as one datagram: a 13-byte frame header (magic, from, to, traffic
 // category) followed by the PR 3 typed wire encoding (tag + body) of the
-// WireMessage. Endsystem ownership comes from the ShardMap (e % P);
+// WireMessage. Messages whose encoding exceeds the datagram ceiling (large
+// GROUP BY results) are split into "SWD2" fragment frames carrying a
+// per-process message id plus fragment index/count, and reassembled at the
+// receiver with a timeout-swept, size-capped buffer — losing any fragment
+// loses the whole message, like a lost whole frame, and retries stay the
+// protocol's job. Endsystem ownership comes from the ShardMap (e % P);
 // datagrams to remote endsystems go over the wire, local-to-local sends
 // take the same encode→decode path but skip the socket, so the codec is
 // exercised identically for every message and a shard of one process
@@ -28,8 +33,10 @@
 #include <netinet/in.h>
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "common/serialize.h"
 #include "net/event_loop.h"
 #include "net/shard_map.h"
 #include "sim/transport.h"
@@ -41,9 +48,24 @@ class SocketTransport : public Transport {
   // Frame header: magic + from + to + category.
   static constexpr uint32_t kFrameMagic = 0x53574431;  // "SWD1"
   static constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 1;
-  // Ceiling for one encoded message + header; above it the send is counted
-  // and dropped (UDP would truncate or reject it anyway).
+  // Fragment frame header: magic + from + to + category + message id +
+  // fragment index + fragment count.
+  static constexpr uint32_t kFragMagic = 0x53574432;  // "SWD2"
+  static constexpr size_t kFragHeaderBytes = 4 + 4 + 4 + 1 + 4 + 2 + 2;
+  // Ceiling for one datagram on the wire. Messages whose encoding exceeds
+  // it (large GROUP BY results) are split into kFragMagic fragments and
+  // reassembled at the receiver rather than dropped.
   static constexpr size_t kMaxDatagramBytes = 60000;
+  // Sanity ceiling for one encoded message across all its fragments; above
+  // it the send is counted in net.oversize_drops and discarded (a message
+  // this large is a bug, not a workload).
+  static constexpr size_t kMaxMessageBytes = 8 * 1024 * 1024;
+  // A partial reassembly that has not seen a new fragment for this long is
+  // garbage-collected (sender crashed mid-message, or fragments lost).
+  static constexpr SimDuration kReassemblyTimeout = 5 * kSecond;
+  // Bound on buffered partial-reassembly bytes per process; beyond it the
+  // oldest entry is evicted (the socket is an attack surface).
+  static constexpr size_t kMaxReassemblyBytes = 64 * 1024 * 1024;
 
   // Opens and binds the UDP socket for `map.self_shard` and registers it
   // with `loop`. `topology`/`meter`/`obs` follow the Transport contract;
@@ -78,13 +100,34 @@ class SocketTransport : public Transport {
   int udp_fd() const { return fd_; }
   uint64_t datagrams_rx() const;
   uint64_t decode_rejects() const;
+  uint64_t tx_fragmented() const;
+  size_t pending_reassemblies() const { return reassembly_.size(); }
 
  private:
+  struct Reassembly {
+    EndsystemIndex to = 0;
+    TrafficCategory cat{};
+    uint16_t frag_count = 0;
+    uint16_t received = 0;
+    size_t bytes = 0;
+    SimTime deadline = 0;
+    std::vector<std::vector<uint8_t>> chunks;
+  };
+
   void OnReadable();
   // Parses and dispatches one datagram payload; counts rejects.
   void HandleDatagram(const uint8_t* data, size_t len);
+  // One kFragMagic datagram: validate, buffer, deliver on completion.
+  void HandleFragment(const uint8_t* data, size_t len);
+  // Common tail for wire deliveries (whole frames and reassembled ones).
+  void DeliverRemote(EndsystemIndex from, EndsystemIndex to,
+                     TrafficCategory cat, WireMessagePtr msg);
   void DeliverLocal(EndsystemIndex from, EndsystemIndex to,
                     TrafficCategory cat, WireMessagePtr msg);
+  // Sends one already-encoded frame, counting datagrams/bytes/errors.
+  bool SendDatagram(const Writer& w, EndsystemIndex to);
+  void DropReassembly(std::map<uint64_t, Reassembly>::iterator it);
+  void ScheduleReassemblySweep();
 
   EventLoop* loop_;
   ShardMap map_;
@@ -113,6 +156,16 @@ class SocketTransport : public Transport {
   obs::Counter* decode_rejects_ = nullptr;
   obs::Counter* oversize_drops_ = nullptr;
   obs::Counter* send_errors_ = nullptr;
+  obs::Counter* tx_fragmented_ = nullptr;
+  obs::Counter* frags_rx_ = nullptr;
+  obs::Counter* reassembled_ = nullptr;
+  obs::Counter* reassembly_drops_ = nullptr;
+
+  // Fragment reassembly, keyed by (sender endsystem << 32 | message id).
+  uint32_t next_frag_msg_id_ = 0;
+  std::map<uint64_t, Reassembly> reassembly_;
+  size_t reassembly_bytes_ = 0;
+  bool sweep_scheduled_ = false;
 };
 
 }  // namespace seaweed::net

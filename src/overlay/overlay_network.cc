@@ -128,12 +128,18 @@ std::optional<NodeHandle> OverlayNetwork::PickBootstrap(
   // on how joins interleave across lanes.
   const size_t n = joined_list_.size();
   if (n == 0) {
-    // Live mode: no locally-hosted member is joined yet, so fall back to the
-    // configured contact list (first contact that is not the joiner).
+    // Live mode: no locally-hosted member is joined yet, so fall back to
+    // the configured contact list. The draw is counter-hashed per (joiner,
+    // attempt) so join retries rotate across contacts instead of wedging on
+    // one that is dead (a crashed shard during a warm re-join).
+    std::vector<const NodeHandle*> contacts;
     for (const NodeHandle& c : static_bootstraps_) {
-      if (c.address != joiner) return c;
+      if (c.address != joiner) contacts.push_back(&c);
     }
-    return std::nullopt;
+    if (contacts.empty()) return std::nullopt;
+    if (contacts.size() == 1) return *contacts[0];
+    Rng draw(MixSeed(boot_seed_, joiner, boot_seq_[joiner]++));
+    return *contacts[static_cast<size_t>(draw.NextBelow(contacts.size()))];
   }
   if (n == 1) {
     if (joined_list_[0] == joiner) return std::nullopt;

@@ -54,6 +54,7 @@ SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
       reg->GetCounter("seaweed.duplicates_suppressed");
   metrics_.dissem_fastpath_reissues =
       reg->GetCounter("seaweed.dissem_fastpath_reissues");
+  metrics_.dissem_refreshes = reg->GetCounter("seaweed.dissem_refreshes");
   metrics_.result_reroutes = reg->GetCounter("seaweed.result_reroutes");
   metrics_.batch_flushes = reg->GetCounter("seaweed.batch_flushes");
   metrics_.batch_entries = reg->GetCounter("seaweed.batch_entries");
@@ -302,6 +303,32 @@ void SeaweedNode::ReissueChildOnDrop(const NodeId& query_id,
     DispatchChild(it->second, task, c->second);
     return;
   }
+}
+
+void SeaweedNode::ArmChildRedissemination(const NodeId& query_id,
+                                          const std::string& task_token,
+                                          const std::string& child_token) {
+  if (config_.dissem_refresh_period <= 0) return;
+  uint64_t gen = generation_;
+  sim()->After(config_.dissem_refresh_period,
+               [this, gen, query_id, task_token, child_token] {
+    if (gen != generation_) return;
+    auto it = active_.find(query_id);
+    if (it == active_.end() || it->second.query.ExpiredAt(sim()->Now())) {
+      return;
+    }
+    auto t = it->second.tasks.find(task_token);
+    if (t == it->second.tasks.end()) return;
+    auto c = t->second.children.find(child_token);
+    if (c == t->second.children.end() || c->second.reported) return;
+    metrics_.dissem_refreshes->Add();
+    // Route rather than send direct: the original contact is the likely
+    // casualty, and routing lets the overlay pick whoever now owns the
+    // range (possibly the restarted node under a fresh handle).
+    c->second.via_routing = true;
+    DispatchChild(it->second, t->second, c->second);
+    ArmChildRedissemination(query_id, task_token, child_token);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -936,9 +963,14 @@ void SeaweedNode::DispatchChild(ActiveQuery& aq, RangeTask& task,
     if (c->second.attempt != attempt) return;
     if (c->second.tries > config_.max_child_retries) {
       // Give up on this subrange: report what we have (coverage loss is
-      // visible to the user as a slightly low predictor).
+      // visible to the user as a slightly low predictor). The range is not
+      // abandoned outright — the slow refresh keeps re-sending the
+      // descriptor so a crashed-and-restarted subtree, which lost every
+      // in-flight query with its process, eventually learns it again and
+      // its results flow through the self-healing result plane.
       c->second.done = true;
       FinishTaskIfDone(it->second, t->second);
+      ArmChildRedissemination(qid, task_token, child_token);
       return;
     }
     // Reissue, preferring routing this time (the contact may be dead).
@@ -1178,6 +1210,11 @@ void SeaweedNode::HandlePredictorReport(const SeaweedMessagePtr& msg) {
   for (auto& [token, task] : aq.tasks) {
     auto c = task.children.find(child_token);
     if (c == task.children.end()) continue;
+    // Even a late report (after give-up marked the child done) counts as
+    // contact: it stops the slow re-dissemination refresh. The data is not
+    // merged late — the task already reported upward — but the result
+    // plane carries the actual rows regardless.
+    c->second.reported = true;
     if (!c->second.done) {
       c->second.done = true;
       metrics_.predictor_merges->Add();

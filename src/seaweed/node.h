@@ -55,6 +55,12 @@ struct SeaweedConfig {
   bool delta_encoded_summaries = false;
   SimDuration child_timeout = 10 * kSecond;  // predictor reissue window
   int max_child_retries = 4;
+  // After max_child_retries the subrange is reported as uncovered, but not
+  // abandoned: while the query lives, the descriptor is re-sent at this
+  // cadence until the child finally reports. A crashed-and-restarted node
+  // loses every in-flight query with its process, so this refresh is the
+  // only way it ever learns the query again. 0 disables.
+  SimDuration dissem_refresh_period = 5 * kMinute;
   SimDuration exec_delay = 500 * kMillisecond;  // local query execution time
   SimDuration result_ack_timeout = 10 * kSecond;
   // Result-plane retry bounds: unacked submits back off exponentially from
@@ -178,6 +184,9 @@ class SeaweedNode : public overlay::PastryApp {
     // faster reissue (the drop-notice path) and must not double-dispatch.
     int attempt = 0;
     bool done = false;
+    // A predictor report actually arrived (done alone can also mean "gave
+    // up"); gates the slow re-dissemination refresh.
+    bool reported = false;
   };
 
   // One outstanding dissemination task: a range this node must cover and
@@ -288,6 +297,11 @@ class SeaweedNode : public overlay::PastryApp {
   // Drop-notice fast path shared by kBroadcast and kBroadcastBatch entries:
   // reissues the child covering (query_id, range) via routing.
   void ReissueChildOnDrop(const NodeId& query_id, const IdRange& range);
+  // Slow-cadence descriptor refresh for a child range whose fast retry
+  // chain was exhausted; runs until the child reports or the query dies.
+  void ArmChildRedissemination(const NodeId& query_id,
+                               const std::string& task_token,
+                               const std::string& child_token);
   void CheckTaskTimeout(const NodeId& query_id, const std::string& token);
   void FinishTaskIfDone(ActiveQuery& aq, RangeTask& task);
   void ReportTask(ActiveQuery& aq, RangeTask& task);
@@ -363,6 +377,7 @@ class SeaweedNode : public overlay::PastryApp {
     obs::Counter* handovers_suppressed;
     obs::Counter* duplicates_suppressed;
     obs::Counter* dissem_fastpath_reissues;
+    obs::Counter* dissem_refreshes;
     obs::Counter* result_reroutes;
     obs::Counter* batch_flushes;
     obs::Counter* batch_entries;

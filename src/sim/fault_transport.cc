@@ -6,16 +6,17 @@
 
 namespace seaweed {
 
-FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
-                                                FaultPlan plan, uint64_t salt)
+FaultInjectingTransport::FaultInjectingTransport(
+    Transport* inner, FaultPlan plan, uint64_t salt,
+    const std::string& counter_prefix)
     : TransportDecorator(inner),
       plan_(std::move(plan)),
       stream_seed_(plan_.seed ^ salt ^ 0xfa117ULL),
       tx_seq_(static_cast<size_t>(inner->topology().num_endsystems()), 0) {
   obs::MetricsRegistry& m = obs()->metrics;
-  burst_drops_metric_ = m.GetCounter("fault.burst_drops");
-  partition_drops_metric_ = m.GetCounter("fault.partition_drops");
-  delayed_metric_ = m.GetCounter("fault.delayed");
+  burst_drops_metric_ = m.GetCounter(counter_prefix + "burst_drops");
+  partition_drops_metric_ = m.GetCounter(counter_prefix + "partition_drops");
+  delayed_metric_ = m.GetCounter(counter_prefix + "delayed");
 }
 
 void FaultInjectingTransport::ChargeDrop(EndsystemIndex from, SimTime now,

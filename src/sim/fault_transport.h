@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <string>
 
 #include "sim/fault_plan.h"
 #include "sim/transport.h"
@@ -30,7 +31,11 @@ class FaultInjectingTransport : public TransportDecorator {
   // `plan` must already be Resolve()d if it contains partitions. The rng
   // stream is derived from the plan seed xor `salt` (pass the cluster seed
   // so distinct clusters sharing one plan draw independent streams).
-  FaultInjectingTransport(Transport* inner, FaultPlan plan, uint64_t salt = 0);
+  // `counter_prefix` names the obs counters ("fault." in simulation;
+  // the live path passes "net.fault." so obs_report can tell injected
+  // datagram faults apart from simulated ones).
+  FaultInjectingTransport(Transport* inner, FaultPlan plan, uint64_t salt = 0,
+                          const std::string& counter_prefix = "fault.");
 
   bool Send(EndsystemIndex from, EndsystemIndex to, TrafficCategory cat,
             WireMessagePtr msg) override;

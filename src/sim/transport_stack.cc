@@ -71,11 +71,14 @@ Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
     }
     layers.push_back(std::move(layer));
   }
-  for (const auto& layer : layers) {
-    if (layer.kind == "udp" && layers.size() > 1) {
+  // "udp" replaces the network itself, so decorators may stack on top of
+  // it but nothing can sit underneath: it must be the innermost (last)
+  // layer, and there can be only one of it.
+  for (size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].kind == "udp" && i + 1 != layers.size()) {
       return Status::InvalidArgument(
           "transport layer \"udp\" replaces the network and must be the "
-          "only layer in the spec");
+          "innermost (last) layer in the spec");
     }
   }
   return layers;

@@ -60,10 +60,11 @@ struct TransportLayerSpec {
 // Splits "serializing,faulty:plan.json" into layer specs (outermost first)
 // and rejects unknown kinds. Known kinds: "serializing" (no arg), "faulty"
 // (optional fault-plan JSON path), "udp" (optional peer-config path; a base
-// transport usable only by seaweedd, and only alone — see src/net), and
-// "batching" (optional flush delay in whole milliseconds; enables the
-// SeaweedNode dissemination outboxes rather than wrapping the wire).
-// The empty spec parses to no layers.
+// transport usable only by seaweedd, and only as the innermost layer —
+// decorators such as "serializing,faulty:plan.json,udp" stack on top of the
+// real sockets; see src/net), and "batching" (optional flush delay in whole
+// milliseconds; enables the SeaweedNode dissemination outboxes rather than
+// wrapping the wire). The empty spec parses to no layers.
 Result<std::vector<TransportLayerSpec>> ParseTransportSpec(
     const std::string& spec);
 

@@ -251,6 +251,61 @@ TEST(ChaosTest, BatchedDisseminationSurvivesChaos) {
   EXPECT_EQ(latest[2].rows_matched, exact_rows);
 }
 
+TEST(ChaosTest, DissemRefreshReteachesRangesAfterTotalLossOutlastsRetries) {
+  // A loss burst that swallows the network for longer than the whole
+  // dissemination retry chain (~4.5 min with the 10s->2min backoff) makes
+  // parents exhaust max_child_retries and mark subranges done with no
+  // predictor report ever arriving. Nothing restarts, so the on-rejoin
+  // query-list catch-up never runs: the slow dissemination refresh is the
+  // only mechanism left that can re-send the descriptor once the burst
+  // clears. Require (a) the refresh actually fired, and (b) the query
+  // still converges to all n endsystems exactly once.
+  const int n = 24;
+  FaultPlan plan;
+  // 100ms in: the origin's first routed hop lands (one-way delays start
+  // around 1ms), while the fan-out below it runs into the wall.
+  plan.WithSeed(17).AddBurst(15 * kMinute + 100 * kMillisecond,
+                             25 * kMinute, 1.0);
+  ClusterOptions opts;
+  opts.WithEndsystems(n)
+      .WithSeed(7)
+      .WithSummaryWireBytes(0)
+      .WithFaultPlan(plan);
+  opts.seaweed().result_refresh_period = 5 * kMinute;
+  SeaweedCluster cluster(opts, MakeToyData(n));
+
+  cluster.BringUpAll();
+  cluster.sim().RunUntil(10 * kMinute);
+  ASSERT_EQ(cluster.CountJoined(), n);
+
+  const int64_t exact_rows = ToyMatching(n);
+  bool overcounted = false;
+  db::AggregateResult latest;
+  QueryObserver obs;
+  obs.on_result = [&](const NodeId&, const db::AggregateResult& r) {
+    latest = r;
+    if (r.rows_matched > exact_rows || r.endsystems > n) overcounted = true;
+  };
+
+  cluster.sim().At(15 * kMinute, [&] {
+    auto qid = cluster.InjectQuery(
+        0, "SELECT SUM(bytes), COUNT(*) FROM Flow WHERE port = 80",
+        std::move(obs), /*ttl=*/6 * kHour);
+    ASSERT_TRUE(qid.ok()) << qid.status();
+  });
+
+  cluster.sim().RunUntil(2 * kHour);
+
+  // The retry chain gave up on unreachable subranges and the refresh path
+  // — not the fast retries — carried the descriptor once the burst ended.
+  EXPECT_GT(CounterValue(cluster, "seaweed.dissem_refreshes"), 0u);
+  EXPECT_FALSE(overcounted)
+      << "rows " << latest.rows_matched << " (exact " << exact_rows
+      << "), endsystems " << latest.endsystems << " (n " << n << ")";
+  EXPECT_EQ(latest.rows_matched, exact_rows);
+  EXPECT_EQ(latest.endsystems, n);
+}
+
 // One full run of a smaller chaos scenario, returning the obs exports.
 std::pair<std::string, std::string> RunOnce() {
   const int n = 20;

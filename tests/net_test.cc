@@ -8,6 +8,7 @@
 // bounded pump loop, sized generously for CI but exiting as soon as the
 // condition holds.
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
 #include <string.h>
@@ -28,6 +29,7 @@
 #include "net/socket_transport.h"
 #include "obs/jsonl_reader.h"
 #include "overlay/packet.h"
+#include "seaweed/wire.h"
 
 namespace seaweed::net {
 namespace {
@@ -43,6 +45,17 @@ bool PumpUntil(EventLoop& loop, Pred done, int max_ms = 5000) {
     loop.RunOnce(10 * kMillisecond);
   }
   return done();
+}
+
+// Open file descriptors in this process, via /proc/self/fd. The in-process
+// daemon's sockets count too, which is the point: leak checks see both ends.
+int CountOpenFds() {
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (readdir(d) != nullptr) ++n;
+  closedir(d);
+  return n;
 }
 
 TEST(EventLoopTest, TimersFireInOrder) {
@@ -64,6 +77,31 @@ TEST(EventLoopTest, CancelPreventsFiring) {
   loop.After(2 * kMillisecond, [&] { other = true; });
   ASSERT_TRUE(PumpUntil(loop, [&] { return other; }));
   EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelledBackoffTimersStayDeadAcrossReconnectCycles) {
+  // The client failover path arms a backoff timer per reconnect attempt and
+  // disarms it when the connection lands. Cycle that pattern with dispatch
+  // interleaved: a cancelled id must never fire, double-cancel is a no-op,
+  // and ids from long-dead cycles never alias a live timer.
+  EventLoop loop;
+  int fired = 0;
+  std::vector<EventId> dead;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    EventId backoff = loop.After(kMillisecond, [&] { ++fired; });
+    ASSERT_TRUE(loop.Cancel(backoff)) << cycle;
+    EXPECT_FALSE(loop.Cancel(backoff)) << cycle;  // already disarmed
+    dead.push_back(backoff);
+    loop.RunOnce(0);  // let the loop turn over between "reconnects"
+  }
+  // One live timer among the corpses still fires...
+  bool live = false;
+  EventId keep = loop.After(2 * kMillisecond, [&] { live = true; });
+  for (EventId id : dead) EXPECT_FALSE(loop.Cancel(id));
+  ASSERT_TRUE(PumpUntil(loop, [&] { return live; }));
+  EXPECT_EQ(fired, 0);
+  // ...and cancelling it after the fact reports "too late", not success.
+  EXPECT_FALSE(loop.Cancel(keep));
 }
 
 TEST(EventLoopTest, NowIsMonotonic) {
@@ -272,6 +310,123 @@ TEST_F(SocketPairTest, RejectsMalformedDatagramsWithoutCrashing) {
       loop_, [&] { return b_.decode_rejects() >= expected_rejects; }));
   EXPECT_EQ(b_.decode_rejects(), expected_rejects);
   EXPECT_EQ(delivered, 0);
+
+  // The transport still works after all that.
+  auto pkt = std::make_shared<Packet>();
+  pkt->kind = Packet::Kind::kHeartbeat;
+  pkt->src = NodeHandle{NodeId(1, 2), 0};
+  EXPECT_TRUE(a_.Send(0, 1, TrafficCategory::kPastry, pkt));
+  ASSERT_TRUE(PumpUntil(loop_, [&] { return delivered == 1; }));
+}
+
+TEST_F(SocketPairTest, FragmentsOversizedResultAndReassembles) {
+  // Regression for the PR 8 failure: a GROUP BY result with thousands of
+  // groups encodes past the datagram ceiling and used to be silently
+  // dropped (net.oversize_drops). It must now round-trip over the real
+  // socket via fragmentation, byte-exact.
+  auto msg = std::make_shared<SeaweedMessage>();
+  msg->kind = SeaweedMessage::Kind::kResultDeliver;
+  msg->query_id = NodeId(0xabc, 0xdef);
+  msg->vertex_id = NodeId(1, 2);
+  msg->version = 7;
+  db::AggregateResult& agg = msg->result;
+  constexpr int kGroups = 10000;
+  for (int g = 0; g < kGroups; ++g) {
+    auto& states = agg.GroupStates(db::Value(static_cast<int64_t>(g)), 2);
+    states[0].Add(g);
+    states[1].Add(g * 1000);
+  }
+  agg.rows_matched = kGroups;
+  agg.endsystems = 1;
+  {
+    Writer probe;
+    msg->Encode(probe);
+    ASSERT_GT(probe.size(), SocketTransport::kMaxDatagramBytes)
+        << "test message must exceed the datagram cap to exercise "
+           "fragmentation";
+  }
+
+  // Counters live in the process-global fallback registry and accumulate
+  // across tests in this binary; compare deltas, not absolutes.
+  const uint64_t rejects_before = b_.decode_rejects();
+  int delivered = 0;
+  b_.SetDeliveryHandler(1, [&](EndsystemIndex from, WireMessagePtr m) {
+    ++delivered;
+    EXPECT_EQ(from, 0u);
+    auto* sm = dynamic_cast<SeaweedMessage*>(m.get());
+    ASSERT_NE(sm, nullptr);
+    EXPECT_EQ(sm->kind, SeaweedMessage::Kind::kResultDeliver);
+    EXPECT_EQ(sm->query_id, NodeId(0xabc, 0xdef));
+    ASSERT_EQ(sm->result.groups.size(), static_cast<size_t>(kGroups));
+    EXPECT_EQ(sm->result.rows_matched, kGroups);
+    // Spot-check a group survived the stitch intact.
+    const auto* states = sm->result.FindGroup(db::Value(int64_t{4321}));
+    ASSERT_NE(states, nullptr);
+    EXPECT_EQ((*states)[1].sum, 4321.0 * 1000);
+  });
+
+  EXPECT_TRUE(a_.Send(0, 1, TrafficCategory::kResult, msg));
+  ASSERT_TRUE(PumpUntil(loop_, [&] { return delivered == 1; }));
+  EXPECT_GE(a_.tx_fragmented(), 1u);
+  EXPECT_EQ(a_.messages_lost(), 0u);
+  EXPECT_EQ(b_.decode_rejects(), rejects_before);
+  EXPECT_EQ(b_.pending_reassemblies(), 0u);
+}
+
+TEST_F(SocketPairTest, MalformedFragmentsAreRejectedAndSweptNotFatal) {
+  int delivered = 0;
+  b_.SetDeliveryHandler(1,
+                        [&](EndsystemIndex, WireMessagePtr) { ++delivered; });
+
+  auto frag = [&](uint32_t from, uint32_t to, uint8_t cat, uint32_t msg_id,
+                  uint16_t index, uint16_t count, size_t payload) {
+    Writer w;
+    w.PutU32(SocketTransport::kFragMagic);
+    w.PutU32(from);
+    w.PutU32(to);
+    w.PutU8(cat);
+    w.PutU32(msg_id);
+    w.PutU16(index);
+    w.PutU16(count);
+    for (size_t i = 0; i < payload; ++i) w.PutU8(0x5a);
+    return w.bytes();
+  };
+
+  // Counters accumulate across tests in this binary (shared fallback
+  // registry): measure the delta from here.
+  const uint64_t rejects_before = b_.decode_rejects();
+  uint64_t expected_rejects = 0;
+  // Truncated fragment header.
+  auto ok_frag = frag(0, 1, 0, 1, 0, 2, 16);
+  SendRaw(ok_frag.data(), SocketTransport::kFragHeaderBytes - 3);
+  ++expected_rejects;
+  // Empty payload, index >= count, count < 2, absurd count, foreign shard,
+  // out-of-range endsystem/category.
+  for (const auto& bad :
+       {frag(0, 1, 0, 2, 0, 2, 0), frag(0, 1, 0, 3, 2, 2, 8),
+        frag(0, 1, 0, 4, 0, 1, 8), frag(0, 1, 0, 5, 0, 65535, 8),
+        frag(1, 0, 0, 6, 0, 2, 8), frag(7, 1, 0, 7, 0, 2, 8),
+        frag(0, 1, 99, 8, 0, 2, 8)}) {
+    SendRaw(bad.data(), bad.size());
+    ++expected_rejects;
+  }
+  ASSERT_TRUE(PumpUntil(loop_, [&] {
+    return b_.decode_rejects() - rejects_before >= expected_rejects;
+  }));
+  EXPECT_EQ(b_.decode_rejects() - rejects_before, expected_rejects);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(b_.pending_reassemblies(), 0u);
+
+  // A partial reassembly (1 of 2 fragments, garbage body) parks in the
+  // buffer, then the sweep reclaims it instead of leaking.
+  auto partial = frag(0, 1, 0, 42, 0, 2, 64);
+  SendRaw(partial.data(), partial.size());
+  ASSERT_TRUE(
+      PumpUntil(loop_, [&] { return b_.pending_reassemblies() == 1; }));
+  ASSERT_TRUE(PumpUntil(
+      loop_, [&] { return b_.pending_reassemblies() == 0; },
+      /*max_ms=*/static_cast<int>(3 * SocketTransport::kReassemblyTimeout /
+                                  kMillisecond)));
 
   // The transport still works after all that.
   auto pkt = std::make_shared<Packet>();
@@ -511,6 +666,146 @@ TEST_F(QueryServiceTest, SurvivesMalformedInputAndAnswersQueries) {
   ASSERT_NE(c, nullptr);
   EXPECT_NE(c->Find("net.datagrams_tx"), nullptr);
   EXPECT_GE(c->Find("server.queries_submitted")->AsInt(), 1);
+}
+
+TEST_F(QueryServiceTest, MidStreamDisconnectDropsSubscriptionCleanly) {
+  StartDaemon();
+  Connect();
+
+  // Wait for the shard to finish joining so the query actually runs.
+  obs::Json stats;
+  for (int i = 0; i < 400; ++i) {
+    stats = Request("{\"op\":\"stats\"}");
+    if (stats.Find("joined")->AsInt() == 3) break;
+    usleep(50 * 1000);
+  }
+  ASSERT_EQ(stats.Find("joined")->AsInt(), 3) << "shard did not join";
+
+  obs::Json submitted = Request(
+      "{\"op\":\"submit\",\"sql\":\"SELECT COUNT(*), SUM(Bytes) FROM Flow\"}");
+  ASSERT_TRUE(IsOk(submitted));
+  const std::string qid = submitted.Find("query_id")->AsString();
+  const std::string stream_op =
+      "{\"op\":\"stream\",\"query_id\":\"" + qid + "\"}";
+  ASSERT_TRUE(IsOk(Request(stream_op)));
+
+  // Sever the streaming connection abruptly, mid-subscription.
+  close(client_fd_);
+  client_fd_ = -1;
+  rxbuf_.clear();
+
+  // A fresh connection sees the disconnect counted and the daemon healthy.
+  Connect();
+  int64_t disconnected = 0;
+  for (int i = 0; i < 250; ++i) {
+    stats = Request("{\"op\":\"stats\"}");
+    disconnected = stats.Find("counters")
+                       ->Find("server.clients_disconnected")
+                       ->AsInt();
+    if (disconnected >= 1) break;
+    usleep(20 * 1000);
+  }
+  EXPECT_GE(disconnected, 1);
+
+  // Re-streaming the same query from the new connection is idempotent:
+  // replay-on-subscribe still lands the final result here, even though the
+  // original subscriber vanished mid-flight.
+  ASSERT_TRUE(IsOk(Request(stream_op)));
+  timeval tv{30, 0};
+  setsockopt(client_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  bool complete = false;
+  for (int i = 0; i < 200 && !complete; ++i) {
+    std::string line = RecvLine();
+    ASSERT_FALSE(line.empty()) << "stream closed or timed out";
+    auto ev = obs::ParseJson(line);
+    ASSERT_TRUE(ev.ok()) << line;
+    const obs::Json* kind = ev->Find("event");
+    if (kind == nullptr || kind->AsString() != "result") continue;
+    const obs::Json* c = ev->Find("complete");
+    complete = c != nullptr && c->b;
+  }
+  EXPECT_TRUE(complete) << "resubscribed stream never saw the final result";
+
+  // Fd hygiene: repeated subscribe-then-vanish cycles must return the
+  // process (the daemon lives in here, so both socket ends count) to the
+  // same open-fd count. Baseline and end state each hold one live client
+  // connection, so the counts are directly comparable.
+  const int fds_before = CountOpenFds();
+  ASSERT_GT(fds_before, 0);
+  const int64_t target = disconnected + 6;  // 5 cycle closes + final close
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    close(client_fd_);
+    client_fd_ = -1;
+    rxbuf_.clear();
+    Connect();
+    ASSERT_TRUE(IsOk(Request(stream_op)));
+  }
+  // Swap to a clean observation connection (no subscription) so stats
+  // replies can't interleave with replayed stream events.
+  close(client_fd_);
+  client_fd_ = -1;
+  rxbuf_.clear();
+  Connect();
+  int64_t final_disconnected = 0;
+  for (int i = 0; i < 250; ++i) {
+    stats = Request("{\"op\":\"stats\"}");
+    final_disconnected = stats.Find("counters")
+                             ->Find("server.clients_disconnected")
+                             ->AsInt();
+    if (final_disconnected >= target) break;
+    usleep(20 * 1000);
+  }
+  EXPECT_GE(final_disconnected, target);
+  const int fds_after = CountOpenFds();
+  EXPECT_LE(fds_after, fds_before + 1)
+      << "fd leak across mid-stream disconnect cycles";
+}
+
+TEST_F(QueryServiceTest, DropClientsSeversEveryConnectionAndReconnectWorks) {
+  StartDaemon();
+  Connect();
+
+  // A second, independent control connection, proven live before the drop.
+  int fd2 = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(kBasePort + 100);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd2, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string ping = "{\"op\":\"stats\"}\n";
+  ASSERT_EQ(send(fd2, ping.data(), ping.size(), 0),
+            static_cast<ssize_t>(ping.size()));
+  timeval tv{10, 0};
+  setsockopt(fd2, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char probe;
+  ASSERT_GT(recv(fd2, &probe, 1, 0), 0);
+
+  obs::Json resp = Request("{\"op\":\"drop_clients\"}");
+  ASSERT_TRUE(IsOk(resp));
+  EXPECT_GE(resp.Find("dropped")->AsInt(), 2);
+
+  // Both connections — the requester included — are severed shortly after
+  // the ack.
+  setsockopt(client_fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  EXPECT_EQ(RecvLine(), "") << "requester was not dropped";
+  ssize_t n;
+  char buf[4096];
+  while ((n = recv(fd2, buf, sizeof(buf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0) << "second client was not dropped";
+  close(fd2);
+
+  // Reconnecting works and the drops were counted.
+  close(client_fd_);
+  client_fd_ = -1;
+  rxbuf_.clear();
+  Connect();
+  obs::Json stats = Request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(IsOk(stats));
+  EXPECT_GE(
+      stats.Find("counters")->Find("server.clients_disconnected")->AsInt(), 2);
 }
 
 }  // namespace

@@ -121,11 +121,37 @@ TEST(TransportSpecTest, SerializingRejectsArgument) {
   EXPECT_NE(layers.status().message().find("serializing"), std::string::npos);
 }
 
-TEST(TransportSpecTest, UdpMustBeTheOnlyLayer) {
-  for (const char* spec : {"serializing,udp", "udp,faulty", "udp,udp"}) {
+TEST(TransportSpecTest, DecoratorsComposeOverUdp) {
+  // "udp" replaces the network, so decorators may stack ON it: faulty (and
+  // serializing) over the real sockets is the live-chaos configuration.
+  auto layers = ParseTransportSpec("serializing,faulty:plan.json,udp");
+  ASSERT_TRUE(layers.ok());
+  ASSERT_EQ(layers->size(), 3u);
+  EXPECT_EQ((*layers)[0].kind, "serializing");
+  EXPECT_EQ((*layers)[1].kind, "faulty");
+  EXPECT_EQ((*layers)[1].arg, "plan.json");
+  EXPECT_EQ((*layers)[2].kind, "udp");
+
+  for (const char* spec :
+       {"serializing,udp", "faulty:plan.json,udp", "batching:20,faulty,udp"}) {
+    auto ok = ParseTransportSpec(spec);
+    EXPECT_TRUE(ok.ok()) << spec;
+  }
+}
+
+TEST(TransportSpecTest, UdpMustBeTheInnermostLayer) {
+  // Nothing can sit UNDER the real network, and there is only one of it.
+  // These used to be rejected under the stricter udp-must-be-only-layer
+  // rule and must still be rejected now.
+  for (const char* spec :
+       {"udp,faulty", "udp,serializing", "udp,udp", "udp,batching",
+        "serializing,udp,faulty", "udp:peers.json,serializing"}) {
     auto layers = ParseTransportSpec(spec);
     ASSERT_FALSE(layers.ok()) << spec;
+    EXPECT_EQ(layers.status().code(), StatusCode::kInvalidArgument) << spec;
     EXPECT_NE(layers.status().message().find("udp"), std::string::npos)
+        << spec;
+    EXPECT_NE(layers.status().message().find("innermost"), std::string::npos)
         << spec;
   }
 }

@@ -178,6 +178,30 @@ void PrintRunSummary(const Dump& d) {
                 CounterOr0(d, "net.decode_rejects"),
                 CounterOr0(d, "net.oversize_drops"),
                 CounterOr0(d, "net.send_errors"));
+    if (CounterOr0(d, "net.tx_fragmented") != 0 ||
+        CounterOr0(d, "net.frags_rx") != 0) {
+      std::printf("  fragmentation: %" PRIu64 " messages split, %" PRIu64
+                  " fragments rx, %" PRIu64 " reassembled, %" PRIu64
+                  " reassembly drops\n",
+                  CounterOr0(d, "net.tx_fragmented"),
+                  CounterOr0(d, "net.frags_rx"),
+                  CounterOr0(d, "net.reassembled"),
+                  CounterOr0(d, "net.reassembly_drops"));
+    }
+    if (CounterOr0(d, "net.rejoins") != 0) {
+      std::printf("  warm rejoins: %" PRIu64 "\n",
+                  CounterOr0(d, "net.rejoins"));
+    }
+    // A live daemon run under `--transport faulty:<plan>` registers
+    // net.fault.* at startup; surface the injected chaos next to the
+    // datagram totals it distorted.
+    if (d.counters.count("net.fault.burst_drops") != 0) {
+      std::printf("  fault injection: %" PRIu64 " burst drops, %" PRIu64
+                  " partition drops, %" PRIu64 " delayed\n",
+                  CounterOr0(d, "net.fault.burst_drops"),
+                  CounterOr0(d, "net.fault.partition_drops"),
+                  CounterOr0(d, "net.fault.delayed"));
+    }
   } else {
     std::printf("  messages: %" PRIu64 " sent, %" PRIu64
                 " delivered, %" PRIu64 " lost\n",
@@ -371,6 +395,7 @@ void PrintRepairs(const Dump& d) {
       {"seaweed.vertex_handovers", "aggregation-tree vertex handovers"},
       {"seaweed.vertex_repropagations", "aggregation-tree re-propagations"},
       {"seaweed.dissem_reissues", "dissemination re-issues"},
+      {"seaweed.dissem_refreshes", "dissemination refreshes"},
       {"seaweed.leaf_retries", "leaf-result retries"},
       {"overlay.hop_limit_drops", "hop-limit drops"},
   };

@@ -53,6 +53,8 @@ struct Args {
   bool batching = false;
   double cache_eps_s = 0;
   int max_active_queries = 0;
+  std::string transport;
+  bool rejoin = false;
   std::string obs_dump;
   bool reference = false;
   std::string query;
@@ -67,6 +69,12 @@ struct Args {
       "                [--profile fast|paper] [--stagger-ms MS]\n"
       "                [--batching] [--cache-eps SECS]\n"
       "                [--max-active-queries N] [--obs-dump FILE]\n"
+      "                [--transport SPEC] [--rejoin]\n"
+      "  --transport: decorators over the udp base, outermost first, e.g.\n"
+      "               serializing,faulty:plan.json (counters: net.fault.*)\n"
+      "  --rejoin:    warm re-join after a crash — bootstrap this shard's\n"
+      "               endsystems through a remote shard instead of the cold\n"
+      "               synchronized start (counters: net.rejoins)\n"
       "       seaweedd --reference --query SQL [--endsystems N] [--seed S]\n"
       "                [--timeout-s SECS]\n";
   exit(error.empty() ? 0 : 2);
@@ -94,6 +102,8 @@ Args Parse(int argc, char** argv) {
     else if (flag == "--cache-eps") args.cache_eps_s = std::stod(value());
     else if (flag == "--max-active-queries")
       args.max_active_queries = std::stoi(value());
+    else if (flag == "--transport") args.transport = value();
+    else if (flag == "--rejoin") args.rejoin = true;
     else if (flag == "--obs-dump") args.obs_dump = value();
     else if (flag == "--reference") args.reference = true;
     else if (flag == "--query") args.query = value();
@@ -125,6 +135,7 @@ void ApplyProfile(const std::string& profile, net::LiveConfig* cfg) {
   cfg->seaweed.max_retry_backoff = 5 * kSecond;
   cfg->seaweed.summary_push_period = 30 * kSecond;
   cfg->seaweed.result_refresh_period = 15 * kSecond;
+  cfg->seaweed.dissem_refresh_period = 3 * kSecond;
   cfg->seaweed.result_deliver_debounce = 200 * kMillisecond;
   cfg->seaweed.query_sweep_period = kMinute;
 }
@@ -215,6 +226,11 @@ int RunDaemon(const Args& args) {
   config.seaweed.cache_eps =
       static_cast<SimDuration>(args.cache_eps_s * kSecond);
   config.seaweed.max_active_queries = args.max_active_queries;
+  config.transport = args.transport;
+  config.rejoin = args.rejoin;
+  if (args.rejoin && map.num_shards() < 2) {
+    Usage("--rejoin needs a remote shard to bootstrap through");
+  }
 
   net::EventLoop loop(args.epoch_us);
   g_loop = &loop;
@@ -232,7 +248,11 @@ int RunDaemon(const Args& args) {
             << " endsystems=" << map.num_endsystems
             << " local=" << map.LocalEndsystems().size()
             << " udp=" << map.peers[static_cast<size_t>(map.self_shard)].udp_port
-            << " control=" << control_port << " seed=" << args.seed << "\n";
+            << " control=" << control_port << " seed=" << args.seed
+            << (args.rejoin ? " rejoin=1" : "")
+            << (args.transport.empty() ? ""
+                                       : " transport=" + args.transport)
+            << "\n";
 
   loop.Run();
   g_loop = nullptr;
