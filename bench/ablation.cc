@@ -127,7 +127,7 @@ void HistogramAblation() {
       db::Database database;
       anemone::GenerateEndsystemData(cfg, e, &database);
       auto summary = database.BuildSummary(buckets, /*max_mcvs=*/16);
-      bytes_sum += summary.SerializedBytes();
+      bytes_sum += summary.EncodedBytes();
       for (const char* sql : kQueries) {
         auto q = db::ParseSelect(sql);
         auto truth = database.CountMatching(*q);
@@ -160,7 +160,7 @@ void DeltaEncodingAblation() {
   anemone::GenerateEndsystemData(cfg, 3, &database);
   db::Table* flow = database.FindTable("Flow");
   auto prev = database.BuildSummary();
-  size_t full0 = prev.SerializedBytes();
+  size_t full0 = prev.EncodedBytes();
   std::printf("%22s %16s %16s %12s\n", "new rows since push",
               "full push (B)", "delta push (B)", "savings");
   seaweed::Rng rng(99);
@@ -182,7 +182,7 @@ void DeltaEncodingAblation() {
       ++appended;
     }
     auto cur = database.BuildSummary();
-    size_t full = cur.SerializedBytes();
+    size_t full = cur.EncodedBytes();
     size_t delta = db::SummaryDeltaBytes(prev, cur);
     std::printf("%22d %16zu %16zu %11.1f%%\n", target, full, delta,
                 100.0 * (1.0 - static_cast<double>(delta) /

@@ -53,7 +53,7 @@ int main() {
   }
   std::printf("\npredictor: %zu bytes serialized (constant size), %lld "
               "endsystems\n",
-              predictor.SerializedBytes(),
+              predictor.EncodedBytes(),
               static_cast<long long>(predictor.endsystems()));
   std::printf("time to 95%% completeness: %s\n",
               FormatDuration(predictor.HorizonForCompleteness(0.95)).c_str());

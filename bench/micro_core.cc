@@ -414,9 +414,9 @@ void BM_AggregateResultSerialize(benchmark::State& state) {
   r.endsystems = 1;
   for (auto _ : state) {
     Writer w;
-    r.Serialize(&w);
+    r.Encode(w);
     Reader rd(w.bytes());
-    benchmark::DoNotOptimize(db::AggregateResult::Deserialize(&rd));
+    benchmark::DoNotOptimize(db::AggregateResult::Decode(rd));
   }
 }
 BENCHMARK(BM_AggregateResultSerialize);

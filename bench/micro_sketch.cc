@@ -1,0 +1,78 @@
+// Mergeable-aggregate micro-benchmarks: merge cost and wire size of the
+// registry's sketch states (HLL, quantile, top-k) against an exact state.
+//
+// Each BM_Merge* case builds two states fed `n` values apiece, then times
+// copy + Merge — the exact operation an interior vertex performs per child
+// when folding the aggregation tree. The `state_bytes` counter reports the
+// encoded wire size of one such state, which is what SubmitLeafResult and
+// PropagateVertex put on the network (seaweed.sketch.state_bytes).
+//
+// scripts/bench_sketch.py drives this binary and writes BENCH_sketch.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/serialize.h"
+#include "db/aggregate.h"
+#include "db/query_exec.h"
+
+namespace {
+
+using namespace seaweed;
+
+uint64_t Next(uint64_t* s) {
+  *s ^= *s << 13;
+  *s ^= *s >> 7;
+  *s ^= *s << 17;
+  return *s;
+}
+
+// A state for `fn` fed n values drawn from a skewed integer distribution
+// (port-like: many duplicates, heavy head) so sketches see realistic
+// cardinality rather than n distinct values.
+db::AggState MakeState(const std::string& fn, int64_t n, uint64_t seed) {
+  const db::AggregateFunction* func = db::FindAggregate(fn);
+  db::AggState state;
+  func->InitState(state, func->descriptor().default_param);
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t r = Next(&seed);
+    state.Add(static_cast<double>(r % ((r & 1) ? 1000 : 65536)));
+  }
+  return state;
+}
+
+size_t EncodedBytes(const db::AggState& state) {
+  Writer w;
+  state.Encode(w);
+  return w.bytes().size();
+}
+
+void RunMerge(benchmark::State& bench, const std::string& fn) {
+  const int64_t n = bench.range(0);
+  const db::AggState a = MakeState(fn, n, 0x9e3779b97f4a7c15ULL);
+  const db::AggState b = MakeState(fn, n, 0xda942042e4dd58b5ULL);
+  for (auto _ : bench) {
+    db::AggState dst = a;
+    dst.Merge(b);
+    benchmark::DoNotOptimize(dst.count);
+  }
+  bench.counters["state_bytes"] =
+      static_cast<double>(EncodedBytes(a));
+}
+
+void BM_MergeSum(benchmark::State& s) { RunMerge(s, "SUM"); }
+void BM_MergeDistinctApprox(benchmark::State& s) {
+  RunMerge(s, "DISTINCT_APPROX");
+}
+void BM_MergeQuantile(benchmark::State& s) { RunMerge(s, "QUANTILE"); }
+void BM_MergeTopK(benchmark::State& s) { RunMerge(s, "TOPK"); }
+
+BENCHMARK(BM_MergeSum)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_MergeDistinctApprox)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_MergeQuantile)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_MergeTopK)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

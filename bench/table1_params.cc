@@ -47,7 +47,7 @@ int main() {
     for (size_t i = 1; i < ivs.size(); ++i) {
       m.RecordDownPeriod(ivs[i - 1].end, ivs[i].start);
     }
-    a_measured += static_cast<double>(m.SerializedBytes());
+    a_measured += static_cast<double>(m.EncodedBytes());
   }
   a_measured /= 200;
 

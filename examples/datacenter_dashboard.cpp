@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "db/aggregate.h"
 #include "seaweed/cluster_options.h"
 
 using namespace seaweed;
@@ -83,8 +84,8 @@ int main() {
                 100 * (1 - p.CompletenessAt(0)));
   };
   observer.on_result = [&](const NodeId&, const db::AggregateResult& r) {
-    auto errors = r.states[0].Final(db::AggFunc::kSum);
-    auto p99max = r.states[1].Final(db::AggFunc::kMax);
+    auto errors = db::FindAggregate("SUM")->Finalize(r.states[0]);
+    auto p99max = db::FindAggregate("MAX")->Finalize(r.states[1]);
     std::printf("[%s] errors=%s, max p99=%sus  (%lld machines reporting)\n",
                 FormatSimTime(cluster.sim().Now()).c_str(),
                 errors.ok() ? errors->ToString().c_str() : "NULL",

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "anemone/anemone.h"
+#include "db/aggregate.h"
 #include "db/database.h"
 
 using namespace seaweed;
@@ -56,10 +57,10 @@ void RunStatement(const db::Database& database,
     return;
   }
   for (size_t i = 0; i < parsed->items.size(); ++i) {
-    auto v = result->states[i].Final(parsed->items[i].func);
-    std::printf("  %s(%s) = %s\n", db::AggFuncName(parsed->items[i].func),
-                parsed->items[i].column.empty() ? "*"
-                                                : parsed->items[i].column.c_str(),
+    const auto& item = parsed->items[i];
+    auto v = item.func->Finalize(result->states[i], item.EffectiveParam());
+    std::printf("  %s(%s) = %s\n", item.func->name().c_str(),
+                item.column.empty() ? "*" : item.column.c_str(),
                 v.ok() ? v->ToString().c_str() : "NULL");
   }
   std::printf("  rows matched: %lld (exact) | %.0f (histogram estimate a "
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
   std::printf("  Flow rows: %lld, data: %zu bytes, summary (metadata h): "
               "%zu bytes\n",
               static_cast<long long>(stats.flow_rows), stats.data_bytes,
-              summary.SerializedBytes());
+              summary.EncodedBytes());
   std::printf("tables: Flow(ts, Interval, SrcIP, DstIP, SrcPort, DstPort, "
               "LocalPort, Protocol, App, Bytes, Packets)\n\n");
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "anemone/anemone.h"
+#include "db/aggregate.h"
 #include "seaweed/cluster_options.h"
 #include "trace/farsite_model.h"
 
@@ -60,7 +61,7 @@ void RunOperatorQuery(SeaweedCluster& cluster, const char* label,
                               ? 100 * static_cast<double>(r.rows_matched) /
                                     state->predicted_total
                               : 0;
-    auto v = r.states[0].Final(db::AggFunc::kSum);
+    auto v = db::FindAggregate("SUM")->Finalize(r.states[0]);
     std::printf("    [%s] %lld rows from %lld endsystems (~%.0f%% complete)"
                 "%s%s\n",
                 FormatSimTime(cluster.sim().Now()).c_str(),

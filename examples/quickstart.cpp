@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "db/aggregate.h"
 #include "seaweed/cluster_options.h"
 
 using namespace seaweed;
@@ -75,10 +76,10 @@ int main() {
     std::printf("  available now       : %.1f%%\n",
                 100 * predictor.CompletenessAt(0));
     std::printf("  predictor size      : %zu bytes (constant)\n",
-                predictor.SerializedBytes());
+                predictor.EncodedBytes());
   };
   observer.on_result = [&](const NodeId&, const db::AggregateResult& result) {
-    auto sum = result.states[0].Final(db::AggFunc::kSum);
+    auto sum = db::FindAggregate("SUM")->Finalize(result.states[0]);
     std::printf("[%s] incremental result: SUM(qty)=%s from %lld endsystems "
                 "(%lld rows)\n",
                 FormatSimTime(cluster.sim().Now()).c_str(),

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Runs the mergeable-aggregate benchmarks and writes BENCH_sketch.json.
+
+Reports, per registered function and input size, the interior-vertex fold
+cost (copy + merge, ns/op) and the encoded wire size of one aggregate state
+(what a leaf submit or vertex propagation puts on the network), with the
+exact SUM state as the baseline.
+
+Usage: scripts/bench_sketch.py [build_dir] [output_json]
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BUILD = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "build"
+OUT = Path(sys.argv[2]) if len(sys.argv) > 2 else REPO / "BENCH_sketch.json"
+
+FUNCTIONS = {
+    "SUM": "BM_MergeSum",
+    "DISTINCT_APPROX": "BM_MergeDistinctApprox",
+    "QUANTILE": "BM_MergeQuantile",
+    "TOPK": "BM_MergeTopK",
+}
+
+
+def main():
+    raw_path = BUILD / "bench_sketch_raw.json"
+    subprocess.run(
+        [
+            str(BUILD / "bench" / "micro_sketch"),
+            f"--benchmark_out={raw_path}",
+            "--benchmark_out_format=json",
+            "--benchmark_repetitions=1",
+        ],
+        check=True,
+    )
+    raw = json.loads(raw_path.read_text())
+
+    # "BM_MergeQuantile/100000" -> (merge ns, state bytes)
+    times = {}
+    for b in raw["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        base, n = b["name"].rsplit("/", 1)
+        times[(base, int(n))] = (b["real_time"], b["state_bytes"])
+
+    report = {
+        "benchmark": "sketch",
+        "description": (
+            "Mergeable-aggregate states: interior-vertex fold cost "
+            "(copy + merge, ns/op) and encoded wire bytes per state, "
+            "sketches vs the exact SUM baseline"
+        ),
+        "context": {
+            "date": raw["context"]["date"],
+            "num_cpus": raw["context"]["num_cpus"],
+            "mhz_per_cpu": raw["context"]["mhz_per_cpu"],
+            "build_type": "RelWithDebInfo",
+        },
+        "workloads": {},
+    }
+    for fn, base in FUNCTIONS.items():
+        per_size = {}
+        for n in (1000, 100000):
+            merge_ns, state_bytes = times[(base, n)]
+            exact_ns, exact_bytes = times[(FUNCTIONS["SUM"], n)]
+            per_size[str(n)] = {
+                "merge_ns_per_op": round(merge_ns, 1),
+                "state_bytes": int(state_bytes),
+                "merge_cost_vs_exact": round(merge_ns / exact_ns, 2),
+                "state_bytes_vs_exact": round(state_bytes / exact_bytes, 2),
+            }
+        report["workloads"][fn] = per_size
+
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    q = report["workloads"]["QUANTILE"]["100000"]
+    print(f"QUANTILE/100k: {q['state_bytes']} B on wire, "
+          f"{q['merge_ns_per_op']} ns/merge")
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,31 @@ lane_determinism() {
   echo "1-thread and 2-thread runs byte-identical (stdout + obs JSONL)"
 }
 
+# Sketch smoke: the documented accuracy floors (HLL relative error <= 2%
+# at 10^5 distinct values, quantile rank error <= 1%) re-asserted straight
+# from the test binary, plus a serializing-transport differential over a
+# query mixing all three sketch functions — sketch states are deterministic
+# given the tree shape, and the simulation's tree IS deterministic, so the
+# codec must not change one byte.
+sketch_smoke() {
+  local build="$1"
+  local testbin="$build/tests/sketch_test"
+  local simbin="$build/examples/simctl"
+  require_binary "$testbin"
+  require_binary "$simbin"
+  echo "--- sketch smoke ($build) ---"
+  "$testbin" --gtest_brief=1 --gtest_filter='HllSketchTest.RelativeErrorUnderTwoPercentAt1e5Distinct:QuantileSketchTest.RankErrorUnderOnePercent:MergePropertyTest.*'
+  local flags=(--endsystems 60 --hours 2 --seed 7
+               --query "SELECT DISTINCT_APPROX(SrcPort), QUANTILE(Bytes, 0.9), TOPK(App, 3) FROM Flow")
+  "$simbin" "${flags[@]}" > "$build/sim_sketch_mem.out"
+  "$simbin" "${flags[@]}" --transport serializing > "$build/sim_sketch_ser.out"
+  if ! diff -u "$build/sim_sketch_mem.out" "$build/sim_sketch_ser.out"; then
+    echo "FAIL: serializing transport changed sketch query output" >&2
+    exit 1
+  fi
+  echo "sketch outputs bit-identical through the wire codec"
+}
+
 # Multi-process loopback differential: 3 seaweedd shards over real UDP
 # sockets must answer a GROUP BY query with the exact bytes the in-memory
 # simulation produces for the same seed and dataset, with a monotone
@@ -209,6 +234,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 differential build
 chaos_replay build
 lane_determinism build
+sketch_smoke build
 loopback_smoke build 19600
 if [[ "${SEAWEED_SCALE_SMOKE:-0}" == "1" ]]; then
   scale_smoke build
@@ -228,6 +254,7 @@ ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 differential build-asan
 chaos_replay build-asan
 lane_determinism build-asan
+sketch_smoke build-asan
 loopback_smoke build-asan 19620
 if [[ "${SEAWEED_LOAD_SMOKE:-0}" == "1" ]]; then
   # Sanitizer instrumentation makes the sweep ~4x slower; one rate, both

@@ -20,6 +20,16 @@
 # any merge order, so the live cluster — whose message arrival order is NOT
 # deterministic — must still produce the exact bytes of the simulation.
 #
+# Sketch aggregates (DISTINCT_APPROX/QUANTILE/TOPK) ride the same
+# differential, with one extra ingredient: their bytes are deterministic
+# *given the tree shape*, and the tree shape is a pure function of the
+# query id = SHA1(sql@injection-time). Every concurrent query is therefore
+# submitted with --salt (which replaces the injection time in the hash) on
+# both the live and reference sides, pinning the query id — and with it
+# the merge tree, whose vertices fold children in sorted-NodeId order — so
+# every sketch bit must match no matter when datagrams arrive. Phase 1
+# stays unsalted to prove the default time-derived-id path unchanged.
+#
 # Usage: scripts/loopback_test.sh [BUILD_DIR]
 #   BUILD_DIR defaults to "build".
 # Env:
@@ -112,6 +122,10 @@ CONC_SQL=(
   "SELECT SUM(Packets) FROM Flow WHERE DstPort = 443"
   "SELECT App, SUM(Packets), MIN(Bytes) FROM Flow GROUP BY App"
   "SELECT SrcPort, COUNT(*), SUM(Bytes) FROM Flow GROUP BY SrcPort"
+  "SELECT DISTINCT_APPROX(SrcPort) FROM Flow"
+  "SELECT QUANTILE(Bytes, 0.9) FROM Flow"
+  "SELECT TOPK(App, 3) FROM Flow"
+  "SELECT App, DISTINCT_APPROX(SrcPort), QUANTILE(Bytes, 0.5) FROM Flow GROUP BY App"
 )
 
 WORK="$BUILD/loopback"
@@ -143,7 +157,7 @@ echo "--- loopback reference: in-memory simulation, N=$N seed=$SEED ---"
 cat "$WORK/reference.out"
 for i in "${!CONC_SQL[@]}"; do
   "$DAEMON" --reference --endsystems "$N" --seed "$SEED" \
-      --query "${CONC_SQL[$i]}" > "$WORK/ref_q$i.out"
+      --query "${CONC_SQL[$i]}" --salt "lb-q$i" > "$WORK/ref_q$i.out"
 done
 
 # Starts SHARDS daemons on $1 (udp base port; control ports $1+100..) with
@@ -220,7 +234,7 @@ run_concurrent() {
   local qpids=() i rc fail=0
   for i in "${!CONC_SQL[@]}"; do
     "$CLI" --port $((base + 100)) --timeout-s "$QUERY_TIMEOUT_S" \
-        query "${CONC_SQL[$i]}" \
+        --salt "lb-q$i" query "${CONC_SQL[$i]}" \
         > "$WORK/${prefix}_q$i.out" 2> "$WORK/${prefix}_q$i.err" &
     qpids+=($!)
   done

@@ -200,7 +200,7 @@ EndsystemDataStats GenerateEndsystemData(const AnemoneConfig& config,
     }
   }
   stats.data_bytes = db->MemoryBytes();
-  stats.summary_bytes = db->BuildSummary().SerializedBytes();
+  stats.summary_bytes = db->BuildSummary().EncodedBytes();
   return stats;
 }
 

@@ -1,0 +1,130 @@
+// The pluggable aggregate-function registry.
+//
+// Every aggregate the SQL surface understands — exact (SUM, COUNT, AVG,
+// MIN, MAX) and approximate (DISTINCT_APPROX, QUANTILE, TOPK) — is an
+// AggregateFunction registered in the global AggregateRegistry. The parser
+// resolves select-list names through the registry, the executors
+// accumulate through the function's batch hook, the wire codec round-trips
+// states through the function's state tag, and the result formatter
+// finalizes through the function — so adding an aggregate is one
+// registration call, not a five-layer switch edit.
+//
+// The exactness contract (what the loopback/chaos differentials rely on):
+//  * exact functions (state_tag 0) carry only the (sum, count, min, max)
+//    quad; merging per-endsystem states in ANY order and grouping yields
+//    byte-identical finalized answers.
+//  * sketch functions (state_tag != 0) are deterministic given the merge
+//    tree: the same children merged in the same order produce identical
+//    bytes, but different tree shapes may differ within the documented
+//    error bound (AggDescriptor::error_bound).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/batch_kernels.h"
+#include "db/value.h"
+
+namespace seaweed::db {
+
+struct AggState;
+class SketchState;
+class Table;
+
+struct AggDescriptor {
+  // Canonical upper-case SQL name; lookup is case-insensitive.
+  std::string name;
+  // Wire tag of the AggState payload: 0 = exact quad only (shared by all
+  // exact functions), nonzero = sketch payload type. Nonzero tags must be
+  // unique across the registry and must never be renumbered.
+  uint8_t state_tag = 0;
+  // True when any merge order/grouping yields byte-identical answers.
+  bool exact = true;
+  // Human-readable error bound for approximate functions (shown in docs
+  // and PROTOCOL.md); empty for exact ones.
+  std::string error_bound;
+  bool allows_star = false;    // may be called as FUNC(*)
+  bool allows_string = false;  // may aggregate a string column
+  bool takes_param = false;    // FUNC(col, p) parameter accepted
+  double default_param = 0;    // effective p when the query omits it
+};
+
+class AggregateFunction {
+ public:
+  explicit AggregateFunction(AggDescriptor desc) : desc_(std::move(desc)) {}
+  virtual ~AggregateFunction() = default;
+
+  const AggDescriptor& descriptor() const { return desc_; }
+  const std::string& name() const { return desc_.name; }
+  uint8_t state_tag() const { return desc_.state_tag; }
+  bool exact() const { return desc_.exact; }
+  bool IsSketch() const { return desc_.state_tag != kStateTagExact; }
+
+  // Validates an explicit query parameter (QUANTILE's q, TOPK's k).
+  virtual Status ValidateParam(double param) const;
+
+  // Attaches this function's sketch to a fresh state; no-op for exact
+  // functions. `param` is the select item's effective parameter.
+  virtual void InitState(AggState& state, double param) const;
+
+  // Accumulates the rows selected in `sel` (or the dense range
+  // [start, start+len)) of `table` into `state`. `column` is -1 for
+  // FUNC(*). The base implementation is the shared exact behavior: fused
+  // quad kernels for numeric columns, a bare row count for '*' and string
+  // columns. Sketch functions extend it to feed their sketch (numeric
+  // values flow through AggState::Add's sketch hook; string columns are
+  // routed to the sketch as dictionary entries).
+  virtual void AccumulateBatch(const Table& table, int column,
+                               const SelVector& sel, AggState& state) const;
+  virtual void AccumulateDense(const Table& table, int column, uint32_t start,
+                               uint32_t len, AggState& state) const;
+
+  // Final scalar for `state`. COUNT of nothing is 0; other functions over
+  // an empty input return NotFound (rendered as NULL).
+  Result<Value> Finalize(const AggState& state) const {
+    return FinalizeImpl(state, desc_.default_param);
+  }
+  Result<Value> Finalize(const AggState& state, double param) const {
+    return FinalizeImpl(state, param);
+  }
+
+ protected:
+  virtual Result<Value> FinalizeImpl(const AggState& state,
+                                     double param) const = 0;
+
+ private:
+  AggDescriptor desc_;
+
+  static constexpr uint8_t kStateTagExact = 0;
+};
+
+// Global function registry. Built-ins are registered on first access;
+// additional functions may be registered at startup (registration is not
+// thread-safe, lookups are).
+class AggregateRegistry {
+ public:
+  static AggregateRegistry& Global();
+
+  // Takes ownership; CHECK-fails on a duplicate name or duplicate nonzero
+  // state tag. Returns the stable registered pointer.
+  const AggregateFunction* Register(std::unique_ptr<AggregateFunction> fn);
+
+  // Case-insensitive name lookup; nullptr when unknown.
+  const AggregateFunction* Find(const std::string& name) const;
+  // Sketch-state decode dispatch; nullptr for tag 0 or unknown tags.
+  const AggregateFunction* FindByTag(uint8_t tag) const;
+  // Registration order.
+  std::vector<const AggregateFunction*> All() const;
+
+ private:
+  AggregateRegistry();
+  std::vector<std::unique_ptr<AggregateFunction>> fns_;
+};
+
+// Shorthand for AggregateRegistry::Global().Find(name).
+const AggregateFunction* FindAggregate(const std::string& name);
+
+}  // namespace seaweed::db

@@ -1,5 +1,9 @@
 #include "db/ast.h"
 
+#include <cmath>
+#include <cstdio>
+
+#include "db/aggregate.h"
 #include "db/schema.h"
 
 namespace seaweed::db {
@@ -85,21 +89,25 @@ std::string Predicate::ToString() const {
   return "?";
 }
 
-const char* AggFuncName(AggFunc f) {
-  switch (f) {
-    case AggFunc::kSum:
-      return "SUM";
-    case AggFunc::kCount:
-      return "COUNT";
-    case AggFunc::kAvg:
-      return "AVG";
-    case AggFunc::kMin:
-      return "MIN";
-    case AggFunc::kMax:
-      return "MAX";
-  }
-  return "?";
+double SelectItem::EffectiveParam() const {
+  if (has_param) return param;
+  return func != nullptr ? func->descriptor().default_param : 0;
 }
+
+namespace {
+
+// Renders a function parameter so that re-parsing ToString() output yields
+// the same value (ToString doubles as the plan-cache fingerprint).
+std::string FormatParam(double p) {
+  if (p == std::floor(p) && std::abs(p) < 1e15) {
+    return std::to_string(static_cast<int64_t>(p));
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
+}  // namespace
 
 bool SelectQuery::IsAggregateOnly() const {
   bool any_aggregate = false;
@@ -122,9 +130,13 @@ std::string SelectQuery::ToString() const {
     if (i) out += ", ";
     const auto& item = items[i];
     if (item.is_aggregate) {
-      out += AggFuncName(item.func);
+      out += item.func->name();
       out += "(";
       out += item.column.empty() ? "*" : item.column;
+      if (item.has_param) {
+        out += ", ";
+        out += FormatParam(item.param);
+      }
       out += ")";
     } else {
       out += item.column.empty() ? "*" : item.column;

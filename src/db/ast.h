@@ -6,8 +6,9 @@
 //   query      := SELECT select_list FROM ident [WHERE expr]
 //                 [GROUP BY ident]
 //   select_list:= select_item (',' select_item)*
-//   select_item:= agg '(' (ident | '*') ')' | ident | '*'
-//   agg        := SUM | COUNT | AVG | MIN | MAX
+//   select_item:= agg '(' (ident | '*') [',' number] ')' | ident | '*'
+//   agg        := any name in the AggregateRegistry (SUM, COUNT, AVG, MIN,
+//                 MAX, DISTINCT_APPROX, QUANTILE, TOPK, ...)
 //   expr       := conj (OR conj)*
 //   conj       := atom (AND atom)*
 //   atom       := ident cmp scalar | '(' expr ')'
@@ -25,6 +26,8 @@
 #include "db/value.h"
 
 namespace seaweed::db {
+
+class AggregateFunction;
 
 enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
@@ -60,15 +63,22 @@ struct Predicate {
   std::string ToString() const;
 };
 
-enum class AggFunc : uint8_t { kSum, kCount, kAvg, kMin, kMax };
-
-const char* AggFuncName(AggFunc f);
-
 struct SelectItem {
   bool is_aggregate = false;
-  AggFunc func = AggFunc::kCount;
+  // Registry-owned aggregate function (see db/aggregate.h); null for bare
+  // column / '*' projection items. The parser resolves names through
+  // AggregateRegistry::Global(), so the set of functions is open.
+  const AggregateFunction* func = nullptr;
   // Empty column means '*' (valid only for COUNT or plain projection '*').
   std::string column;
+  // Optional function parameter (QUANTILE's q, TOPK's k). Valid only when
+  // has_param; otherwise the function's default applies.
+  double param = 0;
+  bool has_param = false;
+
+  // The parameter Finalize/InitState should use: the explicit one when
+  // present, else the function's declared default.
+  double EffectiveParam() const;
 };
 
 struct SelectQuery {

@@ -2,22 +2,22 @@
 
 namespace seaweed::db {
 
-void TableSummary::Serialize(Writer* w) const {
-  w->PutString(table_name);
-  w->PutVarint(static_cast<uint64_t>(total_rows));
-  w->PutVarint(columns.size());
-  for (const auto& c : columns) c.Serialize(w);
+void TableSummary::Encode(Writer& w) const {
+  w.PutString(table_name);
+  w.PutVarint(static_cast<uint64_t>(total_rows));
+  w.PutVarint(columns.size());
+  for (const auto& c : columns) c.Encode(w);
 }
 
-Result<TableSummary> TableSummary::Deserialize(Reader* r) {
+Result<TableSummary> TableSummary::Decode(Reader& r) {
   TableSummary s;
-  SEAWEED_ASSIGN_OR_RETURN(s.table_name, r->GetString());
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t rows, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(s.table_name, r.GetString());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t rows, r.GetVarint());
   s.total_rows = static_cast<int64_t>(rows);
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
   if (n > 4096) return Status::ParseError("implausible column count");
   for (uint64_t i = 0; i < n; ++i) {
-    SEAWEED_ASSIGN_OR_RETURN(ColumnSummary c, ColumnSummary::Deserialize(r));
+    SEAWEED_ASSIGN_OR_RETURN(ColumnSummary c, ColumnSummary::Decode(r));
     s.columns.push_back(std::move(c));
   }
   return s;
@@ -75,7 +75,7 @@ size_t SummaryDeltaBytes(const DatabaseSummary& previous,
         }
       }
       if (prev_col == nullptr) {
-        bytes += col.SerializedBytes();  // new column: ship in full
+        bytes += col.EncodedBytes();  // new column: ship in full
       } else if (col.is_numeric()) {
         bytes += NumericDeltaBytes(prev_col->numeric(), col.numeric());
       } else {
@@ -93,25 +93,25 @@ const TableSummary* DatabaseSummary::FindTable(const std::string& name) const {
   return nullptr;
 }
 
-void DatabaseSummary::Serialize(Writer* w) const {
-  w->PutVarint(tables.size());
-  for (const auto& t : tables) t.Serialize(w);
+void DatabaseSummary::Encode(Writer& w) const {
+  w.PutVarint(tables.size());
+  for (const auto& t : tables) t.Encode(w);
 }
 
-Result<DatabaseSummary> DatabaseSummary::Deserialize(Reader* r) {
+Result<DatabaseSummary> DatabaseSummary::Decode(Reader& r) {
   DatabaseSummary s;
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
   if (n > 4096) return Status::ParseError("implausible table count");
   for (uint64_t i = 0; i < n; ++i) {
-    SEAWEED_ASSIGN_OR_RETURN(TableSummary t, TableSummary::Deserialize(r));
+    SEAWEED_ASSIGN_OR_RETURN(TableSummary t, TableSummary::Decode(r));
     s.tables.push_back(std::move(t));
   }
   return s;
 }
 
-size_t DatabaseSummary::SerializedBytes() const {
+size_t DatabaseSummary::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 

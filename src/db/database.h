@@ -25,8 +25,8 @@ struct TableSummary {
   int64_t total_rows = 0;
   std::vector<ColumnSummary> columns;
 
-  void Serialize(Writer* w) const;
-  static Result<TableSummary> Deserialize(Reader* r);
+  void Encode(Writer& w) const;
+  static Result<TableSummary> Decode(Reader& r);
 
   // Estimated rows of this table matching `query`'s predicate.
   double EstimateRows(const SelectQuery& query) const {
@@ -50,9 +50,9 @@ struct DatabaseSummary {
 
   const TableSummary* FindTable(const std::string& name) const;
 
-  void Serialize(Writer* w) const;
-  static Result<DatabaseSummary> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<DatabaseSummary> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
   // Estimated rows matching `query`; 0 when the table is absent.
   double EstimateRows(const SelectQuery& query) const;

@@ -110,30 +110,30 @@ double NumericHistogram::EstimateRange(std::optional<double> lo,
   return std::max(0.0, upper - lower);
 }
 
-void NumericHistogram::Serialize(Writer* w) const {
-  w->PutDouble(min_value_);
-  w->PutVarint(static_cast<uint64_t>(total_rows_));
-  w->PutVarint(buckets_.size());
+void NumericHistogram::Encode(Writer& w) const {
+  w.PutDouble(min_value_);
+  w.PutVarint(static_cast<uint64_t>(total_rows_));
+  w.PutVarint(buckets_.size());
   for (const Bucket& b : buckets_) {
-    w->PutDouble(b.upper_bound);
-    w->PutVarint(static_cast<uint64_t>(b.row_count));
-    w->PutVarint(static_cast<uint64_t>(b.distinct));
+    w.PutDouble(b.upper_bound);
+    w.PutVarint(static_cast<uint64_t>(b.row_count));
+    w.PutVarint(static_cast<uint64_t>(b.distinct));
   }
 }
 
-Result<NumericHistogram> NumericHistogram::Deserialize(Reader* r) {
+Result<NumericHistogram> NumericHistogram::Decode(Reader& r) {
   NumericHistogram h;
-  SEAWEED_ASSIGN_OR_RETURN(h.min_value_, r->GetDouble());
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t total, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(h.min_value_, r.GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t total, r.GetVarint());
   h.total_rows_ = static_cast<int64_t>(total);
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t nb, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t nb, r.GetVarint());
   if (nb > 100000) return Status::ParseError("implausible bucket count");
   h.buckets_.reserve(nb);
   for (uint64_t i = 0; i < nb; ++i) {
     Bucket b;
-    SEAWEED_ASSIGN_OR_RETURN(b.upper_bound, r->GetDouble());
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t rc, r->GetVarint());
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t d, r->GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(b.upper_bound, r.GetDouble());
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t rc, r.GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t d, r.GetVarint());
     b.row_count = static_cast<int64_t>(rc);
     b.distinct = static_cast<int64_t>(d);
     h.buckets_.push_back(b);
@@ -141,9 +141,9 @@ Result<NumericHistogram> NumericHistogram::Deserialize(Reader* r) {
   return h;
 }
 
-size_t NumericHistogram::SerializedBytes() const {
+size_t NumericHistogram::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 
@@ -182,40 +182,40 @@ double StringHistogram::EstimateEqual(const std::string& s) const {
          static_cast<double>(other_distinct_);
 }
 
-void StringHistogram::Serialize(Writer* w) const {
-  w->PutVarint(static_cast<uint64_t>(total_rows_));
-  w->PutVarint(mcvs_.size());
+void StringHistogram::Encode(Writer& w) const {
+  w.PutVarint(static_cast<uint64_t>(total_rows_));
+  w.PutVarint(mcvs_.size());
   for (const Mcv& m : mcvs_) {
-    w->PutString(m.value);
-    w->PutVarint(static_cast<uint64_t>(m.count));
+    w.PutString(m.value);
+    w.PutVarint(static_cast<uint64_t>(m.count));
   }
-  w->PutVarint(static_cast<uint64_t>(other_count_));
-  w->PutVarint(static_cast<uint64_t>(other_distinct_));
+  w.PutVarint(static_cast<uint64_t>(other_count_));
+  w.PutVarint(static_cast<uint64_t>(other_distinct_));
 }
 
-Result<StringHistogram> StringHistogram::Deserialize(Reader* r) {
+Result<StringHistogram> StringHistogram::Decode(Reader& r) {
   StringHistogram h;
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t total, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t total, r.GetVarint());
   h.total_rows_ = static_cast<int64_t>(total);
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
   if (n > 100000) return Status::ParseError("implausible MCV count");
   for (uint64_t i = 0; i < n; ++i) {
     Mcv m;
-    SEAWEED_ASSIGN_OR_RETURN(m.value, r->GetString());
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t c, r->GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(m.value, r.GetString());
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t c, r.GetVarint());
     m.count = static_cast<int64_t>(c);
     h.mcvs_.push_back(std::move(m));
   }
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t oc, r->GetVarint());
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t od, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t oc, r.GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t od, r.GetVarint());
   h.other_count_ = static_cast<int64_t>(oc);
   h.other_distinct_ = static_cast<int64_t>(od);
   return h;
 }
 
-size_t StringHistogram::SerializedBytes() const {
+size_t StringHistogram::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 
@@ -233,35 +233,35 @@ ColumnSummary ColumnSummary::Strings(std::string column, StringHistogram h) {
   return s;
 }
 
-void ColumnSummary::Serialize(Writer* w) const {
-  w->PutString(column_);
-  w->PutU8(is_numeric() ? 0 : 1);
+void ColumnSummary::Encode(Writer& w) const {
+  w.PutString(column_);
+  w.PutU8(is_numeric() ? 0 : 1);
   if (is_numeric()) {
-    numeric_->Serialize(w);
+    numeric_->Encode(w);
   } else {
-    strings_->Serialize(w);
+    strings_->Encode(w);
   }
 }
 
-Result<ColumnSummary> ColumnSummary::Deserialize(Reader* r) {
+Result<ColumnSummary> ColumnSummary::Decode(Reader& r) {
   ColumnSummary s;
-  SEAWEED_ASSIGN_OR_RETURN(s.column_, r->GetString());
-  SEAWEED_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  SEAWEED_ASSIGN_OR_RETURN(s.column_, r.GetString());
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
   if (kind == 0) {
     SEAWEED_ASSIGN_OR_RETURN(NumericHistogram h,
-                             NumericHistogram::Deserialize(r));
+                             NumericHistogram::Decode(r));
     s.numeric_ = std::move(h);
   } else {
     SEAWEED_ASSIGN_OR_RETURN(StringHistogram h,
-                             StringHistogram::Deserialize(r));
+                             StringHistogram::Decode(r));
     s.strings_ = std::move(h);
   }
   return s;
 }
 
-size_t ColumnSummary::SerializedBytes() const {
+size_t ColumnSummary::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 

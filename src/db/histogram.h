@@ -7,7 +7,7 @@
 //
 // Serialized size is meaningful: it is the `h` parameter of the analytic
 // model (Table 1 measures 6,473 bytes for the five Anemone histograms), so
-// Serialize() is the single source of truth for metadata bytes on the wire.
+// Encode() is the single source of truth for metadata bytes on the wire.
 #pragma once
 
 #include <optional>
@@ -41,9 +41,9 @@ class NumericHistogram {
   double EstimateRange(std::optional<double> lo, bool lo_inclusive,
                        std::optional<double> hi, bool hi_inclusive) const;
 
-  void Serialize(Writer* w) const;
-  static Result<NumericHistogram> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<NumericHistogram> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
   struct Bucket {
     double upper_bound;   // values in (prev_ub, upper_bound]
@@ -71,9 +71,9 @@ class StringHistogram {
   // residual mass spread over residual distinct values.
   double EstimateEqual(const std::string& s) const;
 
-  void Serialize(Writer* w) const;
-  static Result<StringHistogram> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<StringHistogram> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
   struct Mcv {
     std::string value;
@@ -104,9 +104,9 @@ class ColumnSummary {
     return is_numeric() ? numeric_->total_rows() : strings_->total_rows();
   }
 
-  void Serialize(Writer* w) const;
-  static Result<ColumnSummary> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<ColumnSummary> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
  private:
   std::string column_;

@@ -336,42 +336,47 @@ void AggState::Merge(const AggState& other) {
   count += other.count;
   min = std::min(min, other.min);
   max = std::max(max, other.max);
-}
-
-Result<Value> AggState::Final(AggFunc func) const {
-  switch (func) {
-    case AggFunc::kCount:
-      return Value(count);
-    case AggFunc::kSum:
-      // SUM over the Anemone columns is integral; keep double to avoid
-      // overflow at global scale but round for integer-like outputs.
-      return Value(sum);
-    case AggFunc::kAvg:
-      if (count == 0) return Status::NotFound("AVG over empty input");
-      return Value(sum / static_cast<double>(count));
-    case AggFunc::kMin:
-      if (count == 0) return Status::NotFound("MIN over empty input");
-      return Value(min);
-    case AggFunc::kMax:
-      if (count == 0) return Status::NotFound("MAX over empty input");
-      return Value(max);
+  if (other.sketch) {
+    if (sketch == nullptr) {
+      // Group states created by AggregateResult::Merge start sketchless;
+      // adopt the incoming sketch so merge stays closed over states.
+      sketch = other.sketch->Clone();
+    } else {
+      sketch->Merge(*other.sketch);
+    }
   }
-  return Status::Internal("bad AggFunc");
 }
 
-void AggState::Serialize(Writer* w) const {
-  w->PutDouble(sum);
-  w->PutI64(count);
-  w->PutDouble(min);
-  w->PutDouble(max);
+bool AggState::operator==(const AggState& other) const {
+  if (sum != other.sum || count != other.count || min != other.min ||
+      max != other.max) {
+    return false;
+  }
+  if ((sketch == nullptr) != (other.sketch == nullptr)) return false;
+  return sketch == nullptr || sketch->Equals(*other.sketch);
 }
 
-Result<AggState> AggState::Deserialize(Reader* r) {
+void AggState::Encode(Writer& w) const {
+  // Tag byte first: 0 = exact quad only, nonzero = a sketch payload of
+  // that type follows the quad (see db/sketch.h for the tag registry).
+  w.PutU8(sketch ? sketch->tag() : kStateTagExact);
+  w.PutDouble(sum);
+  w.PutI64(count);
+  w.PutDouble(min);
+  w.PutDouble(max);
+  if (sketch) sketch->Encode(w);
+}
+
+Result<AggState> AggState::Decode(Reader& r) {
   AggState s;
-  SEAWEED_ASSIGN_OR_RETURN(s.sum, r->GetDouble());
-  SEAWEED_ASSIGN_OR_RETURN(s.count, r->GetI64());
-  SEAWEED_ASSIGN_OR_RETURN(s.min, r->GetDouble());
-  SEAWEED_ASSIGN_OR_RETURN(s.max, r->GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  SEAWEED_ASSIGN_OR_RETURN(s.sum, r.GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(s.count, r.GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(s.min, r.GetDouble());
+  SEAWEED_ASSIGN_OR_RETURN(s.max, r.GetDouble());
+  if (tag != kStateTagExact) {
+    SEAWEED_ASSIGN_OR_RETURN(s.sketch, DecodeSketchState(tag, r));
+  }
   return s;
 }
 
@@ -417,51 +422,76 @@ const std::vector<AggState>* AggregateResult::FindGroup(
   return &it->second;
 }
 
-void AggregateResult::Serialize(Writer* w) const {
-  w->PutVarint(states.size());
-  for (const auto& s : states) s.Serialize(w);
-  w->PutVarint(groups.size());
+void AggregateResult::Encode(Writer& w) const {
+  w.PutVarint(states.size());
+  for (const auto& s : states) s.Encode(w);
+  w.PutVarint(groups.size());
   for (const auto& [key, group_states] : groups) {
-    key.Serialize(w);
-    w->PutVarint(group_states.size());
-    for (const auto& s : group_states) s.Serialize(w);
+    key.Encode(w);
+    w.PutVarint(group_states.size());
+    for (const auto& s : group_states) s.Encode(w);
   }
-  w->PutI64(rows_matched);
-  w->PutI64(endsystems);
+  w.PutI64(rows_matched);
+  w.PutI64(endsystems);
 }
 
-Result<AggregateResult> AggregateResult::Deserialize(Reader* r) {
+Result<AggregateResult> AggregateResult::Decode(Reader& r) {
   AggregateResult out;
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
   if (n > 1024) return Status::ParseError("implausible aggregate arity");
   out.states.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Deserialize(r));
-    out.states.push_back(s);
+    SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Decode(r));
+    out.states.push_back(std::move(s));
   }
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t ng, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t ng, r.GetVarint());
   if (ng > 1000000) return Status::ParseError("implausible group count");
   for (uint64_t g = 0; g < ng; ++g) {
-    SEAWEED_ASSIGN_OR_RETURN(Value key, Value::Deserialize(r));
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t arity, r->GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(Value key, Value::Decode(r));
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t arity, r.GetVarint());
     if (arity > 1024) return Status::ParseError("implausible group arity");
     std::vector<AggState> group_states;
     group_states.reserve(arity);
     for (uint64_t i = 0; i < arity; ++i) {
-      SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Deserialize(r));
-      group_states.push_back(s);
+      SEAWEED_ASSIGN_OR_RETURN(AggState s, AggState::Decode(r));
+      group_states.push_back(std::move(s));
     }
     out.groups.emplace_back(std::move(key), std::move(group_states));
   }
-  SEAWEED_ASSIGN_OR_RETURN(out.rows_matched, r->GetI64());
-  SEAWEED_ASSIGN_OR_RETURN(out.endsystems, r->GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(out.rows_matched, r.GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(out.endsystems, r.GetI64());
   return out;
 }
 
-size_t AggregateResult::SerializedBytes() const {
+size_t AggregateResult::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
+}
+
+bool AggregateResult::HasSketchStates() const {
+  for (const auto& s : states) {
+    if (s.sketch) return true;
+  }
+  for (const auto& [key, group_states] : groups) {
+    for (const auto& s : group_states) {
+      if (s.sketch) return true;
+    }
+  }
+  return false;
+}
+
+size_t AggregateResult::SketchStateBytes() const {
+  size_t total = 0;
+  for (const auto& s : states) {
+    if (s.sketch) total += s.sketch->EncodedBytes();
+  }
+  for (const auto& [key, group_states] : groups) {
+    for (const auto& s : group_states) {
+      if (s.sketch) total += s.sketch->EncodedBytes();
+    }
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -481,24 +511,27 @@ Result<CompiledQuery> CompiledQuery::Bind(const Table& table,
   for (const auto& item : query.items) {
     AggInput in;
     in.func = item.func;
+    in.param = item.EffectiveParam();
     if (!item.is_aggregate) {
       // IsAggregateOnly() guarantees this is the GROUP BY column.
       in.is_group_column = true;
       cq.inputs_.push_back(in);
       continue;
     }
+    const AggDescriptor& desc = item.func->descriptor();
     if (!item.column.empty()) {
       SEAWEED_ASSIGN_OR_RETURN(in.column,
                                table.schema().RequireColumn(item.column));
       in.type = table.schema().column(static_cast<size_t>(in.column)).type;
-      if (in.type == ColumnType::kString && item.func != AggFunc::kCount) {
-        return Status::InvalidArgument("cannot " +
-                                       std::string(AggFuncName(item.func)) +
+      if (in.type == ColumnType::kString && !desc.allows_string) {
+        return Status::InvalidArgument("cannot " + item.func->name() +
                                        " a string column");
       }
-    } else if (item.func != AggFunc::kCount) {
+    } else if (!desc.allows_star) {
       return Status::InvalidArgument("only COUNT may take '*'");
     }
+    SEAWEED_RETURN_NOT_OK(item.func->ValidateParam(in.param));
+    cq.any_sketch_ = cq.any_sketch_ || item.func->IsSketch();
     cq.inputs_.push_back(in);
   }
 
@@ -534,17 +567,7 @@ void CompiledQuery::AccumulateUngrouped(const Table& table,
                                         AggregateResult* result) const {
   for (size_t i = 0; i < inputs_.size(); ++i) {
     const AggInput& in = inputs_[i];
-    AggState& state = result->states[i];
-    if (in.column < 0 || in.type == ColumnType::kString) {
-      state.count += sel.count;  // COUNT(*) / COUNT(string col)
-      continue;
-    }
-    const Column& col = table.column(static_cast<size_t>(in.column));
-    if (in.type == ColumnType::kInt64) {
-      AccumulateSel(col.ints().data(), sel, &state);
-    } else {
-      AccumulateSel(col.doubles().data(), sel, &state);
-    }
+    in.func->AccumulateBatch(table, in.column, sel, result->states[i]);
   }
 }
 
@@ -553,17 +576,7 @@ void CompiledQuery::AccumulateUngroupedDense(const Table& table,
                                              AggregateResult* result) const {
   for (size_t i = 0; i < inputs_.size(); ++i) {
     const AggInput& in = inputs_[i];
-    AggState& state = result->states[i];
-    if (in.column < 0 || in.type == ColumnType::kString) {
-      state.count += len;
-      continue;
-    }
-    const Column& col = table.column(static_cast<size_t>(in.column));
-    if (in.type == ColumnType::kInt64) {
-      AccumulateDense(col.ints().data(), start, len, &state);
-    } else {
-      AccumulateDense(col.doubles().data(), start, len, &state);
-    }
+    in.func->AccumulateDense(table, in.column, start, len, result->states[i]);
   }
 }
 
@@ -583,13 +596,21 @@ AggregateCursor::AggregateCursor(const CompiledQuery* plan, const Table* table)
   result_.endsystems = 1;
   total_rows_ = table_->num_rows();
   const size_t arity = plan_->inputs_.size();
+  for (size_t i = 0; i < arity; ++i) {
+    const CompiledQuery::AggInput& in = plan_->inputs_[i];
+    if (in.func != nullptr) in.func->InitState(result_.states[i], in.param);
+  }
 
   group_col_ = plan_->group_column_ >= 0
                    ? &table_->column(static_cast<size_t>(plan_->group_column_))
                    : nullptr;
+  // Sketch states don't fit the flat dense-accumulator array (per-code
+  // sketches would be allocated for absent groups); sketch queries take
+  // the Value-keyed path, exact queries keep the fast path unchanged.
   dense_group_ = group_col_ != nullptr &&
                  plan_->group_type_ == ColumnType::kString &&
-                 group_col_->dict_size() <= kDenseGroupMaxDict;
+                 group_col_->dict_size() <= kDenseGroupMaxDict &&
+                 !plan_->any_sketch_;
   // Dense GROUP BY accumulators: one AggState per (dict code, select item)
   // plus a per-code matched-row count deciding which groups exist.
   if (dense_group_) {
@@ -664,8 +685,8 @@ bool AggregateCursor::Step(size_t max_batches) {
       continue;
     }
 
-    // Fallback grouping (numeric or very-high-cardinality group keys):
-    // Value-keyed sorted groups over the selection vector.
+    // Fallback grouping (numeric, very-high-cardinality, or sketch-carrying
+    // group keys): Value-keyed sorted groups over the selection vector.
     for (uint32_t i = 0; i < sel_.count; ++i) {
       const uint32_t row = sel_.rows[i];
       Value key = group_col_->ValueAt(row);
@@ -673,16 +694,27 @@ bool AggregateCursor::Step(size_t max_batches) {
       for (size_t item = 0; item < arity; ++item) {
         const CompiledQuery::AggInput& in = plan_->inputs_[item];
         if (in.is_group_column) continue;
+        AggState& gs = gstates[item];
+        if (in.func->IsSketch() && gs.sketch == nullptr) {
+          in.func->InitState(gs, in.param);
+        }
         if (in.column < 0 || in.type == ColumnType::kString) {
-          gstates[item].AddCountOnly();
-          result_.states[item].AddCountOnly();
+          if (in.func->IsSketch() && in.column >= 0) {
+            const Column& col = table.column(static_cast<size_t>(in.column));
+            const std::string& s = col.DictEntry(col.StringCodeAt(row));
+            gs.AddString(s);
+            result_.states[item].AddString(s);
+          } else {
+            gs.AddCountOnly();
+            result_.states[item].AddCountOnly();
+          }
           continue;
         }
         const Column& col = table.column(static_cast<size_t>(in.column));
         const double v = in.type == ColumnType::kInt64
                              ? static_cast<double>(col.Int64At(row))
                              : col.DoubleAt(row);
-        gstates[item].Add(v);
+        gs.Add(v);
         result_.states[item].Add(v);
       }
     }
@@ -777,7 +809,8 @@ Result<AggregateResult> ExecuteAggregateScalar(const Table& table,
 
   // Resolve aggregate input columns.
   struct AggInput {
-    AggFunc func;
+    const AggregateFunction* func = nullptr;
+    double param = 0;
     int column = -1;  // -1 for COUNT(*) or the bare group-by column
     bool is_group_column = false;
     ColumnType type = ColumnType::kInt64;
@@ -787,24 +820,26 @@ Result<AggregateResult> ExecuteAggregateScalar(const Table& table,
   for (const auto& item : query.items) {
     AggInput in;
     in.func = item.func;
+    in.param = item.EffectiveParam();
     if (!item.is_aggregate) {
       // IsAggregateOnly() guarantees this is the GROUP BY column.
       in.is_group_column = true;
       inputs.push_back(in);
       continue;
     }
+    const AggDescriptor& desc = item.func->descriptor();
     if (!item.column.empty()) {
       SEAWEED_ASSIGN_OR_RETURN(in.column,
                                table.schema().RequireColumn(item.column));
       in.type = table.schema().column(static_cast<size_t>(in.column)).type;
-      if (in.type == ColumnType::kString && item.func != AggFunc::kCount) {
-        return Status::InvalidArgument("cannot " +
-                                       std::string(AggFuncName(item.func)) +
+      if (in.type == ColumnType::kString && !desc.allows_string) {
+        return Status::InvalidArgument("cannot " + item.func->name() +
                                        " a string column");
       }
-    } else if (item.func != AggFunc::kCount) {
+    } else if (!desc.allows_star) {
       return Status::InvalidArgument("only COUNT may take '*'");
     }
+    SEAWEED_RETURN_NOT_OK(item.func->ValidateParam(in.param));
     inputs.push_back(in);
   }
 
@@ -817,6 +852,10 @@ Result<AggregateResult> ExecuteAggregateScalar(const Table& table,
   AggregateResult result;
   result.states.resize(query.items.size());
   result.endsystems = 1;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const AggInput& in = inputs[i];
+    if (in.func != nullptr) in.func->InitState(result.states[i], in.param);
+  }
   const size_t n = table.num_rows();
   const size_t arity = query.items.size();
   for (size_t row = 0; row < n; ++row) {
@@ -832,9 +871,19 @@ Result<AggregateResult> ExecuteAggregateScalar(const Table& table,
       const AggInput& in = inputs[i];
       if (in.is_group_column) continue;  // rendered from the group key
       AggState& state = group ? (*group)[i] : result.states[i];
+      if (group && in.func->IsSketch() && state.sketch == nullptr) {
+        in.func->InitState(state, in.param);
+      }
       if (in.column < 0 || in.type == ColumnType::kString) {
-        state.AddCountOnly();
-        if (group) result.states[i].AddCountOnly();
+        if (in.func->IsSketch() && in.column >= 0) {
+          const Column& col = table.column(static_cast<size_t>(in.column));
+          const std::string& s = col.DictEntry(col.StringCodeAt(row));
+          state.AddString(s);
+          if (group) result.states[i].AddString(s);
+        } else {
+          state.AddCountOnly();
+          if (group) result.states[i].AddCountOnly();
+        }
         continue;
       }
       const Column& col = table.column(static_cast<size_t>(in.column));

@@ -20,14 +20,17 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/serialize.h"
+#include "db/aggregate.h"
 #include "db/ast.h"
 #include "db/batch_kernels.h"
+#include "db/sketch.h"
 #include "db/table.h"
 #include "obs/metrics.h"
 
@@ -123,31 +126,49 @@ class BatchPredicate {
   int root_ = -1;
 };
 
-// Accumulator for one aggregate select item.
+// Accumulator for one aggregate select item. Every state carries the exact
+// (sum, count, min, max) quad; sketch functions additionally attach a
+// SketchState (see db/sketch.h) whose wire tag comes from the function's
+// AggDescriptor. Copyable (deep sketch clone) so results replicate.
 struct AggState {
   double sum = 0;
   int64_t count = 0;  // rows contributing to this aggregate
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  std::unique_ptr<SketchState> sketch;  // null for exact functions
+
+  AggState() = default;
+  AggState(const AggState& other) { *this = other; }
+  AggState& operator=(const AggState& other) {
+    sum = other.sum;
+    count = other.count;
+    min = other.min;
+    max = other.max;
+    sketch = other.sketch ? other.sketch->Clone() : nullptr;
+    return *this;
+  }
+  AggState(AggState&&) = default;
+  AggState& operator=(AggState&&) = default;
 
   void Add(double v) {
     sum += v;
     ++count;
     if (v < min) min = v;
     if (v > max) max = v;
+    if (sketch) sketch->Update(v);
+  }
+  void AddString(const std::string& s) {
+    ++count;
+    if (sketch) sketch->UpdateString(s);
   }
   void AddCountOnly() { ++count; }
 
   void Merge(const AggState& other);
 
-  // Final scalar for the given function; COUNT of nothing is 0, other
-  // functions over an empty input return NotFound ("NULL").
-  Result<Value> Final(AggFunc func) const;
+  void Encode(Writer& w) const;
+  static Result<AggState> Decode(Reader& r);
 
-  void Serialize(Writer* w) const;
-  static Result<AggState> Deserialize(Reader* r);
-
-  bool operator==(const AggState&) const = default;
+  bool operator==(const AggState& other) const;
 };
 
 // The distributed result unit: one AggState per select item plus the count
@@ -171,9 +192,15 @@ struct AggregateResult {
   std::vector<AggState>& GroupStates(const Value& key, size_t arity);
   const std::vector<AggState>* FindGroup(const Value& key) const;
 
-  void Serialize(Writer* w) const;
-  static Result<AggregateResult> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<AggregateResult> Decode(Reader& r);
+  size_t EncodedBytes() const;
+
+  // True when any state (top-level or grouped) carries a sketch; the
+  // node-level seaweed.sketch.* metrics key off these.
+  bool HasSketchStates() const;
+  // Total encoded bytes of all attached sketches.
+  size_t SketchStateBytes() const;
 
   bool operator==(const AggregateResult&) const = default;
 };
@@ -197,8 +224,9 @@ class CompiledQuery {
 
  private:
   struct AggInput {
-    AggFunc func = AggFunc::kCount;
-    int column = -1;  // -1 for COUNT(*) or the bare group-by column
+    const AggregateFunction* func = nullptr;  // registry-owned
+    double param = 0;  // effective parameter (explicit or default)
+    int column = -1;   // -1 for COUNT(*) or the bare group-by column
     bool is_group_column = false;
     ColumnType type = ColumnType::kInt64;
   };
@@ -213,6 +241,7 @@ class CompiledQuery {
   int group_column_ = -1;
   ColumnType group_type_ = ColumnType::kInt64;
   size_t num_columns_ = 0;  // schema arity at bind time (re-validation)
+  bool any_sketch_ = false;  // disables the dense GROUP BY fast path
 
   friend class AggregateCursor;
 };

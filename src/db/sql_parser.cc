@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "db/aggregate.h"
 #include "db/schema.h"
 
 namespace seaweed::db {
@@ -195,28 +196,18 @@ class Parser {
     return Advance();
   }
 
-  bool TryAggFunc(const Token& t, AggFunc* out) {
-    if (t.kind != TokKind::kIdent) return false;
-    if (EqualsIgnoreCase(t.text, "SUM")) *out = AggFunc::kSum;
-    else if (EqualsIgnoreCase(t.text, "COUNT")) *out = AggFunc::kCount;
-    else if (EqualsIgnoreCase(t.text, "AVG")) *out = AggFunc::kAvg;
-    else if (EqualsIgnoreCase(t.text, "MIN")) *out = AggFunc::kMin;
-    else if (EqualsIgnoreCase(t.text, "MAX")) *out = AggFunc::kMax;
-    else return false;
-    return true;
-  }
-
   Status ParseSelectList(SelectQuery* query) {
     for (;;) {
       SelectItem item;
-      AggFunc func;
-      if (TryAggFunc(cur_, &func)) {
+      const AggregateFunction* func =
+          cur_.kind == TokKind::kIdent ? FindAggregate(cur_.text) : nullptr;
+      if (func != nullptr) {
         item.is_aggregate = true;
         item.func = func;
         SEAWEED_RETURN_NOT_OK(Advance());
         SEAWEED_RETURN_NOT_OK(ExpectSymbol("("));
         if (cur_.kind == TokKind::kSymbol && cur_.text == "*") {
-          if (func != AggFunc::kCount) {
+          if (!func->descriptor().allows_star) {
             return Err("only COUNT may take '*'");
           }
           SEAWEED_RETURN_NOT_OK(Advance());
@@ -225,6 +216,22 @@ class Parser {
           SEAWEED_RETURN_NOT_OK(Advance());
         } else {
           return Err("expected column name or '*'");
+        }
+        if (cur_.kind == TokKind::kSymbol && cur_.text == ",") {
+          if (!func->descriptor().takes_param) {
+            return Err(func->name() + " does not take a parameter");
+          }
+          SEAWEED_RETURN_NOT_OK(Advance());
+          if (cur_.kind != TokKind::kNumber) {
+            return Err("expected numeric parameter for " + func->name());
+          }
+          Status ok = func->ValidateParam(cur_.number);
+          if (!ok.ok()) {
+            return Err(ok.message());
+          }
+          item.param = cur_.number;
+          item.has_param = true;
+          SEAWEED_RETURN_NOT_OK(Advance());
         }
         SEAWEED_RETURN_NOT_OK(ExpectSymbol(")"));
       } else if (cur_.kind == TokKind::kSymbol && cur_.text == "*") {

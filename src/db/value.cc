@@ -49,34 +49,34 @@ int Value::Compare(const Value& other) const {
   return 0;
 }
 
-void Value::Serialize(Writer* w) const {
-  w->PutU8(static_cast<uint8_t>(type()));
+void Value::Encode(Writer& w) const {
+  w.PutU8(static_cast<uint8_t>(type()));
   switch (type()) {
     case ColumnType::kInt64:
-      w->PutI64(AsInt64());
+      w.PutI64(AsInt64());
       break;
     case ColumnType::kDouble:
-      w->PutDouble(AsDouble());
+      w.PutDouble(AsDouble());
       break;
     case ColumnType::kString:
-      w->PutString(AsString());
+      w.PutString(AsString());
       break;
   }
 }
 
-Result<Value> Value::Deserialize(Reader* r) {
-  SEAWEED_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+Result<Value> Value::Decode(Reader& r) {
+  SEAWEED_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
   switch (static_cast<ColumnType>(tag)) {
     case ColumnType::kInt64: {
-      SEAWEED_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+      SEAWEED_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
       return Value(v);
     }
     case ColumnType::kDouble: {
-      SEAWEED_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      SEAWEED_ASSIGN_OR_RETURN(double v, r.GetDouble());
       return Value(v);
     }
     case ColumnType::kString: {
-      SEAWEED_ASSIGN_OR_RETURN(std::string v, r->GetString());
+      SEAWEED_ASSIGN_OR_RETURN(std::string v, r.GetString());
       return Value(std::move(v));
     }
   }

@@ -50,8 +50,8 @@ class Value {
   std::string ToString() const;
 
   // Binary encoding: 1-byte type tag + payload.
-  void Serialize(Writer* w) const;
-  static Result<Value> Deserialize(Reader* r);
+  void Encode(Writer& w) const;
+  static Result<Value> Decode(Reader& r);
 
   // Strict ordering usable as a map key (orders by type, then value).
   bool operator<(const Value& other) const {

@@ -148,10 +148,11 @@ std::optional<int> LiveCluster::LowestJoinedLocal() const {
 
 Result<NodeId> LiveCluster::InjectQuery(int e, const std::string& sql,
                                         QueryObserver observer,
-                                        SimDuration ttl) {
+                                        SimDuration ttl,
+                                        const std::string& id_salt) {
   SEAWEED_CHECK(map_.IsLocal(static_cast<EndsystemIndex>(e)));
   return seaweed_[static_cast<size_t>(e)]->InjectQuery(sql, std::move(observer),
-                                                       ttl);
+                                                       ttl, id_salt);
 }
 
 void LiveCluster::CancelQuery(int e, const NodeId& query_id) {

@@ -71,7 +71,8 @@ class LiveCluster {
 
   Result<NodeId> InjectQuery(int e, const std::string& sql,
                              QueryObserver observer,
-                             SimDuration ttl = 48 * kHour);
+                             SimDuration ttl = 48 * kHour,
+                             const std::string& id_salt = "");
   void CancelQuery(int e, const NodeId& query_id);
 
   EventLoop& loop() { return *loop_; }

@@ -32,6 +32,12 @@ std::string JsonDouble(double d) {
   return std::string(buf);
 }
 
+// Every response line leads with this so clients can gate on the protocol
+// version before trusting any other field.
+std::string RespHead() {
+  return "{\"v\":" + std::to_string(kProtocolVersion) + ",";
+}
+
 }  // namespace
 
 std::string JsonEscape(const std::string& s) {
@@ -62,6 +68,7 @@ QueryService::QueryService(LiveCluster* cluster, uint16_t port)
   obs::MetricsRegistry* reg = &cluster_->obs().metrics;
   requests_ = reg->GetCounter("server.requests");
   bad_requests_ = reg->GetCounter("server.bad_requests");
+  protocol_mismatches_ = reg->GetCounter("server.protocol_mismatches");
   queries_submitted_ = reg->GetCounter("server.queries_submitted");
   queries_shed_ = reg->GetCounter("server.queries_shed");
   events_pushed_ = reg->GetCounter("server.events_pushed");
@@ -187,7 +194,9 @@ void QueryService::FlushConn(Conn& conn) {
 
 void QueryService::ReplyError(Conn& conn, const std::string& error) {
   bad_requests_->Add();
-  SendLine(conn, "{\"ok\":false,\"error\":\"" + JsonEscape(error) + "\"}");
+  SendLine(conn,
+           RespHead() + "\"ok\":false,\"error\":\"" + JsonEscape(error) +
+               "\"}");
 }
 
 void QueryService::HandleLine(Conn& conn, const std::string& line) {
@@ -198,6 +207,26 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
     return;
   }
   const obs::Json& root = *parsed;
+
+  // Version gate before anything else: a client speaking a different
+  // protocol revision must learn that first, through a shape it can always
+  // recognise ("mismatch":true plus the server's version). A request
+  // without "v" predates versioning and is accepted as v1.
+  if (const obs::Json* v = root.Find("v")) {
+    const int64_t client_v = v->AsInt();
+    if (client_v != kProtocolVersion) {
+      protocol_mismatches_->Add();
+      bad_requests_->Add();
+      SendLine(conn,
+               RespHead() + "\"ok\":false,\"mismatch\":true,\"server_v\":" +
+                   std::to_string(kProtocolVersion) +
+                   ",\"error\":\"protocol version mismatch: client v=" +
+                   std::to_string(client_v) + ", server v=" +
+                   std::to_string(kProtocolVersion) + "\"}");
+      return;
+    }
+  }
+
   const obs::Json* op = root.Find("op");
   if (op == nullptr) {
     ReplyError(conn, "missing \"op\"");
@@ -215,7 +244,9 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
     if (const obs::Json* t = root.Find("ttl_s")) {
       ttl = static_cast<SimDuration>(t->AsInt()) * kSecond;
     }
-    HandleSubmit(conn, sql->AsString(), ttl);
+    std::string salt;
+    if (const obs::Json* s = root.Find("salt")) salt = s->AsString();
+    HandleSubmit(conn, sql->AsString(), ttl, salt);
     return;
   }
 
@@ -229,7 +260,7 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
     // included, after the reply had a beat to flush. Clients with an
     // active stream exercise reconnect-with-resubscribe; the daemon's own
     // query state is untouched.
-    SendLine(conn, "{\"ok\":true,\"dropped\":" +
+    SendLine(conn, RespHead() + "\"ok\":true,\"dropped\":" +
                        std::to_string(conns_.size()) + "}");
     loop_->After(50 * kMillisecond, [this] {
       std::vector<int> fds;
@@ -241,7 +272,7 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
   }
 
   if (op_name == "shutdown") {
-    SendLine(conn, "{\"ok\":true}");
+    SendLine(conn, RespHead() + "\"ok\":true}");
     // Leave a beat for the reply to flush before the loop exits.
     loop_->After(50 * kMillisecond, [this] { loop_->Stop(); });
     return;
@@ -267,10 +298,10 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
       cluster_->CancelQuery(q->origin, q->id);
       queries_inflight_->Add(-1);
     }
-    SendLine(conn, "{\"ok\":true}");
+    SendLine(conn, RespHead() + "\"ok\":true}");
   } else if (op_name == "stream") {
     q->subscribers.insert(conn.fd);
-    SendLine(conn, "{\"ok\":true}");
+    SendLine(conn, RespHead() + "\"ok\":true}");
     // Replay the latest state so a late subscriber does not hang waiting
     // for an event that already fired. The predictor deliver in particular
     // can beat the subscribe request when the whole tree lives on fast
@@ -287,7 +318,7 @@ void QueryService::HandleLine(Conn& conn, const std::string& line) {
 }
 
 void QueryService::HandleSubmit(Conn& conn, const std::string& sql,
-                                SimDuration ttl) {
+                                SimDuration ttl, const std::string& salt) {
   std::optional<int> origin = cluster_->LowestJoinedLocal();
   if (!origin.has_value()) {
     ReplyError(conn, "no local endsystem has joined the overlay yet");
@@ -314,7 +345,8 @@ void QueryService::HandleSubmit(Conn& conn, const std::string& sql,
     if (!key->empty()) OnResult(*key, r);
   };
 
-  auto id = cluster_->InjectQuery(*origin, sql, std::move(observer), ttl);
+  auto id = cluster_->InjectQuery(*origin, sql, std::move(observer), ttl,
+                                  salt);
   if (!id.ok()) {
     // Admission-control shedding is back-pressure, not a failure: the reply
     // carries "shed":true so clients (and the load driver) can distinguish
@@ -323,7 +355,7 @@ void QueryService::HandleSubmit(Conn& conn, const std::string& sql,
     if (id.status().code() == StatusCode::kUnavailable &&
         id.status().message().rfind("load shed", 0) == 0) {
       queries_shed_->Add();
-      SendLine(conn, "{\"ok\":false,\"shed\":true,\"error\":\"" +
+      SendLine(conn, RespHead() + "\"ok\":false,\"shed\":true,\"error\":\"" +
                          JsonEscape(id.status().message()) + "\"}");
       return;
     }
@@ -341,7 +373,7 @@ void QueryService::HandleSubmit(Conn& conn, const std::string& sql,
   queries_submitted_->Add();
   queries_inflight_->Add(1);
 
-  SendLine(conn, "{\"ok\":true,\"query_id\":\"" + *key +
+  SendLine(conn, RespHead() + "\"ok\":true,\"query_id\":\"" + *key +
                      "\",\"origin\":" + std::to_string(*origin) + "}");
 }
 
@@ -362,7 +394,7 @@ void QueryService::OnPredictor(const std::string& key,
 }
 
 std::string QueryService::PredictorJson(const QueryState& q) const {
-  return "{\"event\":\"predictor\",\"query_id\":\"" + q.id.ToHex() +
+  return RespHead() + "\"event\":\"predictor\",\"query_id\":\"" + q.id.ToHex() +
          "\",\"total_rows\":" + JsonDouble(q.predictor_rows) +
          ",\"endsystems\":" + std::to_string(q.predictor_endsystems) +
          ",\"complete_now\":" + JsonDouble(q.predictor_complete_now) +
@@ -400,7 +432,7 @@ void QueryService::Broadcast(QueryState& q, const std::string& event_line) {
 }
 
 std::string QueryService::StatusJson(const QueryState& q) const {
-  std::string out = "{\"event\":\"result\",\"ok\":true,\"query_id\":\"" +
+  std::string out = RespHead() + "\"event\":\"result\",\"ok\":true,\"query_id\":\"" +
                     q.id.ToHex() + "\",\"rows\":" + std::to_string(q.rows) +
                     ",\"endsystems\":" + std::to_string(q.endsystems) +
                     ",\"total\":" +
@@ -416,7 +448,7 @@ std::string QueryService::StatusJson(const QueryState& q) const {
 }
 
 std::string QueryService::StatsJson() const {
-  std::string out = "{\"ok\":true,\"shard\":" +
+  std::string out = RespHead() + "\"ok\":true,\"shard\":" +
                     std::to_string(cluster_->map().self_shard) +
                     ",\"endsystems\":" +
                     std::to_string(cluster_->num_endsystems()) +

@@ -1,8 +1,17 @@
 // QueryService: seaweedd's line-delimited JSON control protocol over TCP.
 //
-// One request per line, one JSON object per response line. Ops:
+// One request per line, one JSON object per response line. The full
+// protocol (every op, field, event, and client exit code) is specified in
+// PROTOCOL.md at the repository root; the summary below is a quick map.
 //
-//   {"op":"submit","sql":"SELECT ...","ttl_s":3600}
+// Versioning: requests and responses carry "v":<int> (kProtocolVersion,
+// currently 1). A request whose "v" differs from the server's is refused
+// with a distinct error ({"ok":false,"mismatch":true,"server_v":N,...},
+// counted in server.protocol_mismatches) so a client can tell "I am too
+// old/new" apart from "my request was malformed". A request with no "v"
+// is accepted as v1 — pre-versioning clients keep working.
+//
+//   {"op":"submit","sql":"SELECT ...","ttl_s":3600,"salt":"...","v":1}
 //       -> {"ok":true,"query_id":"<hex>","origin":<endsystem>}
 //       -> {"ok":false,"shed":true,"error":"load shed: ..."} when the
 //          admission limit (--max-active-queries) is reached: back-pressure,
@@ -43,6 +52,11 @@
 #include "net/result_format.h"
 
 namespace seaweed::net {
+
+// Version of the line-JSON control protocol spoken by QueryService and
+// seaweed-cli. Bump when a field or op changes incompatibly; PROTOCOL.md
+// documents what each version means.
+inline constexpr int kProtocolVersion = 1;
 
 // Escapes a string for embedding in a JSON string literal (no quotes added).
 std::string JsonEscape(const std::string& s);
@@ -91,7 +105,8 @@ class QueryService {
   void FlushConn(Conn& conn);
 
   void HandleLine(Conn& conn, const std::string& line);
-  void HandleSubmit(Conn& conn, const std::string& sql, SimDuration ttl);
+  void HandleSubmit(Conn& conn, const std::string& sql, SimDuration ttl,
+                    const std::string& salt);
   void ReplyError(Conn& conn, const std::string& error);
 
   QueryState* FindQuery(const std::string& hex_id);
@@ -113,6 +128,7 @@ class QueryService {
   // server.* observability counters/gauges.
   obs::Counter* requests_ = nullptr;
   obs::Counter* bad_requests_ = nullptr;
+  obs::Counter* protocol_mismatches_ = nullptr;
   obs::Counter* queries_submitted_ = nullptr;
   obs::Counter* queries_shed_ = nullptr;
   obs::Counter* events_pushed_ = nullptr;

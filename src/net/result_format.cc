@@ -1,8 +1,11 @@
 #include "net/result_format.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "db/aggregate.h"
 
 namespace seaweed::net {
 
@@ -23,11 +26,21 @@ void AppendItems(const db::SelectQuery& query,
   for (size_t i = 0; i < query.items.size(); ++i) {
     const db::SelectItem& item = query.items[i];
     if (!item.is_aggregate) continue;  // group key is printed by the caller
-    out << ' ' << db::AggFuncName(item.func);
-    if (!item.column.empty()) out << '(' << item.column << ')';
+    out << ' ' << item.func->name();
+    if (!item.column.empty()) {
+      out << '(' << item.column;
+      if (item.has_param) {
+        if (item.param == std::floor(item.param)) {
+          out << ',' << static_cast<int64_t>(item.param);
+        } else {
+          out << ',' << FormatDouble(item.param, "%.17g");
+        }
+      }
+      out << ')';
+    }
     out << '=';
     if (i < states.size()) {
-      out << FormatAggOutput(states[i].Final(item.func));
+      out << FormatAggOutput(item.func->Finalize(states[i], item.EffectiveParam()));
     } else {
       out << "NULL";
     }

@@ -132,30 +132,30 @@ SimTime AvailabilityModel::PredictUpTime(SimTime now, SimTime down_since) const 
   return now + hi;
 }
 
-void AvailabilityModel::Serialize(Writer* w) const {
-  for (uint32_t c : down_hist_) w->PutVarint(c);
-  for (uint32_t c : up_hour_hist_) w->PutVarint(c);
-  w->PutVarint(static_cast<uint64_t>(observations_));
+void AvailabilityModel::Encode(Writer& w) const {
+  for (uint32_t c : down_hist_) w.PutVarint(c);
+  for (uint32_t c : up_hour_hist_) w.PutVarint(c);
+  w.PutVarint(static_cast<uint64_t>(observations_));
 }
 
-Result<AvailabilityModel> AvailabilityModel::Deserialize(Reader* r) {
+Result<AvailabilityModel> AvailabilityModel::Decode(Reader& r) {
   AvailabilityModel m;
   for (auto& c : m.down_hist_) {
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t v, r->GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t v, r.GetVarint());
     c = static_cast<uint32_t>(v);
   }
   for (auto& c : m.up_hour_hist_) {
-    SEAWEED_ASSIGN_OR_RETURN(uint64_t v, r->GetVarint());
+    SEAWEED_ASSIGN_OR_RETURN(uint64_t v, r.GetVarint());
     c = static_cast<uint32_t>(v);
   }
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t obs, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t obs, r.GetVarint());
   m.observations_ = static_cast<int64_t>(obs);
   return m;
 }
 
-size_t AvailabilityModel::SerializedBytes() const {
+size_t AvailabilityModel::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 

@@ -52,9 +52,9 @@ class AvailabilityModel {
 
   static constexpr SimDuration kMaxPredictionHorizon = 7 * kDay;
 
-  void Serialize(Writer* w) const;
-  static Result<AvailabilityModel> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<AvailabilityModel> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
   // Accessors for tests.
   const std::array<uint32_t, kDownBuckets>& down_histogram() const {

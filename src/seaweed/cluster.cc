@@ -278,10 +278,11 @@ void SeaweedCluster::BringUpAll(SimDuration window) {
 
 Result<NodeId> SeaweedCluster::InjectQuery(int e, const std::string& sql,
                                            QueryObserver observer,
-                                           SimDuration ttl) {
+                                           SimDuration ttl,
+                                           const std::string& id_salt) {
   return seaweed_[static_cast<size_t>(e)]->InjectQuery(sql,
                                                        std::move(observer),
-                                                       ttl);
+                                                       ttl, id_salt);
 }
 
 int SeaweedCluster::CountUp() const {

@@ -108,7 +108,8 @@ class SeaweedCluster {
   // Injects a query from endsystem `e` (must be up).
   Result<NodeId> InjectQuery(int e, const std::string& sql,
                              QueryObserver observer,
-                             SimDuration ttl = 48 * kHour);
+                             SimDuration ttl = 48 * kHour,
+                             const std::string& id_salt = "");
 
   int CountUp() const;
   int CountJoined() const { return overlay_->CountJoined(); }

@@ -69,19 +69,19 @@ SimDuration CompletenessPredictor::HorizonForCompleteness(double target) const {
   return MaxHorizon();
 }
 
-void CompletenessPredictor::Serialize(Writer* w) const {
-  for (double b : buckets_) w->PutDouble(b);
-  w->PutI64(endsystems_);
-  w->PutVarint(divergence_s_);
+void CompletenessPredictor::Encode(Writer& w) const {
+  for (double b : buckets_) w.PutDouble(b);
+  w.PutI64(endsystems_);
+  w.PutVarint(divergence_s_);
 }
 
-Result<CompletenessPredictor> CompletenessPredictor::Deserialize(Reader* r) {
+Result<CompletenessPredictor> CompletenessPredictor::Decode(Reader& r) {
   CompletenessPredictor p;
   for (auto& b : p.buckets_) {
-    SEAWEED_ASSIGN_OR_RETURN(b, r->GetDouble());
+    SEAWEED_ASSIGN_OR_RETURN(b, r.GetDouble());
   }
-  SEAWEED_ASSIGN_OR_RETURN(p.endsystems_, r->GetI64());
-  SEAWEED_ASSIGN_OR_RETURN(uint64_t div_s, r->GetVarint());
+  SEAWEED_ASSIGN_OR_RETURN(p.endsystems_, r.GetI64());
+  SEAWEED_ASSIGN_OR_RETURN(uint64_t div_s, r.GetVarint());
   if (div_s > UINT32_MAX) {
     return Status::ParseError("predictor divergence overflows uint32");
   }
@@ -89,9 +89,9 @@ Result<CompletenessPredictor> CompletenessPredictor::Deserialize(Reader* r) {
   return p;
 }
 
-size_t CompletenessPredictor::SerializedBytes() const {
+size_t CompletenessPredictor::EncodedBytes() const {
   Writer w;
-  Serialize(&w);
+  Encode(w);
   return w.size();
 }
 

@@ -78,9 +78,9 @@ class CompletenessPredictor {
 
   static SimDuration MaxHorizon() { return Edge(kBuckets - 1); }
 
-  void Serialize(Writer* w) const;
-  static Result<CompletenessPredictor> Deserialize(Reader* r);
-  size_t SerializedBytes() const;
+  void Encode(Writer& w) const;
+  static Result<CompletenessPredictor> Decode(Reader& r);
+  size_t EncodedBytes() const;
 
   bool operator==(const CompletenessPredictor&) const = default;
 

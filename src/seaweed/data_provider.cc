@@ -74,7 +74,7 @@ Result<int64_t> AnemoneDataProvider::CountMatching(
 
 uint32_t AnemoneDataProvider::SummaryWireBytes(int endsystem) {
   if (wire_bytes_override_ > 0) return wire_bytes_override_;
-  return static_cast<uint32_t>(Summary(endsystem).SerializedBytes());
+  return static_cast<uint32_t>(Summary(endsystem).EncodedBytes());
 }
 
 StaticDataProvider::StaticDataProvider(
@@ -112,7 +112,7 @@ Result<SlicedExecution> StaticDataProvider::BeginSlicedExecution(
 }
 
 uint32_t StaticDataProvider::SummaryWireBytes(int endsystem) {
-  return static_cast<uint32_t>(Summary(endsystem).SerializedBytes());
+  return static_cast<uint32_t>(Summary(endsystem).EncodedBytes());
 }
 
 void StaticDataProvider::InvalidateSummary(int endsystem) {

@@ -7,12 +7,12 @@ namespace seaweed {
 void Metadata::Encode(Writer& w) const {
   w.PutNodeId(owner);
   w.PutU64(version);
-  summary.Serialize(&w);
-  availability.Serialize(&w);
+  summary.Encode(w);
+  availability.Encode(w);
   w.PutVarint(views.size());
   for (const auto& [name, result] : views) {
     w.PutString(name);
-    result.Serialize(&w);
+    result.Encode(w);
   }
 }
 
@@ -20,8 +20,8 @@ Result<Metadata> Metadata::Decode(Reader& r) {
   Metadata m;
   SEAWEED_ASSIGN_OR_RETURN(m.owner, r.GetNodeId());
   SEAWEED_ASSIGN_OR_RETURN(m.version, r.GetU64());
-  SEAWEED_ASSIGN_OR_RETURN(m.summary, db::DatabaseSummary::Deserialize(&r));
-  SEAWEED_ASSIGN_OR_RETURN(m.availability, AvailabilityModel::Deserialize(&r));
+  SEAWEED_ASSIGN_OR_RETURN(m.summary, db::DatabaseSummary::Decode(r));
+  SEAWEED_ASSIGN_OR_RETURN(m.availability, AvailabilityModel::Decode(r));
   SEAWEED_ASSIGN_OR_RETURN(uint64_t nviews, r.GetVarint());
   if (nviews > r.remaining()) {
     return Status::ParseError("metadata view count exceeds buffer");
@@ -30,7 +30,7 @@ Result<Metadata> Metadata::Decode(Reader& r) {
   for (uint64_t i = 0; i < nviews; ++i) {
     SEAWEED_ASSIGN_OR_RETURN(std::string name, r.GetString());
     SEAWEED_ASSIGN_OR_RETURN(db::AggregateResult result,
-                             db::AggregateResult::Deserialize(&r));
+                             db::AggregateResult::Decode(r));
     m.views.emplace_back(std::move(name), std::move(result));
   }
   return m;

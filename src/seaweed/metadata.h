@@ -39,7 +39,7 @@ struct Metadata {
 
   // Serialized size (h + a of Table 1 plus replicated view values),
   // derived from the encoder.
-  size_t SerializedBytes() const {
+  size_t EncodedBytes() const {
     Writer w;
     Encode(w);
     return w.size();

@@ -62,6 +62,10 @@ SeaweedNode::SeaweedNode(overlay::OverlayNetwork* overlay,
   metrics_.pred_cache_misses = reg->GetCounter("seaweed.pred_cache_misses");
   metrics_.queries_shed = reg->GetCounter("seaweed.queries_shed");
   metrics_.exec_slices = reg->GetCounter("seaweed.exec_slices");
+  metrics_.sketch_results = reg->GetCounter("seaweed.sketch.results");
+  metrics_.sketch_merges = reg->GetCounter("seaweed.sketch.merges");
+  metrics_.sketch_state_bytes =
+      reg->GetCounter("seaweed.sketch.state_bytes");
   metrics_.dissem_fanout = reg->GetHistogram("seaweed.dissem_fanout");
   metrics_.predictor_latency_us =
       reg->GetHistogram("seaweed.predictor_latency_us");
@@ -454,7 +458,8 @@ void SeaweedNode::PushMetadataTick(uint64_t generation) {
 
 Result<NodeId> SeaweedNode::InjectQuery(const std::string& sql,
                                         QueryObserver observer,
-                                        SimDuration ttl) {
+                                        SimDuration ttl,
+                                        const std::string& id_salt) {
   if (!pastry_->up()) {
     return Status::Unavailable("injecting endsystem is down");
   }
@@ -463,7 +468,8 @@ Result<NodeId> SeaweedNode::InjectQuery(const std::string& sql,
     return Status::Unavailable("load shed: admission limit reached");
   }
   SEAWEED_ASSIGN_OR_RETURN(
-      Query query, Query::Create(sql, sim()->Now(), pastry_->handle(), ttl));
+      Query query,
+      Query::Create(sql, sim()->Now(), pastry_->handle(), ttl, id_salt));
   NodeId qid = query.query_id;
   EnsureQueryActive(query);
   auto& aq = active_[qid];
@@ -1275,6 +1281,10 @@ void SeaweedNode::SubmitLeafResult(const NodeId& query_id) {
   msg->child_key = id();
   msg->version = aq.leaf.version;
   msg->result = aq.leaf.result;
+  if (aq.leaf.result.HasSketchStates()) {
+    metrics_.sketch_results->Add();
+    metrics_.sketch_state_bytes->Add(aq.leaf.result.SketchStateBytes());
+  }
   if (IsLikelyRootFor(vertex)) {
     // We are (or believe we are) the vertex primary: fold locally. If the
     // view is wrong, HandleResultSubmit hands the submission over under the
@@ -1512,6 +1522,10 @@ void SeaweedNode::PropagateVertex(const NodeId& query_id,
   VertexState& state = vit->second;
   state.send_scheduled = false;
   db::AggregateResult merged = MergedVertexResult(state);
+  if (merged.HasSketchStates()) {
+    metrics_.sketch_merges->Add();
+    metrics_.sketch_state_bytes->Add(merged.SketchStateBytes());
+  }
   obs::SpanId span = tracer_->StartSpan(
       "aggregation_round", obs::TraceKey(query_id), sim()->Now());
   tracer_->AddAttr(span, "node", static_cast<int64_t>(index()));

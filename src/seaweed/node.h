@@ -126,9 +126,11 @@ class SeaweedNode : public overlay::PastryApp {
 
   // Injects a query from this endsystem. The observer's hooks fire as the
   // predictor and incremental results arrive. Fails on parse errors or
-  // non-aggregate queries.
+  // non-aggregate queries. A non-empty `id_salt` pins the queryId (and so
+  // the aggregation-tree shape) — see Query::Create.
   Result<NodeId> InjectQuery(const std::string& sql, QueryObserver observer,
-                             SimDuration ttl = 48 * kHour);
+                             SimDuration ttl = 48 * kHour,
+                             const std::string& id_salt = "");
 
   // Injects a continuous query: every endsystem re-executes the query each
   // `period` and the origin keeps receiving refreshed aggregates until the
@@ -385,6 +387,12 @@ class SeaweedNode : public overlay::PastryApp {
     obs::Counter* pred_cache_misses;
     obs::Counter* queries_shed;
     obs::Counter* exec_slices;
+    // Approximate-aggregate traffic: leaf submissions carrying sketch
+    // states, interior folds of sketch-carrying children, and the encoded
+    // sketch bytes placed on the wire (leaf + interior propagations).
+    obs::Counter* sketch_results;
+    obs::Counter* sketch_merges;
+    obs::Counter* sketch_state_bytes;
     obs::Histogram* dissem_fanout;
     obs::Histogram* predictor_latency_us;
     obs::Histogram* result_latency_us;

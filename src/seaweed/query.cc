@@ -4,7 +4,7 @@ namespace seaweed {
 
 Result<Query> Query::Create(const std::string& sql, SimTime injected_at,
                             const overlay::NodeHandle& origin,
-                            SimDuration ttl) {
+                            SimDuration ttl, const std::string& id_salt) {
   db::ParseOptions options;
   options.now_unix_seconds = injected_at / kSecond;
   SEAWEED_ASSIGN_OR_RETURN(db::SelectQuery parsed,
@@ -16,8 +16,8 @@ Result<Query> Query::Create(const std::string& sql, SimTime injected_at,
   Query q;
   q.sql = sql;
   q.parsed = std::move(parsed);
-  q.query_id =
-      Sha1ToNodeId(sql + "@" + std::to_string(injected_at));
+  q.query_id = Sha1ToNodeId(
+      sql + "@" + (id_salt.empty() ? std::to_string(injected_at) : id_salt));
   q.injected_at = injected_at;
   q.ttl = ttl;
   q.origin = origin;

@@ -35,9 +35,18 @@ struct Query {
   // re-issuing the same text later yields a distinct query (§3.3 assigns the
   // hash of the query; we include the timestamp to keep one-shot semantics
   // for repeated identical queries).
+  // A non-empty `id_salt` replaces the injection time in the hash, making
+  // the queryId — and with it the whole aggregation-tree shape, which is a
+  // pure function of (queryId, nodeId) — reproducible across processes and
+  // runs. Sketch aggregates (QUANTILE, TOPK) are deterministic only given
+  // the tree shape, so the loopback differential salts its sketch queries
+  // identically on the live and reference sides. Two live submissions with
+  // the same sql and salt collapse into one query; salting callers own
+  // that uniqueness.
   static Result<Query> Create(const std::string& sql, SimTime injected_at,
                               const overlay::NodeHandle& origin,
-                              SimDuration ttl = 48 * kHour);
+                              SimDuration ttl = 48 * kHour,
+                              const std::string& id_salt = "");
 
   bool ExpiredAt(SimTime now) const { return now > injected_at + ttl; }
 

@@ -32,12 +32,12 @@ void SeaweedMessage::EncodeBody(Writer& w) const {
     case Kind::kPredictorDeliver: {
       w.PutNodeId(query_id);
       range.Encode(w);
-      predictor.Serialize(&w);
+      predictor.Encode(w);
       // View-snapshot runs carry an aggregate instead of (empty) predictor
       // mass; it rides along only when present.
       bool has_result = !result.states.empty() || !result.groups.empty();
       w.PutBool(has_result);
-      if (has_result) result.Serialize(&w);
+      if (has_result) result.Encode(w);
       break;
     }
     case Kind::kResultSubmit:
@@ -46,7 +46,7 @@ void SeaweedMessage::EncodeBody(Writer& w) const {
       w.PutNodeId(vertex_id);
       w.PutNodeId(child_key);
       w.PutU64(version);
-      result.Serialize(&w);
+      result.Encode(w);
       break;
     case Kind::kResultAck:
       w.PutNodeId(query_id);
@@ -61,7 +61,7 @@ void SeaweedMessage::EncodeBody(Writer& w) const {
       for (const auto& [child, ver, res] : vertex_state) {
         w.PutNodeId(child);
         w.PutU64(ver);
-        res.Serialize(&w);
+        res.Encode(w);
       }
       break;
     case Kind::kQueryListRequest:
@@ -123,11 +123,11 @@ Result<WireMessagePtr> SeaweedMessage::Decode(Reader& r) {
       SEAWEED_ASSIGN_OR_RETURN(msg->query_id, r.GetNodeId());
       SEAWEED_ASSIGN_OR_RETURN(msg->range, IdRange::Decode(r));
       SEAWEED_ASSIGN_OR_RETURN(msg->predictor,
-                               CompletenessPredictor::Deserialize(&r));
+                               CompletenessPredictor::Decode(r));
       SEAWEED_ASSIGN_OR_RETURN(bool has_result, r.GetBool());
       if (has_result) {
         SEAWEED_ASSIGN_OR_RETURN(msg->result,
-                                 db::AggregateResult::Deserialize(&r));
+                                 db::AggregateResult::Decode(r));
       }
       break;
     }
@@ -138,7 +138,7 @@ Result<WireMessagePtr> SeaweedMessage::Decode(Reader& r) {
       SEAWEED_ASSIGN_OR_RETURN(msg->child_key, r.GetNodeId());
       SEAWEED_ASSIGN_OR_RETURN(msg->version, r.GetU64());
       SEAWEED_ASSIGN_OR_RETURN(msg->result,
-                               db::AggregateResult::Deserialize(&r));
+                               db::AggregateResult::Decode(r));
       break;
     }
     case Kind::kResultAck: {
@@ -161,7 +161,7 @@ Result<WireMessagePtr> SeaweedMessage::Decode(Reader& r) {
         SEAWEED_ASSIGN_OR_RETURN(NodeId child, r.GetNodeId());
         SEAWEED_ASSIGN_OR_RETURN(uint64_t ver, r.GetU64());
         SEAWEED_ASSIGN_OR_RETURN(db::AggregateResult res,
-                                 db::AggregateResult::Deserialize(&r));
+                                 db::AggregateResult::Decode(r));
         msg->vertex_state.emplace_back(child, ver, std::move(res));
       }
       break;
@@ -211,7 +211,7 @@ uint32_t SeaweedMessage::WireBytes() const {
     if (kind == Kind::kMetadataPush && metadata_wire_bytes != 0) {
       // Charge the calibrated / delta-encoded summary size instead of the
       // encoded one; the summary is encoded inside `n`, so no underflow.
-      n = n - static_cast<uint32_t>(metadata.summary.SerializedBytes()) +
+      n = n - static_cast<uint32_t>(metadata.summary.EncodedBytes()) +
           metadata_wire_bytes;
     }
     charged_bytes_ = n;

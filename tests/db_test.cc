@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "db/aggregate.h"
 #include "db/database.h"
 #include "db/estimator.h"
 #include "db/histogram.h"
@@ -48,7 +49,7 @@ TEST(SqlParserTest, ParsesPaperQuery) {
   EXPECT_EQ(q->table, "Flow");
   ASSERT_EQ(q->items.size(), 1u);
   EXPECT_TRUE(q->items[0].is_aggregate);
-  EXPECT_EQ(q->items[0].func, AggFunc::kSum);
+  EXPECT_EQ(q->items[0].func, FindAggregate("SUM"));
   EXPECT_EQ(q->items[0].column, "Bytes");
   // NOW() folded: WHERE contains ts >= 1000000 - 86400.
   std::string s = q->where->ToString();
@@ -58,7 +59,7 @@ TEST(SqlParserTest, ParsesPaperQuery) {
 TEST(SqlParserTest, CountStar) {
   auto q = ParseSelect("SELECT COUNT(*) FROM Flow");
   ASSERT_TRUE(q.ok());
-  EXPECT_EQ(q->items[0].func, AggFunc::kCount);
+  EXPECT_EQ(q->items[0].func, FindAggregate("COUNT"));
   EXPECT_TRUE(q->items[0].column.empty());
   EXPECT_TRUE(q->IsAggregateOnly());
 }
@@ -145,7 +146,7 @@ TEST(QueryExecTest, CountStarMatchesRows) {
   auto r = ExecuteAggregate(*t, *q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows_matched, 500);
-  EXPECT_EQ(*r->states[0].Final(AggFunc::kCount), Value(int64_t{500}));
+  EXPECT_EQ(*FindAggregate("COUNT")->Finalize(r->states[0]), Value(int64_t{500}));
 }
 
 TEST(QueryExecTest, FilteredAggregatesMatchManualScan) {
@@ -172,7 +173,7 @@ TEST(QueryExecTest, FilteredAggregatesMatchManualScan) {
   EXPECT_DOUBLE_EQ(r->states[1].sum, static_cast<double>(sum));
   EXPECT_DOUBLE_EQ(r->states[2].min, static_cast<double>(mn));
   EXPECT_DOUBLE_EQ(r->states[3].max, static_cast<double>(mx));
-  EXPECT_DOUBLE_EQ(r->states[4].Final(AggFunc::kAvg)->AsDouble(),
+  EXPECT_DOUBLE_EQ(FindAggregate("AVG")->Finalize(r->states[4])->AsDouble(),
                    static_cast<double>(sum) / count);
 }
 
@@ -212,8 +213,8 @@ TEST(QueryExecTest, EmptyMatchAggregates) {
   auto r = ExecuteAggregate(*t, *q);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows_matched, 0);
-  EXPECT_DOUBLE_EQ(r->states[0].Final(AggFunc::kSum)->AsDouble(), 0.0);
-  EXPECT_FALSE(r->states[1].Final(AggFunc::kAvg).ok());  // NULL
+  EXPECT_DOUBLE_EQ(FindAggregate("SUM")->Finalize(r->states[0])->AsDouble(), 0.0);
+  EXPECT_FALSE(FindAggregate("AVG")->Finalize(r->states[1]).ok());  // NULL
 }
 
 TEST(QueryExecTest, BindErrors) {
@@ -258,8 +259,8 @@ TEST(QueryExecTest, MergeEqualsSingleScan) {
   }
   EXPECT_EQ(merged.rows_matched, expected->rows_matched);
   EXPECT_DOUBLE_EQ(merged.states[1].sum, expected->states[1].sum);
-  EXPECT_DOUBLE_EQ(merged.states[2].Final(AggFunc::kAvg)->AsDouble(),
-                   expected->states[2].Final(AggFunc::kAvg)->AsDouble());
+  EXPECT_DOUBLE_EQ(FindAggregate("AVG")->Finalize(merged.states[2])->AsDouble(),
+                   FindAggregate("AVG")->Finalize(expected->states[2])->AsDouble());
   EXPECT_DOUBLE_EQ(merged.states[3].min, expected->states[3].min);
   EXPECT_DOUBLE_EQ(merged.states[4].max, expected->states[4].max);
   EXPECT_EQ(merged.endsystems, 3);
@@ -271,9 +272,9 @@ TEST(QueryExecTest, AggregateResultSerializationRoundTrip) {
   auto r = ExecuteAggregate(*t, *q);
   ASSERT_TRUE(r.ok());
   Writer w;
-  r->Serialize(&w);
+  r->Encode(w);
   Reader rd(w.bytes());
-  auto back = AggregateResult::Deserialize(&rd);
+  auto back = AggregateResult::Decode(rd);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, *r);
 }
@@ -347,9 +348,9 @@ TEST(HistogramTest, SerializationRoundTrip) {
   for (int i = 0; i < 5000; ++i) values.push_back(rng.Normal(100, 20));
   auto h = NumericHistogram::BuildFromValues(values, 64);
   Writer w;
-  h.Serialize(&w);
+  h.Encode(w);
   Reader r(w.bytes());
-  auto back = NumericHistogram::Deserialize(&r);
+  auto back = NumericHistogram::Decode(r);
   ASSERT_TRUE(back.ok());
   for (double v : {50.0, 90.0, 100.0, 130.0}) {
     EXPECT_DOUBLE_EQ(back->EstimateLessOrEqual(v), h.EstimateLessOrEqual(v));
@@ -374,9 +375,9 @@ TEST(StringHistogramTest, SerializationRoundTrip) {
   for (int i = 0; i < 10; ++i) col.AppendString(i % 2 ? "a" : "b");
   auto h = StringHistogram::Build(col, 8);
   Writer w;
-  h.Serialize(&w);
+  h.Encode(w);
   Reader r(w.bytes());
-  auto back = StringHistogram::Deserialize(&r);
+  auto back = StringHistogram::Decode(r);
   ASSERT_TRUE(back.ok());
   EXPECT_DOUBLE_EQ(back->EstimateEqual("a"), h.EstimateEqual("a"));
 }
@@ -477,9 +478,9 @@ TEST(DatabaseTest, SummarySerializationRoundTrip) {
   }
   auto summary = database.BuildSummary();
   Writer w;
-  summary.Serialize(&w);
+  summary.Encode(w);
   Reader r(w.bytes());
-  auto back = DatabaseSummary::Deserialize(&r);
+  auto back = DatabaseSummary::Decode(r);
   ASSERT_TRUE(back.ok());
   auto q = ParseSelect("SELECT COUNT(*) FROM t WHERE port < 50");
   EXPECT_DOUBLE_EQ(back->EstimateRows(*q), summary.EstimateRows(*q));

@@ -148,9 +148,9 @@ TEST(GroupByTest, SerializationRoundTripWithGroups) {
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->groups.empty());
   Writer w;
-  r->Serialize(&w);
+  r->Encode(w);
   Reader rd(w.bytes());
-  auto back = AggregateResult::Deserialize(&rd);
+  auto back = AggregateResult::Decode(rd);
   ASSERT_TRUE(back.ok()) << back.status();
   EXPECT_EQ(*back, *r);
 }
@@ -171,9 +171,9 @@ TEST(GroupByTest, MergeGroupedWithEmpty) {
 TEST(ValueTest, SerializationRoundTrip) {
   for (const Value& v : {Value(int64_t{-5}), Value(3.25), Value(std::string("hi"))}) {
     Writer w;
-    v.Serialize(&w);
+    v.Encode(w);
     Reader r(w.bytes());
-    auto back = Value::Deserialize(&r);
+    auto back = Value::Decode(r);
     ASSERT_TRUE(back.ok());
     EXPECT_EQ(*back, v);
     EXPECT_EQ(back->type(), v.type());

@@ -179,7 +179,7 @@ TEST(SummaryDeltaTest, IdenticalSummariesCostHeaderOnly) {
   auto b = database.BuildSummary();
   size_t delta = db::SummaryDeltaBytes(a, b);
   EXPECT_LT(delta, 80u);
-  EXPECT_LT(delta, a.SerializedBytes() / 10);
+  EXPECT_LT(delta, a.EncodedBytes() / 10);
 }
 
 TEST(SummaryDeltaTest, SmallChangeSmallDelta) {
@@ -205,7 +205,7 @@ TEST(SummaryDeltaTest, SmallChangeSmallDelta) {
   flow->CommitRow();
   auto after = database.BuildSummary();
   size_t delta = db::SummaryDeltaBytes(before, after);
-  EXPECT_LT(delta, after.SerializedBytes() / 2);
+  EXPECT_LT(delta, after.EncodedBytes() / 2);
   EXPECT_GT(delta, 8u);  // something did change
 }
 
@@ -219,7 +219,7 @@ TEST(SummaryDeltaTest, DisjointSummariesCostRoughlyFull) {
   auto a = a_db.BuildSummary();
   auto b = b_db.BuildSummary();
   size_t delta = db::SummaryDeltaBytes(a, b);
-  EXPECT_GT(delta, b.SerializedBytes() / 2);
+  EXPECT_GT(delta, b.EncodedBytes() / 2);
 }
 
 }  // namespace

@@ -668,6 +668,37 @@ TEST_F(QueryServiceTest, SurvivesMalformedInputAndAnswersQueries) {
   EXPECT_GE(c->Find("server.queries_submitted")->AsInt(), 1);
 }
 
+TEST_F(QueryServiceTest, ProtocolVersionGate) {
+  StartDaemon();
+  Connect();
+
+  // Matching version: accepted, and every response echoes the server's
+  // protocol version.
+  obs::Json resp = Request("{\"v\":1,\"op\":\"stats\"}");
+  EXPECT_TRUE(IsOk(resp));
+  ASSERT_NE(resp.Find("v"), nullptr);
+  EXPECT_EQ(resp.Find("v")->AsInt(), kProtocolVersion);
+
+  // Missing version: accepted as v1 so pre-versioning clients keep working.
+  EXPECT_TRUE(IsOk(Request("{\"op\":\"stats\"}")));
+
+  // Mismatched version: refused through the distinct mismatch shape, and
+  // the gate answers before the op is even looked at — a v99 client must
+  // not have its gibberish interpreted under v1 rules.
+  resp = Request("{\"v\":99,\"op\":\"frobnicate\"}");
+  EXPECT_FALSE(IsOk(resp));
+  ASSERT_NE(resp.Find("mismatch"), nullptr);
+  EXPECT_TRUE(resp.Find("mismatch")->b);
+  EXPECT_EQ(resp.Find("server_v")->AsInt(), kProtocolVersion);
+
+  // Mismatches get their own counter on top of server.bad_requests.
+  obs::Json stats = Request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(IsOk(stats));
+  EXPECT_GE(
+      stats.Find("counters")->Find("server.protocol_mismatches")->AsInt(), 1);
+  EXPECT_GE(stats.Find("counters")->Find("server.bad_requests")->AsInt(), 1);
+}
+
 TEST_F(QueryServiceTest, MidStreamDisconnectDropsSubscriptionCleanly) {
   StartDaemon();
   Connect();

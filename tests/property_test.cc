@@ -7,6 +7,7 @@
 
 #include "common/node_id.h"
 #include "common/serialize.h"
+#include "db/aggregate.h"
 #include "db/histogram.h"
 #include "db/query_exec.h"
 #include "seaweed/availability_model.h"
@@ -393,17 +394,20 @@ db::SelectQuery RandomQuery(Rng& rng) {
   if (mode >= 3) q.group_by = "app";
   if (mode == 2) q.group_by = "port";
   if (!q.group_by.empty() && rng.Bernoulli(0.7)) {
-    q.items.push_back({false, db::AggFunc::kCount, q.group_by});
+    db::SelectItem group_item;
+    group_item.column = q.group_by;
+    q.items.push_back(std::move(group_item));
   }
+  static const char* kExact[] = {"SUM", "COUNT", "AVG", "MIN", "MAX"};
   const char* numeric[] = {"port", "load", "bytes"};
   int n_aggs = 1 + static_cast<int>(rng.NextBelow(3));
   for (int i = 0; i < n_aggs; ++i) {
     db::SelectItem item;
     item.is_aggregate = true;
-    item.func = static_cast<db::AggFunc>(rng.NextBelow(5));
+    item.func = db::FindAggregate(kExact[rng.NextBelow(5)]);
     switch (rng.NextBelow(3)) {
       case 0:
-        item.func = db::AggFunc::kCount;
+        item.func = db::FindAggregate("COUNT");
         item.column = rng.Bernoulli(0.5) ? "" : "app";  // COUNT(*)/(string)
         break;
       case 1:
@@ -507,19 +511,19 @@ TEST_P(SerializationFuzz, RandomBytesNeverCrashDeserializers) {
     for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
     {
       Reader r(junk);
-      (void)db::AggregateResult::Deserialize(&r);
+      (void)db::AggregateResult::Decode(r);
     }
     {
       Reader r(junk);
-      (void)CompletenessPredictor::Deserialize(&r);
+      (void)CompletenessPredictor::Decode(r);
     }
     {
       Reader r(junk);
-      (void)db::NumericHistogram::Deserialize(&r);
+      (void)db::NumericHistogram::Decode(r);
     }
     {
       Reader r(junk);
-      (void)AvailabilityModel::Deserialize(&r);
+      (void)AvailabilityModel::Decode(r);
     }
   }
   SUCCEED();

@@ -116,9 +116,9 @@ TEST(AvailabilityModelTest, SerializationRoundTrip) {
     m.RecordDownPeriod(day * kDay, day * kDay + (day + 1) * kHour);
   }
   Writer w;
-  m.Serialize(&w);
+  m.Encode(w);
   Reader r(w.bytes());
-  auto back = AvailabilityModel::Deserialize(&r);
+  auto back = AvailabilityModel::Decode(r);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, m);
 }
@@ -129,7 +129,7 @@ TEST(AvailabilityModelTest, SerializedSizeIsCompact) {
   for (int day = 0; day < 30; ++day) {
     m.RecordDownPeriod(day * kDay, day * kDay + 14 * kHour);
   }
-  EXPECT_LE(m.SerializedBytes(), 128u);
+  EXPECT_LE(m.EncodedBytes(), 128u);
 }
 
 // --- CompletenessPredictor ---
@@ -228,9 +228,9 @@ TEST(CompletenessTest, SerializationRoundTrip) {
   p.AddRowsAt(3 * kHour, 7.25);
   p.AddEndsystems(42);
   Writer w;
-  p.Serialize(&w);
+  p.Encode(w);
   Reader r(w.bytes());
-  auto back = CompletenessPredictor::Deserialize(&r);
+  auto back = CompletenessPredictor::Decode(r);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(*back, p);
 }
@@ -238,7 +238,7 @@ TEST(CompletenessTest, SerializationRoundTrip) {
 TEST(CompletenessTest, ConstantSerializedSize) {
   CompletenessPredictor a, b;
   for (int i = 0; i < 1000; ++i) b.AddRowsAt(i * kMinute, 1);
-  EXPECT_EQ(a.SerializedBytes(), b.SerializedBytes());
+  EXPECT_EQ(a.EncodedBytes(), b.EncodedBytes());
 }
 
 // --- IdRange ---

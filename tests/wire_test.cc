@@ -235,7 +235,7 @@ TEST(SeaweedCodecTest, MetadataPushChargesCalibratedSummarySize) {
   plain.metadata = TestMetadata();
   uint32_t encoded = plain.EncodedBytes();
   uint32_t summary_encoded =
-      static_cast<uint32_t>(plain.metadata.summary.SerializedBytes());
+      static_cast<uint32_t>(plain.metadata.summary.EncodedBytes());
 
   SeaweedMessage calibrated;
   calibrated.kind = SeaweedMessage::Kind::kMetadataPush;

@@ -387,6 +387,23 @@ void PrintPipeline(const Dump& d) {
   std::printf("  %-36s %12" PRIu64 "\n", "queries load-shed", shed);
 }
 
+void PrintSketches(const Dump& d) {
+  const uint64_t results = CounterOr0(d, "seaweed.sketch.results");
+  const uint64_t merges = CounterOr0(d, "seaweed.sketch.merges");
+  const uint64_t bytes = CounterOr0(d, "seaweed.sketch.state_bytes");
+  if (results + merges + bytes == 0) return;  // no approximate queries ran
+  std::printf("\n== approximate aggregates (sketches) ==\n");
+  std::printf("  %-36s %12" PRIu64 "\n", "leaf results with sketch states",
+              results);
+  std::printf("  %-36s %12" PRIu64 "\n", "interior sketch folds", merges);
+  std::printf("  %-36s %12" PRIu64 "\n", "sketch bytes on wire", bytes);
+  if (results + merges > 0) {
+    std::printf("  %-36s %12.1f\n", "sketch bytes per carrying result",
+                static_cast<double>(bytes) /
+                    static_cast<double>(results + merges));
+  }
+}
+
 void PrintRepairs(const Dump& d) {
   std::printf("\n== repairs and recovery ==\n");
   const std::pair<const char*, const char*> kRepairs[] = {
@@ -436,6 +453,7 @@ int main(int argc, char** argv) {
   PrintBandwidth(dump);
   PrintPerQuery(dump, /*top_n=*/10);
   PrintPipeline(dump);
+  PrintSketches(dump);
   PrintRepairs(dump);
   PrintHistograms(dump);
   return 0;

@@ -26,6 +26,11 @@
 // codes: 0 complete, 1 timeout/daemon error, 2 usage, 3 delay-aware
 // contract violation (non-monotone or overcount), 4 server gone for good
 // (reconnect budget exhausted, or the daemon restarted without our query).
+//
+// Every request carries the protocol version ("v":1); a daemon speaking a
+// different version refuses it with a distinct mismatch error, reported
+// here as exit 1 with an "upgrade whichever side is older" message. The
+// full wire contract lives in PROTOCOL.md.
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
@@ -50,9 +55,12 @@ using namespace seaweed;
   if (!error.empty()) std::cerr << "seaweed-cli: " << error << "\n";
   std::cerr <<
       "usage: seaweed-cli [--host 127.0.0.1] [--port 9500] COMMAND ...\n"
-      "  submit SQL [--ttl-s N]   inject a query, print its id\n"
+      "  submit SQL [--ttl-s N] [--salt S]\n"
+      "                           inject a query, print its id; --salt pins\n"
+      "                           the query id (and so the aggregation-tree\n"
+      "                           shape) for differential testing\n"
       "  query SQL [--timeout-s N] [--no-check-monotone]\n"
-      "            [--max-reconnect-s N]\n"
+      "            [--max-reconnect-s N] [--salt S]\n"
       "                           inject and stream until complete;\n"
       "                           prints the canonical FINAL line last;\n"
       "                           reconnects + resubscribes on a dropped\n"
@@ -200,10 +208,28 @@ class Client {
   std::string buf_;
 };
 
-// Exits non-zero unless the response says ok:true.
+// Every request leads with the protocol version so a mismatched daemon can
+// refuse it before interpreting anything else (see PROTOCOL.md).
+std::string ReqHead(const std::string& op) {
+  return "{\"v\":" + std::to_string(net::kProtocolVersion) + ",\"op\":\"" +
+         op + "\"";
+}
+
+// Exits non-zero unless the response says ok:true. A protocol-version
+// refusal gets its own message — "upgrade one side" is actionable in a way
+// a generic daemon error is not.
 const obs::Json& CheckOk(const obs::Json& resp) {
   const obs::Json* ok = resp.Find("ok");
   if (ok == nullptr || !ok->b) {
+    const obs::Json* mismatch = resp.Find("mismatch");
+    if (mismatch != nullptr && mismatch->b) {
+      const obs::Json* sv = resp.Find("server_v");
+      std::cerr << "seaweed-cli: protocol version mismatch: this client "
+                   "speaks v" << net::kProtocolVersion << ", the daemon v"
+                << (sv != nullptr ? std::to_string(sv->AsInt()) : "?")
+                << " — upgrade whichever side is older\n";
+      exit(1);
+    }
     const obs::Json* err = resp.Find("error");
     std::cerr << "seaweed-cli: daemon error: "
               << (err != nullptr ? err->AsString() : "unknown") << "\n";
@@ -212,10 +238,12 @@ const obs::Json& CheckOk(const obs::Json& resp) {
   return resp;
 }
 
-std::string SubmitJson(const std::string& sql, int ttl_s) {
-  std::string req = "{\"op\":\"submit\",\"sql\":\"" + net::JsonEscape(sql) +
+std::string SubmitJson(const std::string& sql, int ttl_s,
+                       const std::string& salt) {
+  std::string req = ReqHead("submit") + ",\"sql\":\"" + net::JsonEscape(sql) +
                     "\"";
   if (ttl_s > 0) req += ",\"ttl_s\":" + std::to_string(ttl_s);
+  if (!salt.empty()) req += ",\"salt\":\"" + net::JsonEscape(salt) + "\"";
   req += "}";
   return req;
 }
@@ -251,7 +279,7 @@ bool ReconnectAndResubscribe(Client& client, const std::string& qid,
     ++attempt;
     if (client.TryConnect()) {
       std::string resp_line;
-      if (client.TrySendLine("{\"op\":\"stream\",\"query_id\":\"" + qid +
+      if (client.TrySendLine(ReqHead("stream") + ",\"query_id\":\"" + qid +
                              "\"}") &&
           client.TryRecvLine(&resp_line) == Client::RecvResult::kLine) {
         const obs::Json resp = client.ParsedLine(resp_line);
@@ -276,13 +304,16 @@ bool ReconnectAndResubscribe(Client& client, const std::string& qid,
 }
 
 int RunQuery(Client& client, const std::string& sql, int ttl_s, int timeout_s,
-             bool check_monotone, int max_reconnect_s) {
+             bool check_monotone, int max_reconnect_s,
+             const std::string& salt) {
   client.ConnectOrDie();
-  const obs::Json resp = CheckOk(client.Request(SubmitJson(sql, ttl_s)));
+  const obs::Json resp =
+      CheckOk(client.Request(SubmitJson(sql, ttl_s, salt)));
   const std::string qid = resp.Find("query_id")->AsString();
   std::cerr << "query_id=" << qid
             << " origin=" << resp.Find("origin")->AsInt() << "\n";
-  CheckOk(client.Request("{\"op\":\"stream\",\"query_id\":\"" + qid + "\"}"));
+  CheckOk(client.Request(ReqHead("stream") + ",\"query_id\":\"" + qid +
+                         "\"}"));
 
   // Short recv timeout so the loop can re-check its deadlines even when
   // the daemon is quiet between push events.
@@ -386,6 +417,7 @@ int main(int argc, char** argv) {
   int timeout_s = 600;
   int max_reconnect_s = 30;
   bool check_monotone = true;
+  std::string salt;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -398,6 +430,7 @@ int main(int argc, char** argv) {
     else if (flag == "--ttl-s") ttl_s = std::stoi(value());
     else if (flag == "--timeout-s") timeout_s = std::stoi(value());
     else if (flag == "--max-reconnect-s") max_reconnect_s = std::stoi(value());
+    else if (flag == "--salt") salt = value();
     else if (flag == "--no-check-monotone") check_monotone = false;
     else if (flag == "--help" || flag == "-h") Usage("");
     else if (command.empty()) command = flag;
@@ -411,21 +444,22 @@ int main(int argc, char** argv) {
   if (command == "query") {
     if (arg.empty()) Usage("query needs a SQL string");
     return RunQuery(client, arg, ttl_s, timeout_s, check_monotone,
-                    max_reconnect_s);
+                    max_reconnect_s, salt);
   }
 
   client.ConnectOrDie();
 
   if (command == "submit") {
     if (arg.empty()) Usage("submit needs a SQL string");
-    const obs::Json resp = CheckOk(client.Request(SubmitJson(arg, ttl_s)));
+    const obs::Json resp =
+        CheckOk(client.Request(SubmitJson(arg, ttl_s, salt)));
     std::cout << resp.Find("query_id")->AsString() << std::endl;
     return 0;
   }
   if (command == "status" || command == "cancel") {
     if (arg.empty()) Usage(command + " needs a query id");
     const obs::Json resp = CheckOk(client.Request(
-        "{\"op\":\"" + command + "\",\"query_id\":\"" + arg + "\"}"));
+        ReqHead(command) + ",\"query_id\":\"" + arg + "\"}"));
     if (command == "status") {
       std::cout << "endsystems=" << resp.Find("endsystems")->AsInt()
                 << "/" << resp.Find("total")->AsInt() << " complete="
@@ -441,7 +475,7 @@ int main(int argc, char** argv) {
       command == "drop-clients") {
     const std::string op =
         command == "drop-clients" ? "drop_clients" : command;
-    client.SendLine("{\"op\":\"" + op + "\"}");
+    client.SendLine(ReqHead(op) + "}");
     std::cout << client.RecvLine() << std::endl;
     return 0;
   }

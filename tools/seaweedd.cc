@@ -58,6 +58,7 @@ struct Args {
   std::string obs_dump;
   bool reference = false;
   std::string query;
+  std::string salt;
   int timeout_s = 600;
 };
 
@@ -76,7 +77,10 @@ struct Args {
       "               endsystems through a remote shard instead of the cold\n"
       "               synchronized start (counters: net.rejoins)\n"
       "       seaweedd --reference --query SQL [--endsystems N] [--seed S]\n"
-      "                [--timeout-s SECS]\n";
+      "                [--timeout-s SECS] [--salt S]\n"
+      "  --salt:      pin the query id (aggregation-tree shape) so sketch\n"
+      "               aggregates are bit-reproducible against a live run\n"
+      "               submitted with the same salt\n";
   exit(error.empty() ? 0 : 2);
 }
 
@@ -107,6 +111,7 @@ Args Parse(int argc, char** argv) {
     else if (flag == "--obs-dump") args.obs_dump = value();
     else if (flag == "--reference") args.reference = true;
     else if (flag == "--query") args.query = value();
+    else if (flag == "--salt") args.salt = value();
     else if (flag == "--timeout-s") args.timeout_s = std::stoi(value());
     else if (flag == "--help" || flag == "-h") Usage("");
     else Usage("unknown flag " + flag);
@@ -177,7 +182,8 @@ int RunReference(const Args& args) {
     final_line = net::FormatAggregateLine(*parsed, r);
     if (r.endsystems == args.endsystems) done = true;
   };
-  auto id = cluster.InjectQuery(0, args.query, std::move(observer));
+  auto id = cluster.InjectQuery(0, args.query, std::move(observer),
+                                48 * kHour, args.salt);
   if (!id.ok()) {
     std::cerr << "reference: inject: " << id.status().message() << "\n";
     return 1;
